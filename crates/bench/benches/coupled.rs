@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the end-to-end coupled algorithms (one per
+//! method/backend series of the paper's figures, at a small fixed size so
+//! `cargo bench` stays quick; the capacity studies live in the `fig10_*`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
+use csolve_fembem::pipe_problem;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let problem = pipe_problem::<f64>(4_000);
+    let mut g = c.benchmark_group("coupled_n4000");
+    g.sample_size(10);
+    for algo in Algorithm::ALL {
+        for backend in [DenseBackend::Spido, DenseBackend::Hmat] {
+            let cfg = SolverConfig {
+                eps: 1e-4,
+                dense_backend: backend,
+                n_c: 128,
+                n_s: 512,
+                n_b: 2,
+                ..Default::default()
+            };
+            let id = BenchmarkId::new(algo.name(), backend.name());
+            g.bench_with_input(id, &cfg, |bench, cfg| {
+                bench.iter(|| black_box(solve(&problem, algo, cfg).unwrap()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! Criterion micro-benchmarks of the building-block kernels: dense
+//! factorization (SPIDO), low-rank compression (ACA/RRQR), H-matrix assembly
+//! and factorization (HMAT), sparse analysis/factorization/solve (MUMPS
+//! stand-in) and the Schur complement building block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csolve_dense::{gemm, ldlt_in_place, lu_in_place, Mat, Op};
+use csolve_hmat::{ClusterTree, HLu, HMatrix, HOptions, Point3};
+use csolve_lowrank::{aca_plus, LowRank};
+use csolve_sparse::{factorize, factorize_schur, Coo, SparseOptions};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn rand_mat(n: usize, m: usize, seed: u64) -> Mat<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Mat::random(n, m, &mut rng)
+}
+
+fn rand_spd(n: usize, seed: u64) -> Mat<f64> {
+    let mut a = rand_mat(n, n, seed);
+    let at = a.transpose();
+    a.axpy(1.0, &at);
+    for i in 0..n {
+        a[(i, i)] += 2.0 * n as f64;
+    }
+    a
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense");
+    g.sample_size(10);
+    for &n in &[128usize, 256] {
+        let a = rand_mat(n, n, 1);
+        let b = rand_mat(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("gemm", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut cm = Mat::<f64>::zeros(n, n);
+                gemm(
+                    1.0,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    Op::NoTrans,
+                    0.0,
+                    cm.as_mut(),
+                );
+                black_box(cm)
+            })
+        });
+        let spd = rand_spd(n, 3);
+        g.bench_with_input(BenchmarkId::new("ldlt", n), &n, |bench, _| {
+            bench.iter(|| black_box(ldlt_in_place(spd.clone()).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("lu", n), &n, |bench, _| {
+            bench.iter(|| black_box(lu_in_place(spd.clone()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn surface_points(n_side: usize) -> Vec<Point3> {
+    let mut pts = Vec::new();
+    for i in 0..n_side {
+        for j in 0..n_side {
+            let (x, y) = (i as f64 / n_side as f64, j as f64 / n_side as f64);
+            pts.push(Point3::new(x, y, 0.1 * (x + y)));
+        }
+    }
+    pts
+}
+
+fn bench_lowrank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lowrank");
+    g.sample_size(10);
+    let (m, n) = (256usize, 256usize);
+    let kernel = move |i: usize, j: usize| {
+        let x = i as f64 / m as f64;
+        let y = 2.0 + j as f64 / n as f64;
+        1.0 / (1.0 + (x - y).abs())
+    };
+    g.bench_function("aca_256x256", |bench| {
+        bench.iter(|| black_box(aca_plus(&kernel, m, n, 1e-6, 64).unwrap()))
+    });
+    let dense = Mat::from_fn(m, n, kernel);
+    g.bench_function("rrqr_compress_256x256", |bench| {
+        bench.iter(|| black_box(LowRank::from_dense(&dense, 1e-6 * dense.norm_fro(), 64)))
+    });
+    // Compressed AXPY (the paper's core recompression primitive).
+    let lr = LowRank::from_dense(&dense, 1e-8 * dense.norm_fro(), 128);
+    g.bench_function("compressed_axpy_256", |bench| {
+        bench.iter(|| black_box(lr.add_truncate(-1.0, &lr, 1e-6)))
+    });
+    g.finish();
+}
+
+fn bench_hmat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hmat");
+    g.sample_size(10);
+    let pts = surface_points(32); // 1024 points
+    let tree = ClusterTree::build(&pts, 48);
+    let perm = tree.perm.clone();
+    let p2 = pts.clone();
+    let nn = pts.len();
+    let oracle = move |i: usize, j: usize| {
+        let (pi, pj) = (perm[i], perm[j]);
+        if pi == pj {
+            nn as f64 * 0.05
+        } else {
+            1.0 / (4.0 * std::f64::consts::PI * (p2[pi].dist(&p2[pj]) + 0.05))
+        }
+    };
+    let opts = HOptions {
+        eps: 1e-5,
+        eta: 6.0,
+        ..Default::default()
+    };
+    g.bench_function("assemble_1024", |bench| {
+        bench.iter(|| black_box(HMatrix::assemble_root(&tree, &tree, &oracle, &opts)))
+    });
+    let h = HMatrix::assemble_root(&tree, &tree, &oracle, &opts);
+    g.bench_function("hlu_1024", |bench| {
+        bench.iter_batched(
+            || HMatrix::assemble_root(&tree, &tree, &oracle, &opts),
+            |h| black_box(HLu::factor(h, 1e-5).unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let x = vec![1.0f64; h.nrows()];
+    let mut y = vec![0.0f64; h.nrows()];
+    g.bench_function("matvec_1024", |bench| {
+        bench.iter(|| {
+            h.matvec(1.0, &x, 0.0, &mut y);
+            black_box(y[0])
+        })
+    });
+    g.finish();
+}
+
+fn grid3d(nx: usize, ny: usize, nz: usize) -> csolve_sparse::Csc<f64> {
+    let id = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    let n = nx * ny * nz;
+    let mut coo = Coo::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let u = id(i, j, k);
+                coo.push(u, u, 7.0);
+                let mut nb = |v: usize| coo.push(u, v, -1.0);
+                if i > 0 {
+                    nb(id(i - 1, j, k));
+                }
+                if i + 1 < nx {
+                    nb(id(i + 1, j, k));
+                }
+                if j > 0 {
+                    nb(id(i, j - 1, k));
+                }
+                if j + 1 < ny {
+                    nb(id(i, j + 1, k));
+                }
+                if k > 0 {
+                    nb(id(i, j, k - 1));
+                }
+                if k + 1 < nz {
+                    nb(id(i, j, k + 1));
+                }
+            }
+        }
+    }
+    coo.to_csc()
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse");
+    g.sample_size(10);
+    let a = grid3d(16, 16, 16); // 4096 unknowns
+    g.bench_function("multifrontal_ldlt_4096", |bench| {
+        bench.iter(|| black_box(factorize(&a, &SparseOptions::default()).unwrap()))
+    });
+    g.bench_function("multifrontal_ldlt_blr_4096", |bench| {
+        let opts = SparseOptions {
+            blr_eps: Some(1e-6),
+            ..Default::default()
+        };
+        bench.iter(|| black_box(factorize(&a, &opts).unwrap()))
+    });
+    let f = factorize(&a, &SparseOptions::default()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let b = Mat::<f64>::random(a.nrows, 32, &mut rng);
+    g.bench_function("solve_32rhs_4096", |bench| {
+        bench.iter_batched(
+            || b.clone(),
+            |mut x| {
+                f.solve_in_place(&mut x).unwrap();
+                black_box(x)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    // The factorization+Schur building block (advanced usage).
+    let schur_vars: Vec<usize> = (a.nrows - 64..a.nrows).collect();
+    g.bench_function("factorization_plus_schur_64", |bench| {
+        bench.iter(|| {
+            black_box(factorize_schur(&a, &schur_vars, &SparseOptions::default()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dense, bench_lowrank, bench_hmat, bench_sparse);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Utility: measure the unbounded memory peak and wall time of every
+//! method/backend series at a few sizes, to pick the budget for the
+//! capacity experiments on a new machine.
+
+use csolve_bench::{attempt, fig10_variants};
+use csolve_coupled::SolverConfig;
+use csolve_fembem::pipe_problem;
+fn main() {
+    for n in [16_000usize, 32_000, 64_000] {
+        let p = pipe_problem::<f64>(n);
+        println!("N={n} (bem {})", p.n_bem());
+        for v in fig10_variants() {
+            let cfg = SolverConfig { eps: 1e-4, dense_backend: v.backend, n_b: 4, ..Default::default() };
+            match attempt(&p, v.algo, &cfg) {
+                csolve_bench::Attempt::Ok(r) => println!("  {:<26} {:>7.1}s peak {:>8.1} MiB schur {:>7.1} MiB", v.label, r.seconds, r.peak_mib, r.schur_mib),
+                other => println!("  {:<26} {}", v.label, other.cell()),
+            }
+        }
+    }
+}

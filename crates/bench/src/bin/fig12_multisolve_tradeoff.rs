@@ -1,0 +1,90 @@
+//! Figure 12 — multi-solve performance/memory trade-off in `n_c` and `n_S`.
+//!
+//! Paper setting: N = 2 M fixed; baseline multi-solve (MUMPS/SPIDO) sweeps
+//! the sparse-solve panel width `n_c` ∈ {32…256}; compressed multi-solve
+//! (MUMPS/HMAT) first sets `n_S = n_c`, then fixes `n_c = 256` and sweeps
+//! `n_S` ∈ {512…4096}. Expected shape:
+//!
+//! * raising `n_c` improves time up to ~256, then saturates, while the
+//!   dense `Y` panel grows the memory footprint;
+//! * a too small `n_S` causes recompression overhead (time up);
+//! * the compressed variant uses significantly less Schur memory.
+//!
+//! CLI: `--n 12000 --eps 1e-4`
+
+use csolve_bench::{attempt, header, Args};
+use csolve_coupled::{Algorithm, DenseBackend, SolverConfig};
+use csolve_fembem::pipe_problem;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("--n", 12_000);
+    let eps = args.get_f64("--eps", 1e-4);
+
+    header(
+        "Figure 12 — multi-solve trade-off (n_c, n_S)",
+        "Agullo, Felšöci, Sylvand (IPDPS 2022), Fig. 12 (paper: N = 2 000 000)",
+    );
+    let problem = pipe_problem::<f64>(n);
+    println!(
+        "\nscaled N = {} (n_BEM = {}), eps = {eps:.0e}\n",
+        problem.n_total(),
+        problem.n_bem()
+    );
+
+    println!("baseline multi-solve (MUMPS/SPIDO), varying n_c:");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "n_c", "time (s)", "peak (MiB)", "Schur (MiB)", "rel. error"
+    );
+    for n_c in [32usize, 64, 128, 256, 512] {
+        let cfg = SolverConfig {
+            eps,
+            dense_backend: DenseBackend::Spido,
+            n_c,
+            ..Default::default()
+        };
+        match attempt(&problem, Algorithm::MultiSolve, &cfg) {
+            csolve_bench::Attempt::Ok(r) => println!(
+                "{n_c:>8} {:>10.2} {:>12.1} {:>12.1} {:>12.3e}",
+                r.seconds, r.peak_mib, r.schur_mib, r.rel_error
+            ),
+            other => println!("{n_c:>8} {:>10}", other.cell()),
+        }
+    }
+
+    println!("\ncompressed multi-solve (MUMPS/HMAT), n_S = n_c (small panels stress recompression):");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "n_c", "n_S", "time (s)", "peak (MiB)", "Schur (MiB)", "rel. error"
+    );
+    for w in [32usize, 64, 128, 256] {
+        run_hmat(&problem, eps, w, w);
+    }
+
+    println!("\ncompressed multi-solve (MUMPS/HMAT), n_c = 256 fixed, varying n_S:");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "n_c", "n_S", "time (s)", "peak (MiB)", "Schur (MiB)", "rel. error"
+    );
+    for n_s in [512usize, 1024, 2048, 4096] {
+        run_hmat(&problem, eps, 256, n_s);
+    }
+}
+
+fn run_hmat(problem: &csolve_fembem::CoupledProblem<f64>, eps: f64, n_c: usize, n_s: usize) {
+    let cfg = SolverConfig {
+        eps,
+        dense_backend: DenseBackend::Hmat,
+        n_c,
+        n_s,
+        ..Default::default()
+    };
+    match attempt(problem, Algorithm::MultiSolve, &cfg) {
+        csolve_bench::Attempt::Ok(r) => println!(
+            "{n_c:>8} {n_s:>8} {:>10.2} {:>12.1} {:>12.1} {:>12.3e}",
+            r.seconds, r.peak_mib, r.schur_mib, r.rel_error
+        ),
+        other => println!("{n_c:>8} {n_s:>8} {:>10}", other.cell()),
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 13 — multi-factorization performance/memory trade-off in `n_b`.
+//!
+//! Paper setting: N = 1 M fixed, `n_b` ∈ {1…4}, both solver couplings.
+//! Expected shape: more Schur blocks ⇒ more superfluous re-factorizations of
+//! `A_vv` ⇒ time grows roughly with `n_b²`, while the per-block dense Schur
+//! output shrinks ⇒ memory falls. Compressing `S`/`A_ss` (HMAT) trims
+//! memory further, though less dramatically than for multi-solve.
+//!
+//! CLI: `--n 8000 --eps 1e-4`
+
+use csolve_bench::{attempt, header, Args};
+use csolve_coupled::{Algorithm, DenseBackend, SolverConfig};
+use csolve_fembem::pipe_problem;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("--n", 8_000);
+    let eps = args.get_f64("--eps", 1e-4);
+
+    header(
+        "Figure 13 — multi-factorization trade-off (n_b)",
+        "Agullo, Felšöci, Sylvand (IPDPS 2022), Fig. 13 (paper: N = 1 000 000)",
+    );
+    let problem = pipe_problem::<f64>(n);
+    println!(
+        "\nscaled N = {} (n_BEM = {}), eps = {eps:.0e}\n",
+        problem.n_total(),
+        problem.n_bem()
+    );
+
+    for (backend, name) in [
+        (DenseBackend::Spido, "baseline multi-facto (MUMPS/SPIDO)"),
+        (DenseBackend::Hmat, "compressed multi-facto (MUMPS/HMAT)"),
+    ] {
+        println!("{name}:");
+        println!(
+            "{:>6} {:>10} {:>12} {:>12} {:>16} {:>12}",
+            "n_b", "time (s)", "peak (MiB)", "Schur (MiB)", "factorizations", "rel. error"
+        );
+        for n_b in [1usize, 2, 3, 4] {
+            let cfg = SolverConfig {
+                eps,
+                dense_backend: backend,
+                n_b,
+                ..Default::default()
+            };
+            match attempt(&problem, Algorithm::MultiFactorization, &cfg) {
+                csolve_bench::Attempt::Ok(r) => println!(
+                    "{n_b:>6} {:>10.2} {:>12.1} {:>12.1} {:>16} {:>12.3e}",
+                    r.seconds,
+                    r.peak_mib,
+                    r.schur_mib,
+                    n_b * n_b + 1, // n_b² Schur calls + final solve factorization
+                    r.rel_error
+                ),
+                other => println!("{n_b:>6} {:>10}", other.cell()),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Every binary prints a self-contained report with the paper's reference
+//! values next to the measured ones. Absolute numbers differ (the paper ran
+//! on a 24-core, 128 GiB node; this harness runs wherever you are), so the
+//! comparisons of interest are the *shapes*: which method wins, where the
+//! crossovers sit, and which methods hit the memory wall first.
+
+use csolve_common::Scalar;
+use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
+use csolve_fembem::CoupledProblem;
+
+/// Result of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub seconds: f64,
+    pub peak_mib: f64,
+    pub schur_mib: f64,
+    pub rel_error: f64,
+}
+
+/// Outcome of a run attempt: success, out-of-memory, or another failure.
+#[derive(Debug, Clone)]
+pub enum Attempt {
+    Ok(RunResult),
+    Oom,
+    Failed(String),
+}
+
+impl Attempt {
+    pub fn ok(&self) -> Option<&RunResult> {
+        match self {
+            Attempt::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Render as a fixed-width cell: `time s / peak MiB` or `OOM`.
+    pub fn cell(&self) -> String {
+        match self {
+            Attempt::Ok(r) => format!("{:>7.2}s {:>7.1}M", r.seconds, r.peak_mib),
+            Attempt::Oom => format!("{:>16}", "OOM"),
+            Attempt::Failed(e) => format!("{:>16}", truncate(e, 16)),
+        }
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+/// Run one algorithm/config against a problem and classify the outcome.
+pub fn attempt<T: Scalar>(
+    problem: &CoupledProblem<T>,
+    algo: Algorithm,
+    cfg: &SolverConfig,
+) -> Attempt {
+    match solve(problem, algo, cfg) {
+        Ok(out) => Attempt::Ok(RunResult {
+            seconds: out.metrics.total_seconds,
+            peak_mib: out.metrics.peak_bytes as f64 / (1024.0 * 1024.0),
+            schur_mib: out.metrics.schur_bytes as f64 / (1024.0 * 1024.0),
+            rel_error: problem.relative_error(&out.xv, &out.xs),
+        }),
+        Err(e) if e.is_oom() => Attempt::Oom,
+        Err(e) => Attempt::Failed(e.to_string()),
+    }
+}
+
+/// A labelled solver variant (the rows/series of the paper's plots).
+pub struct Variant {
+    pub label: &'static str,
+    pub algo: Algorithm,
+    pub backend: DenseBackend,
+    pub sparse_compression: bool,
+}
+
+/// The four method/backend series of Fig. 10.
+pub fn fig10_variants() -> Vec<Variant> {
+    vec![
+        Variant {
+            label: "multi-solve MUMPS/SPIDO",
+            algo: Algorithm::MultiSolve,
+            backend: DenseBackend::Spido,
+            sparse_compression: true,
+        },
+        Variant {
+            label: "multi-solve MUMPS/HMAT",
+            algo: Algorithm::MultiSolve,
+            backend: DenseBackend::Hmat,
+            sparse_compression: true,
+        },
+        Variant {
+            label: "multi-facto MUMPS/SPIDO",
+            algo: Algorithm::MultiFactorization,
+            backend: DenseBackend::Spido,
+            sparse_compression: true,
+        },
+        Variant {
+            label: "multi-facto MUMPS/HMAT",
+            algo: Algorithm::MultiFactorization,
+            backend: DenseBackend::Hmat,
+            sparse_compression: true,
+        },
+        Variant {
+            label: "advanced coupling",
+            algo: Algorithm::AdvancedCoupling,
+            backend: DenseBackend::Spido,
+            sparse_compression: true,
+        },
+        Variant {
+            label: "baseline coupling",
+            algo: Algorithm::BaselineCoupling,
+            backend: DenseBackend::Spido,
+            sparse_compression: true,
+        },
+    ]
+}
+
+/// Parse `--key value` style CLI arguments with defaults.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    pub fn parse() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    pub fn has(&self, key: &str) -> bool {
+        self.raw.iter().any(|a| a == key)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
+    }
+}
+
+pub fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Standard report header.
+pub fn header(title: &str, paper_ref: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("reproduces: {paper_ref}");
+    println!("{}", "=".repeat(78));
+}

@@ -1,0 +1,137 @@
+//! Wall-clock phase accounting for the experiment harness.
+//!
+//! The paper reports per-phase breakdowns (sparse factorization, sparse
+//! solve, Schur assembly, dense factorization, ...). [`PhaseTimer`]
+//! accumulates named durations; [`Stopwatch`] is a tiny scoped timer.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Simple restartable stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    pub fn restart(&mut self) -> Duration {
+        let e = self.start.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+/// Accumulates wall-clock time per named phase. Thread-safe so parallel
+/// sections can report into the same timer.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    phases: Mutex<Vec<(String, Duration)>>,
+}
+
+impl PhaseTimer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `d` to phase `name`, creating it on first use. Insertion order of
+    /// first use is preserved in [`PhaseTimer::phases`].
+    pub fn add(&self, name: &str, d: Duration) {
+        let mut phases = self.phases.lock();
+        if let Some(entry) = phases.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += d;
+        } else {
+            phases.push((name.to_string(), d));
+        }
+    }
+
+    /// Time a closure and account it under `name`.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let sw = Stopwatch::start();
+        let out = f();
+        self.add(name, sw.elapsed());
+        out
+    }
+
+    /// Snapshot of (phase, duration) pairs in first-use order.
+    pub fn phases(&self) -> Vec<(String, Duration)> {
+        self.phases.lock().clone()
+    }
+
+    /// Total accumulated time across phases.
+    pub fn total(&self) -> Duration {
+        self.phases.lock().iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Duration of one phase, zero if absent.
+    pub fn get(&self, name: &str) -> Duration {
+        self.phases
+            .lock()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Render a compact one-line summary like
+    /// `analyze 0.12s | factor 1.40s | solve 0.30s`.
+    pub fn summary(&self) -> String {
+        self.phases()
+            .iter()
+            .map(|(n, d)| format!("{n} {:.2}s", d.as_secs_f64()))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_phases_in_order() {
+        let t = PhaseTimer::new();
+        t.add("factor", Duration::from_millis(100));
+        t.add("solve", Duration::from_millis(50));
+        t.add("factor", Duration::from_millis(25));
+        let phases = t.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, "factor");
+        assert_eq!(phases[0].1, Duration::from_millis(125));
+        assert_eq!(t.get("solve"), Duration::from_millis(50));
+        assert_eq!(t.get("missing"), Duration::ZERO);
+        assert_eq!(t.total(), Duration::from_millis(175));
+        assert!(t.summary().starts_with("factor"));
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let t = PhaseTimer::new();
+        let v = t.time("work", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(t.phases().len(), 1);
+    }
+
+    #[test]
+    fn stopwatch_restart() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        let first = sw.restart();
+        assert!(first >= Duration::from_millis(4));
+        assert!(sw.elapsed() < first + Duration::from_millis(100));
+    }
+}

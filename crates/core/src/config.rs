@@ -1,0 +1,183 @@
+//! Solver selection, tuning parameters and per-run metrics.
+
+use csolve_sparse::OrderingKind;
+
+/// Which of the paper's algorithms computes the Schur complement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// §II-E: single sparse solve against all of `A_vs` (dense `Y`), SpMM.
+    BaselineCoupling,
+    /// §II-F: single factorization+Schur call on the full coupled matrix.
+    AdvancedCoupling,
+    /// §IV-A: blockwise sparse solves over `n_c`-column panels
+    /// (+ compressed Schur with the H-matrix backend, Algorithm 2).
+    MultiSolve,
+    /// §IV-B: `n_b × n_b` factorization+Schur calls on stacked submatrices
+    /// (+ compressed Schur with the H-matrix backend).
+    MultiFactorization,
+}
+
+impl Algorithm {
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::BaselineCoupling,
+        Algorithm::AdvancedCoupling,
+        Algorithm::MultiSolve,
+        Algorithm::MultiFactorization,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::BaselineCoupling => "baseline-coupling",
+            Algorithm::AdvancedCoupling => "advanced-coupling",
+            Algorithm::MultiSolve => "multi-solve",
+            Algorithm::MultiFactorization => "multi-factorization",
+        }
+    }
+}
+
+/// Dense solver used for `A_ss` / `S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenseBackend {
+    /// Plain blocked dense factorization (the proprietary SPIDO solver of
+    /// the paper): `S` stored and factored dense.
+    Spido,
+    /// Hierarchical low-rank solver (the paper's HMAT): `S` and `A_ss` kept
+    /// compressed, Schur blocks folded in through compressed AXPYs.
+    Hmat,
+}
+
+impl DenseBackend {
+    pub fn name(&self) -> &'static str {
+        match self {
+            DenseBackend::Spido => "SPIDO",
+            DenseBackend::Hmat => "HMAT",
+        }
+    }
+}
+
+/// Full solver configuration (paper parameters `ε`, `n_c`, `n_S`, `n_b`).
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Low-rank precision ε (paper: 10⁻³ academic, 10⁻⁴ industrial).
+    pub eps: f64,
+    pub dense_backend: DenseBackend,
+    /// Enable BLR compression inside the sparse solver (paper: MUMPS
+    /// low-rank, on for every experiment except the reference rows of
+    /// Table II).
+    pub sparse_compression: bool,
+    /// Multi-solve: columns per sparse-solve panel (`n_c`, paper: 32–256).
+    pub n_c: usize,
+    /// Compressed multi-solve: columns per Schur panel (`n_S ≥ n_c`,
+    /// paper: 512–4096).
+    pub n_s: usize,
+    /// Multi-factorization: Schur blocks per row/column (`n_b`, paper:
+    /// 1–10).
+    pub n_b: usize,
+    /// Fill-reducing ordering of the sparse solver.
+    pub ordering: OrderingKind,
+    /// Hard budget in bytes for all tracked allocations (`None`: unlimited).
+    pub mem_budget: Option<usize>,
+    /// H-matrix leaf size.
+    pub hmat_leaf: usize,
+    /// H-matrix admissibility parameter η.
+    pub hmat_eta: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            eps: 1e-3,
+            dense_backend: DenseBackend::Hmat,
+            sparse_compression: true,
+            n_c: 256,
+            n_s: 1024,
+            n_b: 2,
+            ordering: OrderingKind::NestedDissection,
+            mem_budget: None,
+            hmat_leaf: 64,
+            hmat_eta: 6.0,
+        }
+    }
+}
+
+/// Wall-clock and memory metrics of one solve.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// (phase name, seconds) in execution order.
+    pub phases: Vec<(String, f64)>,
+    pub total_seconds: f64,
+    /// Peak tracked bytes over the whole solve.
+    pub peak_bytes: usize,
+    /// Bytes held by the (possibly compressed) Schur complement right
+    /// before its factorization.
+    pub schur_bytes: usize,
+    pub n_total: usize,
+    pub n_bem: usize,
+    pub n_fem: usize,
+}
+
+impl Metrics {
+    pub fn phase_seconds(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .sum()
+    }
+
+    /// Compact single-line report.
+    pub fn summary(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|(n, s)| format!("{n} {s:.2}s"))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        format!(
+            "N={} (fem {}, bem {}): total {:.2}s, peak {:.1} MiB, Schur {:.1} MiB [{phases}]",
+            self.n_total,
+            self.n_fem,
+            self.n_bem,
+            self.total_seconds,
+            self.peak_bytes as f64 / (1024.0 * 1024.0),
+            self.schur_bytes as f64 / (1024.0 * 1024.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = SolverConfig::default();
+        assert_eq!(c.eps, 1e-3);
+        assert_eq!(c.n_c, 256);
+        assert!(c.n_s >= 512);
+        assert!(c.sparse_compression);
+    }
+
+    #[test]
+    fn metrics_helpers() {
+        let m = Metrics {
+            phases: vec![("a".into(), 1.0), ("b".into(), 2.0), ("a".into(), 0.5)],
+            total_seconds: 3.5,
+            peak_bytes: 1 << 20,
+            schur_bytes: 1 << 19,
+            n_total: 100,
+            n_bem: 20,
+            n_fem: 80,
+        };
+        assert_eq!(m.phase_seconds("a"), 1.5);
+        assert_eq!(m.phase_seconds("missing"), 0.0);
+        assert!(m.summary().contains("N=100"));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Algorithm::MultiSolve.name(), "multi-solve");
+        assert_eq!(DenseBackend::Hmat.name(), "HMAT");
+        assert_eq!(Algorithm::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,420 @@
+//! The solution driver: workspace setup (surface cluster ordering) and the
+//! four Schur-complement strategies of the paper.
+
+use std::sync::Arc;
+
+use csolve_common::{ByteSized, MemTracker, PhaseTimer, Result, Scalar, Stopwatch};
+use csolve_dense::{Mat, MatRef};
+use csolve_fembem::{BemOperator, CoupledProblem};
+use csolve_hmat::ClusterTree;
+use csolve_sparse::{
+    factorize, factorize_schur, Coo, Csc, SparseFactorization, SparseOptions, Symmetry,
+};
+
+use crate::config::{Algorithm, DenseBackend, Metrics, SolverConfig};
+use crate::schur::{SchurAcc, SchurFactor};
+
+/// Result of a coupled solve.
+#[derive(Debug)]
+pub struct Outcome<T> {
+    /// Volume solution (original ordering).
+    pub xv: Vec<T>,
+    /// Surface solution (original ordering).
+    pub xs: Vec<T>,
+    pub metrics: Metrics,
+}
+
+/// Working copy of the problem with the surface unknowns in cluster order.
+struct Ws<'a, T: Scalar> {
+    a_vv: &'a Csc<T>,
+    a_sv: Csc<T>,
+    a_vs: Csc<T>,
+    bem: BemOperator<T>,
+    b_v: &'a [T],
+    b_s: Vec<T>,
+    tree: ClusterTree,
+    symmetric: bool,
+}
+
+impl<T: Scalar> Ws<'_, T> {
+    fn nv(&self) -> usize {
+        self.a_vv.nrows
+    }
+
+    fn ns(&self) -> usize {
+        self.bem.n()
+    }
+
+    fn sparse_opts(&self, cfg: &SolverConfig, tracker: &Arc<MemTracker>) -> SparseOptions {
+        SparseOptions {
+            ordering: cfg.ordering,
+            symmetry: if self.symmetric {
+                Symmetry::SymmetricLdlt
+            } else {
+                Symmetry::UnsymmetricLu
+            },
+            blr_eps: cfg.sparse_compression.then_some(cfg.eps),
+            tracker: Some(Arc::clone(tracker)),
+        }
+    }
+}
+
+/// Solve the coupled system with the chosen algorithm and configuration.
+pub fn solve<T: Scalar>(
+    problem: &CoupledProblem<T>,
+    algo: Algorithm,
+    cfg: &SolverConfig,
+) -> Result<Outcome<T>> {
+    let tracker = match cfg.mem_budget {
+        Some(b) => MemTracker::with_budget(b),
+        None => MemTracker::unbounded(),
+    };
+    let timer = PhaseTimer::new();
+    let sw = Stopwatch::start();
+
+    // Surface unknowns go to cluster order once; every blockwise Schur range
+    // is then contiguous for both dense and H-matrix backends.
+    let tree = ClusterTree::build(&problem.bem.points, cfg.hmat_leaf);
+    let perm = tree.perm.clone();
+    let all_v: Vec<usize> = (0..problem.n_fem()).collect();
+    let ws = Ws {
+        a_vv: &problem.a_vv,
+        a_sv: problem.a_sv.submatrix(&perm, &all_v),
+        a_vs: problem.a_vs.submatrix(&all_v, &perm),
+        bem: problem.bem.permuted(&perm),
+        b_v: &problem.b_v,
+        b_s: perm.iter().map(|&o| problem.b_s[o]).collect(),
+        tree,
+        symmetric: problem.symmetric,
+    };
+
+    let (xv, xs_p, schur_bytes) = match algo {
+        Algorithm::BaselineCoupling => baseline_coupling(&ws, cfg, &tracker, &timer)?,
+        Algorithm::AdvancedCoupling => advanced_coupling(&ws, cfg, &tracker, &timer)?,
+        Algorithm::MultiSolve => multi_solve(&ws, cfg, &tracker, &timer)?,
+        Algorithm::MultiFactorization => multi_factorization(&ws, cfg, &tracker, &timer)?,
+    };
+
+    let xs = ws.tree.to_original_order(&xs_p);
+    let metrics = Metrics {
+        phases: timer
+            .phases()
+            .into_iter()
+            .map(|(n, d)| (n, d.as_secs_f64()))
+            .collect(),
+        total_seconds: sw.elapsed_secs(),
+        peak_bytes: tracker.peak(),
+        schur_bytes,
+        n_total: problem.n_total(),
+        n_bem: problem.n_bem(),
+        n_fem: problem.n_fem(),
+    };
+    Ok(Outcome { xv, xs, metrics })
+}
+
+/// Shared epilogue: with `A_vv` factored and `S` factored, compute both
+/// solution parts (paper equations (7)).
+fn finish_solution<T: Scalar>(
+    ws: &Ws<'_, T>,
+    fact: &SparseFactorization<T>,
+    sf: &SchurFactor<T>,
+    timer: &PhaseTimer,
+) -> Result<(Vec<T>, Vec<T>)> {
+    let nv = ws.nv();
+    let ns = ws.ns();
+    // t = A_vv⁻¹ b_v
+    let mut t = Mat::from_col_major(nv, 1, ws.b_v.to_vec());
+    timer.time("sparse solve (rhs)", || fact.solve_in_place(&mut t))?;
+    // rhs_s = b_s − A_sv t
+    let mut rhs_s = ws.b_s.clone();
+    ws.a_sv.matvec(-T::ONE, t.col(0), T::ONE, &mut rhs_s);
+    // x_s = S⁻¹ rhs_s
+    let mut xs = Mat::from_col_major(ns, 1, rhs_s);
+    timer.time("dense solve", || sf.solve_in_place(xs.as_mut()));
+    // x_v = A_vv⁻¹ (b_v − A_vs x_s)
+    let mut bv2 = Mat::from_col_major(nv, 1, ws.b_v.to_vec());
+    {
+        let x = xs.col(0).to_vec();
+        let mut tmp = bv2.col_mut(0).to_vec();
+        ws.a_vs.matvec(-T::ONE, &x, T::ONE, &mut tmp);
+        bv2.col_mut(0).copy_from_slice(&tmp);
+    }
+    timer.time("sparse solve (back)", || fact.solve_in_place(&mut bv2))?;
+    Ok((bv2.col(0).to_vec(), xs.col(0).to_vec()))
+}
+
+/// §II-E — one sparse solve against all of `A_vs` at once. The dense result
+/// `Y` (`n_v × n_s`) is the memory bottleneck the paper quantifies at
+/// 2.6 TiB for the industrial case.
+fn baseline_coupling<T: Scalar>(
+    ws: &Ws<'_, T>,
+    cfg: &SolverConfig,
+    tracker: &Arc<MemTracker>,
+    timer: &PhaseTimer,
+) -> Result<(Vec<T>, Vec<T>, usize)> {
+    let (nv, ns) = (ws.nv(), ws.ns());
+    let fact = timer.time("sparse factorization", || {
+        factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
+    })?;
+    // The solver works on a permuted copy internally: 2× the dense result.
+    let mut y_charge = tracker.charge(
+        2 * nv * ns * std::mem::size_of::<T>(),
+        "dense Y = A_vv^-1 A_vs",
+    )?;
+    let y = timer.time("sparse solve (Y)", || fact.solve_sparse_rhs(&ws.a_vs))?;
+    y_charge.resize(y.byte_size(), "dense Y = A_vv^-1 A_vs")?;
+
+    let mut schur = timer.time("Schur init (A_ss)", || {
+        SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+    })?;
+    // Z = A_sv·Y, subtracted panel-wise to bound the SpMM temporary.
+    let zw = cfg.n_c.max(64).min(ns.max(1));
+    let mut c0 = 0;
+    while c0 < ns {
+        let c1 = (c0 + zw).min(ns);
+        let _z_charge = tracker.charge(ns * (c1 - c0) * std::mem::size_of::<T>(), "SpMM panel")?;
+        let mut z = Mat::<T>::zeros(ns, c1 - c0);
+        timer.time("SpMM", || {
+            ws.a_sv
+                .mul_dense(T::ONE, y.view(0..nv, c0..c1), T::ZERO, z.as_mut())
+        });
+        timer.time("Schur assembly", || {
+            schur.axpy_block(-T::ONE, 0, c0, z.as_ref(), cfg.eps)
+        })?;
+        c0 = c1;
+    }
+    drop(y);
+    drop(y_charge);
+    let schur_bytes = schur.bytes();
+    let sf = timer.time("dense factorization", || {
+        schur.factor(ws.symmetric, cfg.eps)
+    })?;
+    let (xv, xs) = finish_solution(ws, &fact, &sf, timer)?;
+    Ok((xv, xs, schur_bytes))
+}
+
+/// §II-F — a single factorization+Schur call on the stacked coupled matrix;
+/// the full Schur complement is returned as one dense `n_s × n_s` matrix.
+fn advanced_coupling<T: Scalar>(
+    ws: &Ws<'_, T>,
+    cfg: &SolverConfig,
+    tracker: &Arc<MemTracker>,
+    timer: &PhaseTimer,
+) -> Result<(Vec<T>, Vec<T>, usize)> {
+    let (nv, ns) = (ws.nv(), ws.ns());
+    let n = nv + ns;
+    // W = [A_vv A_vs; A_sv 0]
+    let w = timer.time("assemble W", || {
+        let mut coo = Coo::with_capacity(n, n, ws.a_vv.nnz() + ws.a_vs.nnz() + ws.a_sv.nnz());
+        push_csc(&mut coo, ws.a_vv, 0, 0);
+        push_csc(&mut coo, &ws.a_vs, 0, nv);
+        push_csc(&mut coo, &ws.a_sv, nv, 0);
+        coo.to_csc()
+    });
+    let _w_charge = tracker.charge(w.byte_size(), "stacked W matrix")?;
+    let schur_vars: Vec<usize> = (nv..n).collect();
+    // The dense Schur output of the sparse solver (the API limitation).
+    let x_charge = tracker.charge(ns * ns * std::mem::size_of::<T>(), "dense Schur output")?;
+    let (fact_w, x) = timer.time("sparse factorization+Schur", || {
+        factorize_schur(&w, &schur_vars, &ws.sparse_opts(cfg, tracker))
+    })?;
+
+    // S = A_ss + X (X already carries the minus sign).
+    let mut schur = timer.time("Schur init (A_ss)", || {
+        SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+    })?;
+    timer.time("Schur assembly", || {
+        schur.axpy_block(T::ONE, 0, 0, x.as_ref(), cfg.eps)
+    })?;
+    drop(x);
+    drop(x_charge);
+    let schur_bytes = schur.bytes();
+    let sf = timer.time("dense factorization", || {
+        schur.factor(ws.symmetric, cfg.eps)
+    })?;
+
+    // One condensation solve through the partial factorization.
+    let mut b = Mat::<T>::zeros(n, 1);
+    b.col_mut(0)[..nv].copy_from_slice(ws.b_v);
+    b.col_mut(0)[nv..].copy_from_slice(&ws.b_s);
+    timer.time("coupled solve", || {
+        fact_w.condense_and_solve(&mut b, |xs_block| {
+            sf.solve_in_place(xs_block);
+            Ok(())
+        })
+    })?;
+    let xv = b.col(0)[..nv].to_vec();
+    let xs = b.col(0)[nv..].to_vec();
+    Ok((xv, xs, schur_bytes))
+}
+
+/// §IV-A — multi-solve: factor `A_vv` once, then assemble `S` by panels of
+/// `n_c` columns through repeated sparse solves (Algorithm 1; with the HMAT
+/// backend and `n_S`-wide Schur panels this is the compressed-Schur
+/// Algorithm 2).
+fn multi_solve<T: Scalar>(
+    ws: &Ws<'_, T>,
+    cfg: &SolverConfig,
+    tracker: &Arc<MemTracker>,
+    timer: &PhaseTimer,
+) -> Result<(Vec<T>, Vec<T>, usize)> {
+    let (nv, ns) = (ws.nv(), ws.ns());
+    let fact = timer.time("sparse factorization", || {
+        factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
+    })?;
+    let mut schur = timer.time("Schur init (A_ss)", || {
+        SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+    })?;
+
+    let n_c = cfg.n_c.max(1);
+    // SPIDO subtracts every n_c panel straight into dense S; HMAT buffers
+    // n_S columns per compressed AXPY (the separate n_S ≥ n_c parameter of
+    // Algorithm 2).
+    let n_s = match cfg.dense_backend {
+        DenseBackend::Spido => n_c,
+        DenseBackend::Hmat => cfg.n_s.max(n_c),
+    };
+    let all_v: Vec<usize> = (0..nv).collect();
+
+    let mut p0 = 0;
+    while p0 < ns {
+        let p1 = (p0 + n_s).min(ns);
+        let _zp_charge =
+            tracker.charge(ns * (p1 - p0) * std::mem::size_of::<T>(), "Schur panel Z")?;
+        let mut zpanel = Mat::<T>::zeros(ns, p1 - p0);
+        let mut c0 = p0;
+        while c0 < p1 {
+            let c1 = (c0 + n_c).min(p1);
+            let w = c1 - c0;
+            // Columns c0..c1 of A_vs as a sparse RHS.
+            let cols: Vec<usize> = (c0..c1).collect();
+            let rhs = ws.a_vs.submatrix(&all_v, &cols);
+            let mut y_charge =
+                tracker.charge(2 * nv * w * std::mem::size_of::<T>(), "dense Y panel")?;
+            let y = timer.time("sparse solve (Y)", || fact.solve_sparse_rhs(&rhs))?;
+            y_charge.resize(y.byte_size(), "dense Y panel")?;
+            timer.time("SpMM", || {
+                ws.a_sv.mul_dense(
+                    T::ONE,
+                    y.as_ref(),
+                    T::ZERO,
+                    zpanel.view_mut(0..ns, (c0 - p0)..(c1 - p0)),
+                )
+            });
+            c0 = c1;
+        }
+        timer.time("Schur assembly", || {
+            schur.axpy_block(-T::ONE, 0, p0, zpanel.as_ref(), cfg.eps)
+        })?;
+        p0 = p1;
+    }
+
+    let schur_bytes = schur.bytes();
+    let sf = timer.time("dense factorization", || {
+        schur.factor(ws.symmetric, cfg.eps)
+    })?;
+    let (xv, xs) = finish_solution(ws, &fact, &sf, timer)?;
+    Ok((xv, xs, schur_bytes))
+}
+
+/// §IV-B — multi-factorization: `n_b × n_b` factorization+Schur calls on
+/// stacked `W = [A_vv A_vs|_j ; A_sv|_i 0]` submatrices (Algorithm 3; the
+/// HMAT backend compresses each returned block immediately — the
+/// compressed-Schur variant).
+///
+/// `W` is unsymmetric (paper: "except when i = j"), so the unsymmetric
+/// solver mode is used throughout, with its duplicated storage — the very
+/// overhead the paper identifies as multi-factorization's memory weakness.
+fn multi_factorization<T: Scalar>(
+    ws: &Ws<'_, T>,
+    cfg: &SolverConfig,
+    tracker: &Arc<MemTracker>,
+    timer: &PhaseTimer,
+) -> Result<(Vec<T>, Vec<T>, usize)> {
+    let (nv, ns) = (ws.nv(), ws.ns());
+    let mut schur = timer.time("Schur init (A_ss)", || {
+        SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+    })?;
+
+    let n_b = cfg.n_b.clamp(1, ns.max(1));
+    let blk = ns.div_ceil(n_b);
+    let ranges: Vec<std::ops::Range<usize>> = (0..n_b)
+        .map(|b| (b * blk)..((b + 1) * blk).min(ns))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let all_v: Vec<usize> = (0..nv).collect();
+
+    let w_opts = SparseOptions {
+        ordering: cfg.ordering,
+        symmetry: Symmetry::UnsymmetricLu,
+        blr_eps: cfg.sparse_compression.then_some(cfg.eps),
+        tracker: Some(Arc::clone(tracker)),
+    };
+
+    for ri in &ranges {
+        let rows: Vec<usize> = ri.clone().collect();
+        let a_sv_i = ws.a_sv.submatrix(&rows, &all_v);
+        for rj in &ranges {
+            let cols: Vec<usize> = rj.clone().collect();
+            let a_vs_j = ws.a_vs.submatrix(&all_v, &cols);
+            let m = rows.len().max(cols.len());
+            // Stacked square W (padded when the edge blocks differ in size).
+            let w = timer.time("assemble W", || {
+                let mut coo =
+                    Coo::with_capacity(nv + m, nv + m, ws.a_vv.nnz() + a_sv_i.nnz() + a_vs_j.nnz());
+                push_csc(&mut coo, ws.a_vv, 0, 0);
+                push_csc(&mut coo, &a_vs_j, 0, nv);
+                push_csc(&mut coo, &a_sv_i, nv, 0);
+                coo.to_csc()
+            });
+            let _w_charge = tracker.charge(w.byte_size(), "stacked W matrix")?;
+            let schur_vars: Vec<usize> = (nv..nv + m).collect();
+            let x_charge =
+                tracker.charge(m * m * std::mem::size_of::<T>(), "dense Schur block X_ij")?;
+            // Each call re-factorizes A_vv — the superfluous work the method
+            // trades for memory (hence its name).
+            let (fact_w, x) = timer.time("sparse factorization+Schur", || {
+                factorize_schur(&w, &schur_vars, &w_opts)
+            })?;
+            drop(fact_w);
+            timer.time("Schur assembly", || {
+                schur.axpy_block(
+                    T::ONE,
+                    ri.start,
+                    rj.start,
+                    x.view(0..rows.len(), 0..cols.len()),
+                    cfg.eps,
+                )
+            })?;
+            drop(x);
+            drop(x_charge);
+        }
+    }
+
+    let schur_bytes = schur.bytes();
+    let sf = timer.time("dense factorization", || {
+        schur.factor(ws.symmetric, cfg.eps)
+    })?;
+    // A final plain factorization of A_vv for the solution phase (the W
+    // factorizations are not reusable through the solver API).
+    let fact = timer.time("sparse factorization", || {
+        factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
+    })?;
+    let (xv, xs) = finish_solution(ws, &fact, &sf, timer)?;
+    Ok((xv, xs, schur_bytes))
+}
+
+/// Append a CSC block into a COO builder at offset (r0, c0).
+fn push_csc<T: Scalar>(coo: &mut Coo<T>, a: &Csc<T>, r0: usize, c0: usize) {
+    for j in 0..a.ncols {
+        for p in a.colptr[j]..a.colptr[j + 1] {
+            coo.push(r0 + a.rowidx[p], c0 + j, a.values[p]);
+        }
+    }
+}
+
+/// Convenience: the view of a column range of a dense matrix.
+#[allow(dead_code)]
+fn cols_view<T: Scalar>(m: &Mat<T>, r: std::ops::Range<usize>) -> MatRef<'_, T> {
+    m.view(0..m.nrows(), r)
+}

@@ -1,0 +1,144 @@
+//! The Schur complement accumulator: a dense matrix (SPIDO backend) or an
+//! H-matrix (HMAT backend, the compressed-Schur variants of the paper).
+//!
+//! All storage is charged against the run's memory budget; the compressed
+//! AXPY (`axpy_block`) re-syncs the charge after each recompression, so an
+//! algorithm fails with a clean out-of-memory error at exactly the point
+//! where the corresponding real solver would die.
+
+use std::sync::Arc;
+
+use csolve_common::{ByteSized, MemCharge, MemTracker, RealScalar, Result, Scalar};
+use csolve_dense::{ldlt_in_place, lu_in_place, Mat, MatMut, MatRef};
+use csolve_fembem::BemOperator;
+use csolve_hmat::{ClusterTree, HLu, HMatrix, HOptions};
+
+use crate::config::{DenseBackend, SolverConfig};
+
+/// Accumulator for `S = A_ss − Σ (Schur contributions)`, initialized with
+/// `A_ss` itself.
+pub enum SchurAcc<T: Scalar> {
+    Dense { mat: Mat<T>, charge: MemCharge },
+    Hmat { h: HMatrix<T>, charge: MemCharge },
+}
+
+impl<T: Scalar> SchurAcc<T> {
+    /// Build the accumulator holding `A_ss` (surface unknowns already in
+    /// cluster order).
+    pub fn init(
+        bem: &BemOperator<T>,
+        tree: &ClusterTree,
+        cfg: &SolverConfig,
+        tracker: &Arc<MemTracker>,
+    ) -> Result<Self> {
+        let ns = bem.n();
+        match cfg.dense_backend {
+            DenseBackend::Spido => {
+                let bytes = ns * ns * std::mem::size_of::<T>();
+                let charge = tracker.charge(bytes, "dense Schur/A_ss")?;
+                // Block-wise assembly keeps cache behaviour sane.
+                let mut mat = Mat::<T>::zeros(ns, ns);
+                const BLK: usize = 512;
+                let mut c0 = 0;
+                while c0 < ns {
+                    let c1 = (c0 + BLK).min(ns);
+                    let blk = bem.assemble_block(0..ns, c0..c1);
+                    mat.view_mut(0..ns, c0..c1).copy_from(blk.as_ref());
+                    c0 = c1;
+                }
+                Ok(SchurAcc::Dense { mat, charge })
+            }
+            DenseBackend::Hmat => {
+                let opts = HOptions {
+                    eps: cfg.eps,
+                    eta: cfg.hmat_eta,
+                    max_rank: 512,
+                    method: csolve_hmat::AssembleMethod::Aca,
+                };
+                let oracle = |i: usize, j: usize| bem.eval(i, j);
+                let h = HMatrix::assemble_root(tree, tree, &oracle, &opts);
+                let charge = tracker.charge(h.byte_size(), "compressed Schur/A_ss")?;
+                Ok(SchurAcc::Hmat { h, charge })
+            }
+        }
+    }
+
+    /// `S[r0.., c0..] += α·panel` — direct write for the dense backend, the
+    /// paper's *compressed AXPY* (compress + truncated add) for HMAT.
+    pub fn axpy_block(
+        &mut self,
+        alpha: T,
+        r0: usize,
+        c0: usize,
+        panel: MatRef<'_, T>,
+        eps: f64,
+    ) -> Result<()> {
+        match self {
+            SchurAcc::Dense { mat, .. } => {
+                let mut dst =
+                    mat.view_mut(r0..r0 + panel.nrows(), c0..c0 + panel.ncols());
+                dst.axpy(alpha, panel);
+                Ok(())
+            }
+            SchurAcc::Hmat { h, charge } => {
+                h.axpy_dense_block(alpha, r0, c0, panel, T::Real::from_f64_real(eps));
+                charge.resize(h.byte_size(), "compressed Schur/A_ss")
+            }
+        }
+    }
+
+    /// Current storage footprint of `S`.
+    pub fn bytes(&self) -> usize {
+        match self {
+            SchurAcc::Dense { mat, .. } => mat.byte_size(),
+            SchurAcc::Hmat { h, .. } => h.byte_size(),
+        }
+    }
+
+    /// Factor `S` (consuming the accumulator).
+    pub fn factor(self, symmetric: bool, eps: f64) -> Result<SchurFactor<T>> {
+        match self {
+            SchurAcc::Dense { mat, charge } => {
+                if symmetric {
+                    let f = ldlt_in_place(mat)?;
+                    Ok(SchurFactor::DenseLdlt { f, _charge: charge })
+                } else {
+                    let f = lu_in_place(mat)?;
+                    Ok(SchurFactor::DenseLu { f, _charge: charge })
+                }
+            }
+            SchurAcc::Hmat { h, mut charge } => {
+                let f = HLu::factor(h, T::Real::from_f64_real(eps))?;
+                charge.resize(f.byte_size(), "compressed Schur factors")?;
+                Ok(SchurFactor::HLu { f, _charge: charge })
+            }
+        }
+    }
+}
+
+/// Factored Schur complement, ready for multi-RHS solves.
+pub enum SchurFactor<T: Scalar> {
+    DenseLdlt {
+        f: csolve_dense::LdltFactors<T>,
+        _charge: MemCharge,
+    },
+    DenseLu {
+        f: csolve_dense::LuFactors<T>,
+        _charge: MemCharge,
+    },
+    HLu {
+        f: HLu<T>,
+        _charge: MemCharge,
+    },
+}
+
+impl<T: Scalar> SchurFactor<T> {
+    /// Solve `S·X = B` in place (cluster-ordered surface indices).
+    pub fn solve_in_place(&self, b: MatMut<'_, T>) {
+        match self {
+            SchurFactor::DenseLdlt { f, .. } => csolve_dense::ldlt_solve_in_place(f, b),
+            SchurFactor::DenseLu { f, .. } => csolve_dense::lu_solve_in_place(f, b),
+            SchurFactor::HLu { f, .. } => f.solve_in_place(b),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end tests of the four coupled algorithms on the paper's workloads.
+
+use csolve_common::C64;
+use csolve_fembem::{industrial_problem, pipe_problem};
+
+use crate::config::{Algorithm, DenseBackend, SolverConfig};
+use crate::driver::solve;
+
+fn cfg(backend: DenseBackend) -> SolverConfig {
+    SolverConfig {
+        eps: 1e-6,
+        dense_backend: backend,
+        n_c: 64,
+        n_s: 256,
+        n_b: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn all_algorithms_solve_the_pipe_spido() {
+    let p = pipe_problem::<f64>(2_500);
+    for algo in Algorithm::ALL {
+        let out = solve(&p, algo, &cfg(DenseBackend::Spido)).unwrap();
+        let err = p.relative_error(&out.xv, &out.xs);
+        assert!(err < 1e-8, "{}: err {err:.3e}", algo.name());
+        assert!(out.metrics.total_seconds > 0.0);
+        assert!(out.metrics.peak_bytes > 0);
+        assert_eq!(out.metrics.n_total, p.n_total());
+    }
+}
+
+#[test]
+fn all_algorithms_solve_the_pipe_hmat() {
+    let p = pipe_problem::<f64>(2_500);
+    for algo in Algorithm::ALL {
+        let out = solve(&p, algo, &cfg(DenseBackend::Hmat)).unwrap();
+        let err = p.relative_error(&out.xv, &out.xs);
+        assert!(err < 1e-4, "{}: err {err:.3e}", algo.name());
+    }
+}
+
+#[test]
+fn relative_error_stays_below_paper_epsilon() {
+    // The paper's Fig. 11 claim: with ε = 10⁻³ compression everywhere, the
+    // relative error stays below ε.
+    let p = pipe_problem::<f64>(4_000);
+    let config = SolverConfig {
+        eps: 1e-3,
+        dense_backend: DenseBackend::Hmat,
+        n_c: 128,
+        n_s: 512,
+        ..Default::default()
+    };
+    for algo in [Algorithm::MultiSolve, Algorithm::MultiFactorization] {
+        let out = solve(&p, algo, &config).unwrap();
+        let err = p.relative_error(&out.xv, &out.xs);
+        assert!(err < 1e-3, "{}: err {err:.3e}", algo.name());
+    }
+}
+
+#[test]
+fn industrial_complex_nonsymmetric_all_algorithms() {
+    let p = industrial_problem::<C64>(2_000);
+    assert!(!p.symmetric);
+    for algo in Algorithm::ALL {
+        for backend in [DenseBackend::Spido, DenseBackend::Hmat] {
+            let out = solve(&p, algo, &cfg(backend)).unwrap();
+            let err = p.relative_error(&out.xv, &out.xs);
+            assert!(
+                err < 1e-4,
+                "{} / {}: err {err:.3e}",
+                algo.name(),
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_solve_block_sizes_do_not_change_the_answer() {
+    let p = pipe_problem::<f64>(2_000);
+    let mut last_err = None;
+    for (n_c, n_s) in [(16, 64), (64, 64), (200, 400), (1024, 4096)] {
+        let config = SolverConfig {
+            eps: 1e-8,
+            dense_backend: DenseBackend::Hmat,
+            n_c,
+            n_s,
+            ..Default::default()
+        };
+        let out = solve(&p, Algorithm::MultiSolve, &config).unwrap();
+        let err = p.relative_error(&out.xv, &out.xs);
+        assert!(err < 1e-6, "n_c={n_c}: err {err:.3e}");
+        last_err = Some(err);
+    }
+    assert!(last_err.is_some());
+}
+
+#[test]
+fn multi_factorization_block_counts_do_not_change_the_answer() {
+    let p = pipe_problem::<f64>(1_500);
+    for n_b in [1usize, 2, 3, 5] {
+        let config = SolverConfig {
+            eps: 1e-8,
+            dense_backend: DenseBackend::Spido,
+            n_b,
+            ..Default::default()
+        };
+        let out = solve(&p, Algorithm::MultiFactorization, &config).unwrap();
+        let err = p.relative_error(&out.xv, &out.xs);
+        assert!(err < 1e-8, "n_b={n_b}: err {err:.3e}");
+    }
+}
+
+#[test]
+fn memory_budget_ranks_algorithms_like_the_paper() {
+    // Fig. 10's qualitative claim at fixed budget: the baseline coupling
+    // dies first (huge dense Y), compressed multi-solve survives longest.
+    let p = pipe_problem::<f64>(6_000);
+    let budget_of = |algo: Algorithm, backend: DenseBackend| -> Option<usize> {
+        // Smallest budget (from a geometric ladder) that succeeds.
+        let mut cfgx = cfg(backend);
+        cfgx.eps = 1e-4;
+        for shift in 18..32 {
+            let budget = 1usize << shift;
+            cfgx.mem_budget = Some(budget);
+            match solve(&p, algo, &cfgx) {
+                Ok(_) => return Some(budget),
+                Err(e) if e.is_oom() => continue,
+                Err(e) => panic!("{}: unexpected error {e}", algo.name()),
+            }
+        }
+        None
+    };
+    let baseline = budget_of(Algorithm::BaselineCoupling, DenseBackend::Spido).unwrap();
+    let ms_hmat = budget_of(Algorithm::MultiSolve, DenseBackend::Hmat).unwrap();
+    assert!(
+        ms_hmat <= baseline,
+        "compressed multi-solve ({ms_hmat}) must fit where baseline ({baseline}) needs more"
+    );
+}
+
+#[test]
+fn oom_is_clean_and_releases_all_memory() {
+    let p = pipe_problem::<f64>(3_000);
+    let mut config = cfg(DenseBackend::Spido);
+    config.mem_budget = Some(100_000); // absurdly small
+    let err = solve(&p, Algorithm::MultiSolve, &config).unwrap_err();
+    assert!(err.is_oom(), "expected OOM, got {err}");
+}
+
+#[test]
+fn metrics_record_the_expected_phases() {
+    let p = pipe_problem::<f64>(1_500);
+    let out = solve(&p, Algorithm::MultiSolve, &cfg(DenseBackend::Hmat)).unwrap();
+    let m = &out.metrics;
+    for phase in [
+        "sparse factorization",
+        "sparse solve (Y)",
+        "SpMM",
+        "Schur assembly",
+        "dense factorization",
+    ] {
+        assert!(
+            m.phase_seconds(phase) >= 0.0 && m.phases.iter().any(|(n, _)| n == phase),
+            "missing phase {phase}: {:?}",
+            m.phases
+        );
+    }
+    assert!(m.schur_bytes > 0);
+    let out2 = solve(&p, Algorithm::MultiFactorization, &cfg(DenseBackend::Spido)).unwrap();
+    assert!(out2
+        .metrics
+        .phases
+        .iter()
+        .any(|(n, _)| n == "sparse factorization+Schur"));
+}
+
+#[test]
+fn hmat_schur_uses_less_memory_than_dense_schur() {
+    // Fig. 12's memory story: the compressed Schur footprint is below the
+    // dense one (at sizes where compression has something to bite on).
+    let p = pipe_problem::<f64>(8_000);
+    let mut c1 = cfg(DenseBackend::Spido);
+    let mut c2 = cfg(DenseBackend::Hmat);
+    c1.eps = 1e-3;
+    c2.eps = 1e-3;
+    let dense = solve(&p, Algorithm::MultiSolve, &c1).unwrap();
+    let comp = solve(&p, Algorithm::MultiSolve, &c2).unwrap();
+    assert!(
+        comp.metrics.schur_bytes < dense.metrics.schur_bytes,
+        "compressed Schur {} vs dense {}",
+        comp.metrics.schur_bytes,
+        dense.metrics.schur_bytes
+    );
+}

@@ -1,0 +1,374 @@
+//! General matrix-matrix and matrix-vector products.
+//!
+//! `C ← α·op(A)·op(B) + β·C` with `op ∈ {N, T, Cᴴ}`. The kernel is written in
+//! the column-major friendly "jki" (axpy) form for `op(A) = N` and in dot
+//! product form otherwise, and parallelizes over column chunks of `C` with
+//! rayon once the work is large enough to amortize the fork/join.
+
+use csolve_common::Scalar;
+use rayon::prelude::*;
+
+use crate::mat::{Mat, MatMut, MatRef};
+
+/// Transposition operator applied to a GEMM operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored.
+    NoTrans,
+    /// Plain transpose (no conjugation) — the one used by the complex
+    /// *symmetric* LDLᵀ factorizations.
+    Trans,
+    /// Conjugate transpose.
+    ConjTrans,
+}
+
+impl Op {
+    /// (rows, cols) of `op(A)` given the storage shape of `A`.
+    pub fn shape_of(self, a: &MatRef<'_, impl Scalar>) -> (usize, usize) {
+        match self {
+            Op::NoTrans => (a.nrows(), a.ncols()),
+            Op::Trans | Op::ConjTrans => (a.ncols(), a.nrows()),
+        }
+    }
+}
+
+#[inline]
+fn b_elem<T: Scalar>(b: MatRef<'_, T>, opb: Op, k: usize, j: usize) -> T {
+    match opb {
+        Op::NoTrans => b.get(k, j),
+        Op::Trans => b.get(j, k),
+        Op::ConjTrans => b.get(j, k).conj(),
+    }
+}
+
+/// Serial kernel operating on a column block of C. `jb0` is the global column
+/// offset of this block within the logical product (needed to address B).
+#[allow(clippy::too_many_arguments)]
+fn gemm_block<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    opa: Op,
+    b: MatRef<'_, T>,
+    opb: Op,
+    beta: T,
+    mut c: MatMut<'_, T>,
+    jb0: usize,
+    kdim: usize,
+) {
+    let m = c.nrows();
+    let n = c.ncols();
+    // Scale / clear C first.
+    if beta == T::ZERO {
+        c.fill(T::ZERO);
+    } else if beta != T::ONE {
+        for j in 0..n {
+            for x in c.col_mut(j) {
+                *x *= beta;
+            }
+        }
+    }
+    match opa {
+        Op::NoTrans => {
+            // c[:, j] += (alpha * b(k, j)) * a[:, k]  — contiguous axpys.
+            for j in 0..n {
+                let cj = c.col_mut(j);
+                for k in 0..kdim {
+                    let s = alpha * b_elem(b, opb, k, jb0 + j);
+                    if s == T::ZERO {
+                        continue;
+                    }
+                    let ak = a.col(k);
+                    for (ci, &aik) in cj.iter_mut().zip(ak) {
+                        *ci += s * aik;
+                    }
+                }
+            }
+        }
+        Op::Trans | Op::ConjTrans => {
+            // c[i, j] += alpha * dot(op(a)[i, :], b(:, j)); column i of the
+            // stored A is contiguous.
+            let conj_a = opa == Op::ConjTrans;
+            for j in 0..n {
+                for i in 0..m {
+                    let ai = a.col(i);
+                    let mut acc = T::ZERO;
+                    if conj_a {
+                        for (k, &aki) in ai.iter().enumerate().take(kdim) {
+                            acc += aki.conj() * b_elem(b, opb, k, jb0 + j);
+                        }
+                    } else {
+                        for (k, &aki) in ai.iter().enumerate().take(kdim) {
+                            acc += aki * b_elem(b, opb, k, jb0 + j);
+                        }
+                    }
+                    let v = c.get(i, j) + alpha * acc;
+                    c.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+/// `C ← α·op(A)·op(B) + β·C`.
+///
+/// Panics on non-conforming shapes (programming error, not a runtime
+/// condition).
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    opa: Op,
+    b: MatRef<'_, T>,
+    opb: Op,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
+    let (am, ak) = opa.shape_of(&a);
+    let (bk, bn) = opb.shape_of(&b);
+    assert_eq!(ak, bk, "gemm: inner dimensions");
+    assert_eq!(c.nrows(), am, "gemm: C rows");
+    assert_eq!(c.ncols(), bn, "gemm: C cols");
+    if am == 0 || bn == 0 {
+        return;
+    }
+    if ak == 0 {
+        // Pure scaling of C.
+        gemm_block(alpha, a, opa, b, opb, beta, c, 0, 0);
+        return;
+    }
+
+    let flops = 2.0 * am as f64 * bn as f64 * ak as f64;
+    const PAR_THRESHOLD_FLOPS: f64 = 2e5;
+    if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 || bn == 1 {
+        gemm_block(alpha, a, opa, b, opb, beta, c, 0, ak);
+        return;
+    }
+
+    // Parallelize over column chunks of C.
+    let chunk = (bn.div_ceil(4 * rayon::current_num_threads())).max(8);
+    let mut blocks = Vec::new();
+    let mut rest = c;
+    let mut j0 = 0;
+    while rest.ncols() > 0 {
+        let w = chunk.min(rest.ncols());
+        let (head, tail) = rest.split_at_col(w);
+        blocks.push((j0, head));
+        rest = tail;
+        j0 += w;
+    }
+    blocks.into_par_iter().for_each(|(jb0, cblk)| {
+        gemm_block(alpha, a, opa, b, opb, beta, cblk, jb0, ak);
+    });
+}
+
+/// Convenience: allocate and return `op(A)·op(B)`.
+pub fn gemm_into<T: Scalar>(a: MatRef<'_, T>, opa: Op, b: MatRef<'_, T>, opb: Op) -> Mat<T> {
+    let (m, _) = opa.shape_of(&a);
+    let (_, n) = opb.shape_of(&b);
+    let mut c = Mat::zeros(m, n);
+    gemm(T::ONE, a, opa, b, opb, T::ZERO, c.as_mut());
+    c
+}
+
+/// `y ← α·op(A)·x + β·y`.
+pub fn matvec<T: Scalar>(alpha: T, a: MatRef<'_, T>, opa: Op, x: &[T], beta: T, y: &mut [T]) {
+    let (m, k) = opa.shape_of(&a);
+    assert_eq!(x.len(), k, "matvec: x length");
+    assert_eq!(y.len(), m, "matvec: y length");
+    if beta == T::ZERO {
+        y.fill(T::ZERO);
+    } else if beta != T::ONE {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    match opa {
+        Op::NoTrans => {
+            for (kk, &xk) in x.iter().enumerate() {
+                let s = alpha * xk;
+                if s == T::ZERO {
+                    continue;
+                }
+                for (yi, &aik) in y.iter_mut().zip(a.col(kk)) {
+                    *yi += s * aik;
+                }
+            }
+        }
+        Op::Trans => {
+            for (i, yi) in y.iter_mut().enumerate() {
+                let ai = a.col(i);
+                let mut acc = T::ZERO;
+                for (aki, &xk) in ai.iter().zip(x) {
+                    acc += *aki * xk;
+                }
+                *yi += alpha * acc;
+            }
+        }
+        Op::ConjTrans => {
+            for (i, yi) in y.iter_mut().enumerate() {
+                let ai = a.col(i);
+                let mut acc = T::ZERO;
+                for (aki, &xk) in ai.iter().zip(x) {
+                    acc += aki.conj() * xk;
+                }
+                *yi += alpha * acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csolve_common::C64;
+    use rand::SeedableRng;
+
+    fn naive_gemm<T: Scalar>(a: &Mat<T>, opa: Op, b: &Mat<T>, opb: Op) -> Mat<T> {
+        let (m, k) = opa.shape_of(&a.as_ref());
+        let (_, n) = opb.shape_of(&b.as_ref());
+        let ae = |i: usize, kk: usize| match opa {
+            Op::NoTrans => a[(i, kk)],
+            Op::Trans => a[(kk, i)],
+            Op::ConjTrans => a[(kk, i)].conj(),
+        };
+        let be = |kk: usize, j: usize| match opb {
+            Op::NoTrans => b[(kk, j)],
+            Op::Trans => b[(j, kk)],
+            Op::ConjTrans => b[(j, kk)].conj(),
+        };
+        Mat::from_fn(m, n, |i, j| {
+            let mut s = T::ZERO;
+            for kk in 0..k {
+                s += ae(i, kk) * be(kk, j);
+            }
+            s
+        })
+    }
+
+    fn assert_close_f64(a: &Mat<f64>, b: &Mat<f64>, tol: f64) {
+        let mut d = a.clone();
+        d.axpy(-1.0, b);
+        assert!(
+            d.norm_max() <= tol,
+            "matrices differ by {:.3e}",
+            d.norm_max()
+        );
+    }
+
+    #[test]
+    fn gemm_matches_naive_all_ops_real() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for &(m, k, n) in &[(3, 4, 5), (17, 9, 13), (40, 33, 21)] {
+            for &opa in &[Op::NoTrans, Op::Trans] {
+                for &opb in &[Op::NoTrans, Op::Trans] {
+                    let (am, ak) = if opa == Op::NoTrans { (m, k) } else { (k, m) };
+                    let (bk, bn) = if opb == Op::NoTrans { (k, n) } else { (n, k) };
+                    let a = Mat::<f64>::random(am, ak, &mut rng);
+                    let b = Mat::<f64>::random(bk, bn, &mut rng);
+                    let got = gemm_into(a.as_ref(), opa, b.as_ref(), opb);
+                    let want = naive_gemm(&a, opa, &b, opb);
+                    assert_close_f64(&got, &want, 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_complex_conj_transpose() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Mat::<C64>::random(6, 4, &mut rng);
+        let b = Mat::<C64>::random(6, 5, &mut rng);
+        let got = gemm_into(a.as_ref(), Op::ConjTrans, b.as_ref(), Op::NoTrans);
+        let want = naive_gemm(&a, Op::ConjTrans, &b, Op::NoTrans);
+        let mut d = got.clone();
+        d.axpy(-C64::ONE, &want);
+        assert!(d.norm_max() < 1e-12);
+        // A^H A must be Hermitian with real diagonal.
+        let aha = gemm_into(a.as_ref(), Op::ConjTrans, a.as_ref(), Op::NoTrans);
+        for i in 0..4 {
+            assert!(aha[(i, i)].im.abs() < 1e-12);
+            for j in 0..4 {
+                let d = aha[(i, j)] - aha[(j, i)].conj();
+                assert!(d.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_alpha_beta_accumulation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Mat::<f64>::random(5, 5, &mut rng);
+        let b = Mat::<f64>::random(5, 5, &mut rng);
+        let c0 = Mat::<f64>::random(5, 5, &mut rng);
+        let mut c = c0.clone();
+        gemm(2.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.5, c.as_mut());
+        let mut want = naive_gemm(&a, Op::NoTrans, &b, Op::NoTrans);
+        want.scale(2.0);
+        let mut half_c0 = c0.clone();
+        half_c0.scale(0.5);
+        want.axpy(1.0, &half_c0);
+        assert_close_f64(&c, &want, 1e-12);
+    }
+
+    #[test]
+    fn gemm_large_parallel_path_matches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a = Mat::<f64>::random(64, 48, &mut rng);
+        let b = Mat::<f64>::random(48, 72, &mut rng);
+        let got = gemm_into(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+        let want = naive_gemm(&a, Op::NoTrans, &b, Op::NoTrans);
+        assert_close_f64(&got, &want, 1e-11);
+    }
+
+    #[test]
+    fn gemm_on_strided_views() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let big = Mat::<f64>::random(10, 10, &mut rng);
+        let a = big.view(1..5, 2..6); // 4x4 strided
+        let b = big.view(3..7, 0..4);
+        let mut c = Mat::<f64>::zeros(4, 4);
+        gemm(1.0, a, Op::NoTrans, b, Op::Trans, 0.0, c.as_mut());
+        let want = naive_gemm(&a.to_owned(), Op::NoTrans, &b.to_owned(), Op::Trans);
+        assert_close_f64(&c, &want, 1e-12);
+    }
+
+    #[test]
+    fn gemm_degenerate_dims() {
+        let a = Mat::<f64>::zeros(0, 3);
+        let b = Mat::<f64>::zeros(3, 4);
+        let c = gemm_into(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+        assert_eq!(c.nrows(), 0);
+        // k = 0: product is zero matrix.
+        let a = Mat::<f64>::zeros(3, 0);
+        let b = Mat::<f64>::zeros(0, 2);
+        let c = gemm_into(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+        assert_eq!(c.norm_max(), 0.0);
+    }
+
+    #[test]
+    fn matvec_all_ops() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let a = Mat::<C64>::random(4, 3, &mut rng);
+        let x3: Vec<C64> = (0..3).map(|_| C64::rand_unit(&mut rng)).collect();
+        let x4: Vec<C64> = (0..4).map(|_| C64::rand_unit(&mut rng)).collect();
+
+        let mut y = vec![C64::ZERO; 4];
+        matvec(C64::ONE, a.as_ref(), Op::NoTrans, &x3, C64::ZERO, &mut y);
+        for i in 0..4 {
+            let mut want = C64::ZERO;
+            for k in 0..3 {
+                want += a[(i, k)] * x3[k];
+            }
+            assert!((y[i] - want).abs() < 1e-12);
+        }
+
+        let mut y = vec![C64::ZERO; 3];
+        matvec(C64::ONE, a.as_ref(), Op::ConjTrans, &x4, C64::ZERO, &mut y);
+        for i in 0..3 {
+            let mut want = C64::ZERO;
+            for k in 0..4 {
+                want += a[(k, i)].conj() * x4[k];
+            }
+            assert!((y[i] - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Dense linear algebra layer of the `csolve` stack.
+//!
+//! This crate plays the role of the proprietary ScaLAPACK-like dense direct
+//! solver (SPIDO) used in the reproduced paper: a column-major matrix type
+//! ([`Mat`]) together with blocked, rayon-parallel BLAS-3 style kernels
+//! ([`gemm`], [`trsm_left`]), full and *partial* LU / LDLᵀ factorizations and
+//! the corresponding triangular solves.
+//!
+//! The *partial* factorizations ([`partial_ldlt`], [`partial_lu`]) eliminate
+//! only the leading `k` variables of a matrix and leave the trailing block
+//! updated with the corresponding Schur complement — this is the dense kernel
+//! at the heart of the multifrontal sparse solver (`csolve-sparse`), where
+//! each frontal matrix is partially factorized and its contribution block is
+//! passed to the parent front.
+//!
+//! Complex *symmetric* (not Hermitian) matrices are factored with the plain
+//! transpose LDLᵀ, matching the paper's acoustic FEM/BEM systems.
+
+// Index-based loops mirror the reference algorithms (LAPACK/CSparse style)
+// and are kept for readability of the numeric kernels.
+#![allow(clippy::needless_range_loop)]
+
+pub mod factor;
+pub mod gemm;
+pub mod mat;
+pub mod solve;
+pub mod trsm;
+
+pub use factor::{
+    ldlt_in_place, lu_in_place, partial_ldlt, partial_lu, symmetrize_from_lower, LdltFactors,
+    LuFactors,
+};
+pub use gemm::{gemm, gemm_into, matvec, Op};
+pub use mat::{Mat, MatMut, MatRef};
+pub use solve::{
+    apply_row_swaps_fwd, ldlt_solve_in_place, lu_solve_in_place, lu_solve_transpose_in_place,
+};
+pub use trsm::{trsm_left, trsm_right, Diag, Tri};

@@ -1,0 +1,367 @@
+//! Triangular solves with multiple right-hand sides (BLAS `trsm`).
+//!
+//! Left solves `op(T)·X = α·B` run independently per column of `B` and
+//! parallelize over column chunks; right solves `X·op(T) = α·B` sweep the
+//! columns of `X` in dependency order. Both overwrite `B` with `X`.
+
+use csolve_common::Scalar;
+use rayon::prelude::*;
+
+use crate::gemm::Op;
+use crate::mat::{MatMut, MatRef};
+
+/// Which triangle of the operand carries the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    Lower,
+    Upper,
+}
+
+/// Whether the triangular operand has an implicit unit diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    Unit,
+    NonUnit,
+}
+
+#[inline]
+fn t_elem<T: Scalar>(t: MatRef<'_, T>, conj: bool, i: usize, j: usize) -> T {
+    let v = t.get(i, j);
+    if conj {
+        v.conj()
+    } else {
+        v
+    }
+}
+
+/// Solve `op(T)·x = x` in place for one column.
+fn solve_col<T: Scalar>(tri: Tri, op: Op, diag: Diag, t: MatRef<'_, T>, x: &mut [T]) {
+    let n = t.nrows();
+    let conj = op == Op::ConjTrans;
+    // Effective triangle after transposition.
+    let eff_lower = match (tri, op) {
+        (Tri::Lower, Op::NoTrans) | (Tri::Upper, Op::Trans) | (Tri::Upper, Op::ConjTrans) => true,
+        (Tri::Upper, Op::NoTrans) | (Tri::Lower, Op::Trans) | (Tri::Lower, Op::ConjTrans) => false,
+    };
+    match (eff_lower, op) {
+        (true, Op::NoTrans) => {
+            // Forward substitution, axpy form on contiguous columns of T.
+            for k in 0..n {
+                if diag == Diag::NonUnit {
+                    x[k] = x[k] / t.get(k, k);
+                }
+                let xk = x[k];
+                if xk == T::ZERO {
+                    continue;
+                }
+                let col = t.col(k);
+                for i in k + 1..n {
+                    x[i] -= xk * col[i];
+                }
+            }
+        }
+        (false, Op::NoTrans) => {
+            // Backward substitution.
+            for k in (0..n).rev() {
+                if diag == Diag::NonUnit {
+                    x[k] = x[k] / t.get(k, k);
+                }
+                let xk = x[k];
+                if xk == T::ZERO {
+                    continue;
+                }
+                let col = t.col(k);
+                for i in 0..k {
+                    x[i] -= xk * col[i];
+                }
+            }
+        }
+        (true, _) => {
+            // op(T) lower means stored T is upper; dot-product form over the
+            // contiguous stored columns.
+            for i in 0..n {
+                let col = t.col(i);
+                let mut acc = T::ZERO;
+                for k in 0..i {
+                    acc += if conj { col[k].conj() } else { col[k] } * x[k];
+                }
+                x[i] -= acc;
+                if diag == Diag::NonUnit {
+                    x[i] = x[i] / t_elem(t, conj, i, i);
+                }
+            }
+        }
+        (false, _) => {
+            // op(T) upper, stored T lower.
+            for i in (0..n).rev() {
+                let col = t.col(i);
+                let mut acc = T::ZERO;
+                for k in i + 1..n {
+                    acc += if conj { col[k].conj() } else { col[k] } * x[k];
+                }
+                x[i] -= acc;
+                if diag == Diag::NonUnit {
+                    x[i] = x[i] / t_elem(t, conj, i, i);
+                }
+            }
+        }
+    }
+}
+
+/// Solve `op(T)·X = α·B` in place (`B` becomes `X`). `T` must be square and
+/// match `B`'s row count.
+pub fn trsm_left<T: Scalar>(
+    tri: Tri,
+    op: Op,
+    diag: Diag,
+    alpha: T,
+    t: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
+    assert_eq!(t.nrows(), t.ncols(), "trsm_left: T square");
+    assert_eq!(t.nrows(), b.nrows(), "trsm_left: dims");
+    let n = b.ncols();
+    if alpha != T::ONE {
+        for j in 0..n {
+            for x in b.col_mut(j) {
+                *x *= alpha;
+            }
+        }
+    }
+    let work = t.nrows() as f64 * t.nrows() as f64 * n as f64;
+    if work < 2e5 || rayon::current_num_threads() == 1 || n == 1 {
+        for j in 0..n {
+            solve_col(tri, op, diag, t, b.col_mut(j));
+        }
+    } else {
+        let chunk = n.div_ceil(4 * rayon::current_num_threads()).max(4);
+        b.col_chunks_mut(chunk).into_par_iter().for_each(|mut blk| {
+            for j in 0..blk.ncols() {
+                solve_col(tri, op, diag, t, blk.col_mut(j));
+            }
+        });
+    }
+}
+
+/// Solve `X·op(T) = α·B` in place (`B` becomes `X`). `T` must be square and
+/// match `B`'s column count.
+pub fn trsm_right<T: Scalar>(
+    tri: Tri,
+    op: Op,
+    diag: Diag,
+    alpha: T,
+    t: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
+    assert_eq!(t.nrows(), t.ncols(), "trsm_right: T square");
+    assert_eq!(t.ncols(), b.ncols(), "trsm_right: dims");
+    let n = b.ncols();
+    let m = b.nrows();
+    if alpha != T::ONE {
+        for j in 0..n {
+            for x in b.col_mut(j) {
+                *x *= alpha;
+            }
+        }
+    }
+    let conj = op == Op::ConjTrans;
+    // u(k, j): element (k, j) of the effective (post-op) matrix U := op(T).
+    let u = |k: usize, j: usize| -> T {
+        match op {
+            Op::NoTrans => t.get(k, j),
+            _ => t_elem(t, conj, j, k),
+        }
+    };
+    // Effective upper triangular ⇒ forward sweep over columns of X;
+    // effective lower ⇒ backward sweep.
+    let eff_upper = match (tri, op) {
+        (Tri::Upper, Op::NoTrans) | (Tri::Lower, Op::Trans) | (Tri::Lower, Op::ConjTrans) => true,
+        (Tri::Lower, Op::NoTrans) | (Tri::Upper, Op::Trans) | (Tri::Upper, Op::ConjTrans) => false,
+    };
+    if eff_upper {
+        for j in 0..n {
+            // X[:, j] = (B[:, j] − Σ_{k<j} X[:, k]·u(k, j)) / u(j, j)
+            for k in 0..j {
+                let s = u(k, j);
+                if s == T::ZERO {
+                    continue;
+                }
+                // Disjoint column pair within b.
+                let (xk_ptr, bj): (*const T, &mut [T]) = {
+                    let xk = b.col(k).as_ptr();
+                    (xk, unsafe { &mut *(b.col_mut(j) as *mut [T]) })
+                };
+                let xk = unsafe { std::slice::from_raw_parts(xk_ptr, m) };
+                for (bij, &xik) in bj.iter_mut().zip(xk) {
+                    *bij -= xik * s;
+                }
+            }
+            if diag == Diag::NonUnit {
+                let d = u(j, j).recip();
+                for x in b.col_mut(j) {
+                    *x *= d;
+                }
+            }
+        }
+    } else {
+        for j in (0..n).rev() {
+            for k in j + 1..n {
+                let s = u(k, j);
+                if s == T::ZERO {
+                    continue;
+                }
+                let (xk_ptr, bj): (*const T, &mut [T]) = {
+                    let xk = b.col(k).as_ptr();
+                    (xk, unsafe { &mut *(b.col_mut(j) as *mut [T]) })
+                };
+                let xk = unsafe { std::slice::from_raw_parts(xk_ptr, m) };
+                for (bij, &xik) in bj.iter_mut().zip(xk) {
+                    *bij -= xik * s;
+                }
+            }
+            if diag == Diag::NonUnit {
+                let d = u(j, j).recip();
+                for x in b.col_mut(j) {
+                    *x *= d;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm_into, Op};
+    use crate::mat::Mat;
+    use csolve_common::C64;
+    use rand::SeedableRng;
+
+    fn rand_tri(n: usize, tri: Tri, seed: u64) -> Mat<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut t = Mat::<f64>::random(n, n, &mut rng);
+        for i in 0..n {
+            t[(i, i)] = 2.0 + t[(i, i)].abs(); // well conditioned diagonal
+            for j in 0..n {
+                let zero = match tri {
+                    Tri::Lower => j > i,
+                    Tri::Upper => j < i,
+                };
+                if zero {
+                    t[(i, j)] = 0.0;
+                }
+            }
+        }
+        t
+    }
+
+    fn op_mat(t: &Mat<f64>, op: Op) -> Mat<f64> {
+        match op {
+            Op::NoTrans => t.clone(),
+            Op::Trans | Op::ConjTrans => t.transpose(),
+        }
+    }
+
+    #[test]
+    fn trsm_left_all_variants() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for &tri in &[Tri::Lower, Tri::Upper] {
+            for &op in &[Op::NoTrans, Op::Trans] {
+                let t = rand_tri(12, tri, 42);
+                let b = Mat::<f64>::random(12, 7, &mut rng);
+                let mut x = b.clone();
+                trsm_left(tri, op, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut());
+                let back = gemm_into(op_mat(&t, op).as_ref(), Op::NoTrans, x.as_ref(), Op::NoTrans);
+                let mut d = back.clone();
+                d.axpy(-1.0, &b);
+                assert!(d.norm_max() < 1e-10, "{tri:?} {op:?}: {:.3e}", d.norm_max());
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_left_unit_diag() {
+        let mut t = rand_tri(8, Tri::Lower, 3);
+        // Put garbage on the diagonal — Unit must ignore it.
+        for i in 0..8 {
+            t[(i, i)] = 1e30;
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let b = Mat::<f64>::random(8, 3, &mut rng);
+        let mut x = b.clone();
+        trsm_left(Tri::Lower, Op::NoTrans, Diag::Unit, 1.0, t.as_ref(), x.as_mut());
+        let mut t_unit = t.clone();
+        for i in 0..8 {
+            t_unit[(i, i)] = 1.0;
+        }
+        let back = gemm_into(t_unit.as_ref(), Op::NoTrans, x.as_ref(), Op::NoTrans);
+        let mut d = back;
+        d.axpy(-1.0, &b);
+        assert!(d.norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn trsm_left_alpha_scaling() {
+        let t = rand_tri(6, Tri::Upper, 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let b = Mat::<f64>::random(6, 2, &mut rng);
+        let mut x = b.clone();
+        trsm_left(Tri::Upper, Op::NoTrans, Diag::NonUnit, 3.0, t.as_ref(), x.as_mut());
+        let back = gemm_into(t.as_ref(), Op::NoTrans, x.as_ref(), Op::NoTrans);
+        let mut want = b.clone();
+        want.scale(3.0);
+        let mut d = back;
+        d.axpy(-1.0, &want);
+        assert!(d.norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn trsm_right_all_variants() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for &tri in &[Tri::Lower, Tri::Upper] {
+            for &op in &[Op::NoTrans, Op::Trans] {
+                let t = rand_tri(9, tri, 77);
+                let b = Mat::<f64>::random(5, 9, &mut rng);
+                let mut x = b.clone();
+                trsm_right(tri, op, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut());
+                let back = gemm_into(x.as_ref(), Op::NoTrans, op_mat(&t, op).as_ref(), Op::NoTrans);
+                let mut d = back;
+                d.axpy(-1.0, &b);
+                assert!(d.norm_max() < 1e-10, "{tri:?} {op:?}: {:.3e}", d.norm_max());
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_complex_conj_transpose() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut t = Mat::<C64>::random(7, 7, &mut rng);
+        for i in 0..7 {
+            t[(i, i)] = C64::new(3.0, 0.5);
+            for j in i + 1..7 {
+                t[(i, j)] = C64::ZERO;
+            }
+        }
+        let b = Mat::<C64>::random(7, 4, &mut rng);
+        let mut x = b.clone();
+        trsm_left(Tri::Lower, Op::ConjTrans, Diag::NonUnit, C64::ONE, t.as_ref(), x.as_mut());
+        // Check T^H X == B.
+        let back = gemm_into(t.as_ref(), Op::ConjTrans, x.as_ref(), Op::NoTrans);
+        let mut d = back;
+        d.axpy(-C64::ONE, &b);
+        assert!(d.norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn trsm_left_parallel_many_rhs_matches_serial() {
+        let t = rand_tri(30, Tri::Lower, 13);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let b = Mat::<f64>::random(30, 64, &mut rng);
+        let mut x = b.clone();
+        trsm_left(Tri::Lower, Op::NoTrans, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut());
+        let back = gemm_into(t.as_ref(), Op::NoTrans, x.as_ref(), Op::NoTrans);
+        let mut d = back;
+        d.axpy(-1.0, &b);
+        assert!(d.norm_max() < 1e-9);
+    }
+}

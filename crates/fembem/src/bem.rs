@@ -1,0 +1,187 @@
+//! The dense BEM operator `A_ss`, represented by its entry oracle.
+//!
+//! The operator is *never* materialized as a whole by this type — blocks are
+//! assembled on demand, exactly like a BEM assembly routine would be called
+//! by the coupled algorithms (and like the H-matrix layer samples entries
+//! for ACA). The kernel is the single-layer acoustic Green function shape
+//! `exp(iκ·r) / (4π(r+δ))` with a diagonal stabilization, which has the same
+//! symmetry and hierarchical low-rank structure as the paper's BEM matrices.
+
+use csolve_common::Scalar;
+use csolve_dense::Mat;
+use csolve_hmat::Point3;
+
+/// Entry oracle for the BEM block.
+#[derive(Clone)]
+pub struct BemOperator<T: Scalar> {
+    pub points: Vec<Point3>,
+    /// Wavenumber κ (0 for the real symmetric pipe case).
+    pub kappa: f64,
+    /// Smoothing length δ (of the order of the mesh step).
+    pub delta: f64,
+    /// Diagonal stabilization (added at `i == j`).
+    pub diag: T,
+    /// Global kernel scale.
+    pub scale: f64,
+}
+
+impl<T: Scalar> BemOperator<T> {
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Entry `A_ss[i, j]`.
+    #[inline]
+    pub fn eval(&self, i: usize, j: usize) -> T {
+        if i == j {
+            return self.diag;
+        }
+        let r = self.points[i].dist(&self.points[j]);
+        let amp = self.scale / (4.0 * std::f64::consts::PI * (r + self.delta));
+        if self.kappa == 0.0 {
+            T::from_f64(amp)
+        } else {
+            let ph = self.kappa * r;
+            T::from_parts(
+                <T::Real as csolve_common::RealScalar>::from_f64_real(amp * ph.cos()),
+                <T::Real as csolve_common::RealScalar>::from_f64_real(amp * ph.sin()),
+            )
+        }
+    }
+
+    /// Assemble a dense sub-block (used by the uncompressed Schur paths).
+    pub fn assemble_block(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> Mat<T> {
+        Mat::from_fn(rows.len(), cols.len(), |i, j| {
+            self.eval(rows.start + i, cols.start + j)
+        })
+    }
+
+    /// `y ← y + α·A_ss·x` (direct O(n²) product — used only to build
+    /// manufactured right-hand sides and verify small cases).
+    pub fn matvec_acc(&self, alpha: T, x: &[T], y: &mut [T]) {
+        let n = self.n();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        for i in 0..n {
+            let mut acc = T::ZERO;
+            for (j, &xj) in x.iter().enumerate() {
+                acc += self.eval(i, j) * xj;
+            }
+            y[i] += alpha * acc;
+        }
+    }
+
+    /// Reorder the operator's points (surface permutation,
+    /// `perm[new] = old`).
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.n());
+        Self {
+            points: perm.iter().map(|&o| self.points[o]).collect(),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csolve_common::C64;
+
+    fn sample_points(n: usize) -> Vec<Point3> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                Point3::new(t.cos(), t.sin(), 0.3 * i as f64 / n as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernel_is_symmetric() {
+        let op = BemOperator::<C64> {
+            points: sample_points(20),
+            kappa: 2.0,
+            delta: 0.05,
+            diag: C64::new(3.0, 0.4),
+            scale: 1.0,
+        };
+        for i in 0..20 {
+            for j in 0..20 {
+                let d = op.eval(i, j) - op.eval(j, i);
+                assert!(d.abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn real_mode_has_no_imaginary_part() {
+        let op = BemOperator::<f64> {
+            points: sample_points(10),
+            kappa: 0.0,
+            delta: 0.05,
+            diag: 2.5,
+            scale: 1.0,
+        };
+        assert_eq!(op.eval(3, 3), 2.5);
+        assert!(op.eval(0, 5) > 0.0);
+    }
+
+    #[test]
+    fn block_assembly_matches_eval() {
+        let op = BemOperator::<f64> {
+            points: sample_points(12),
+            kappa: 0.0,
+            delta: 0.1,
+            diag: 2.0,
+            scale: 1.0,
+        };
+        let b = op.assemble_block(3..8, 6..12);
+        for i in 0..5 {
+            for j in 0..6 {
+                assert_eq!(b[(i, j)], op.eval(3 + i, 6 + j));
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let op = BemOperator::<f64> {
+            points: sample_points(15),
+            kappa: 0.0,
+            delta: 0.1,
+            diag: 2.0,
+            scale: 1.0,
+        };
+        let x: Vec<f64> = (0..15).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut y = vec![0.0; 15];
+        op.matvec_acc(1.0, &x, &mut y);
+        let d = op.assemble_block(0..15, 0..15);
+        let mut want = vec![0.0; 15];
+        csolve_dense::matvec(1.0, d.as_ref(), csolve_dense::Op::NoTrans, &x, 0.0, &mut want);
+        for (g, w) in y.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permutation_relabels_entries() {
+        let op = BemOperator::<f64> {
+            points: sample_points(8),
+            kappa: 0.0,
+            delta: 0.1,
+            diag: 2.0,
+            scale: 1.0,
+        };
+        let perm = vec![4usize, 0, 7, 2, 6, 1, 3, 5];
+        let p = op.permuted(&perm);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(p.eval(i, j), op.eval(perm[i], perm[j]));
+            }
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Generators for the coupled FEM/BEM systems of the paper.
+
+use csolve_common::{RealScalar, Scalar};
+use csolve_hmat::Point3;
+use csolve_sparse::{Coo, Csc};
+
+use crate::bem::BemOperator;
+
+/// The paper's unknown-split law (Table I): `n_BEM ≈ 3.7169·N^(2/3)`,
+/// fitted exactly to the reported splits (37 169 @ 1 M, 58 910 @ 2 M,
+/// 93 593 @ 4 M, 160 234 @ 9 M, all within 0.5 %).
+pub fn bem_fem_split(n_total: usize) -> (usize, usize) {
+    let n_bem = (3.7169 * (n_total as f64).powf(2.0 / 3.0)).round() as usize;
+    let n_bem = n_bem.min(n_total / 2).max(1);
+    (n_bem, n_total - n_bem)
+}
+
+/// Lattice dimensions of the pipe volume/surface meshes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeDims {
+    /// Radial layers of the volume lattice.
+    pub n_r: usize,
+    /// Angular subdivisions (wraps around).
+    pub n_theta: usize,
+    /// Axial subdivisions.
+    pub n_z: usize,
+}
+
+impl PipeDims {
+    /// Choose lattice dimensions approximating the target total unknown
+    /// count while matching the paper's surface/volume split law.
+    pub fn for_target(n_total: usize) -> Self {
+        let (n_bem, _) = bem_fem_split(n_total);
+        // Cylinder R = 1, L = 4: surface area 2πRL; isotropic surface step.
+        let radius = 1.0f64;
+        let length = 4.0f64;
+        let area = std::f64::consts::TAU * radius * length;
+        let h = (area / n_bem as f64).sqrt();
+        let n_theta = ((std::f64::consts::TAU * radius / h).round() as usize).max(4);
+        let n_z = ((length / h).round() as usize).max(2);
+        let shell = n_theta * n_z;
+        let n_fem_target = n_total.saturating_sub(n_bem);
+        let n_r = (n_fem_target as f64 / shell as f64).round().max(2.0) as usize;
+        Self { n_r, n_theta, n_z }
+    }
+
+    pub fn n_fem(&self) -> usize {
+        self.n_r * self.n_theta * self.n_z
+    }
+
+    pub fn n_shell(&self) -> usize {
+        self.n_theta * self.n_z
+    }
+
+    #[inline]
+    pub fn vol_id(&self, ir: usize, it: usize, iz: usize) -> usize {
+        (ir * self.n_theta + it) * self.n_z + iz
+    }
+
+    #[inline]
+    pub fn shell_id(&self, it: usize, iz: usize) -> usize {
+        it * self.n_z + iz
+    }
+}
+
+/// A coupled sparse/dense FEM/BEM system with a manufactured solution.
+pub struct CoupledProblem<T: Scalar> {
+    /// Sparse FEM volume block (`n_v × n_v`).
+    pub a_vv: Csc<T>,
+    /// Sparse coupling block (`n_s × n_v`).
+    pub a_sv: Csc<T>,
+    /// Sparse coupling block (`n_v × n_s`); equals `a_svᵀ` for symmetric
+    /// problems but is stored explicitly (the industrial case differs).
+    pub a_vs: Csc<T>,
+    /// The dense BEM operator `A_ss` (entry oracle, never materialized).
+    pub bem: BemOperator<T>,
+    /// Manufactured exact solution.
+    pub x_exact_v: Vec<T>,
+    pub x_exact_s: Vec<T>,
+    /// Right-hand side built from the exact solution.
+    pub b_v: Vec<T>,
+    pub b_s: Vec<T>,
+    /// Whether the whole system is symmetric (LDLᵀ-able).
+    pub symmetric: bool,
+}
+
+impl<T: Scalar> CoupledProblem<T> {
+    pub fn n_fem(&self) -> usize {
+        self.a_vv.nrows
+    }
+
+    pub fn n_bem(&self) -> usize {
+        self.bem.n()
+    }
+
+    pub fn n_total(&self) -> usize {
+        self.n_fem() + self.n_bem()
+    }
+
+    /// Relative ℓ² error of a computed solution against the manufactured
+    /// one.
+    pub fn relative_error(&self, xv: &[T], xs: &[T]) -> f64 {
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (got, want) in xv
+            .iter()
+            .zip(&self.x_exact_v)
+            .chain(xs.iter().zip(&self.x_exact_s))
+        {
+            num += (*got - *want).abs2().to_f64();
+            den += want.abs2().to_f64();
+        }
+        (num / den).sqrt()
+    }
+
+    /// Reorder the surface unknowns (`perm[new] = old`) — used once by the
+    /// coupled solver to switch the BEM side into cluster order.
+    pub fn permute_surface(&mut self, perm: &[usize]) {
+        let ns = self.n_bem();
+        assert_eq!(perm.len(), ns);
+        self.bem = self.bem.permuted(perm);
+        let all_v: Vec<usize> = (0..self.n_fem()).collect();
+        self.a_sv = self.a_sv.submatrix(perm, &all_v);
+        self.a_vs = self.a_vs.submatrix(&all_v, perm);
+        let reorder = |v: &[T]| -> Vec<T> { perm.iter().map(|&o| v[o]).collect() };
+        self.x_exact_s = reorder(&self.x_exact_s);
+        self.b_s = reorder(&self.b_s);
+    }
+
+    /// Residual-based sanity check of the generated system on the exact
+    /// solution (tests): ‖A·x_exact − b‖ / ‖b‖.
+    pub fn manufactured_residual(&self) -> f64 {
+        let nv = self.n_fem();
+        let ns = self.n_bem();
+        let mut rv = vec![T::ZERO; nv];
+        self.a_vv.matvec(T::ONE, &self.x_exact_v, T::ZERO, &mut rv);
+        self.a_vs.matvec(T::ONE, &self.x_exact_s, T::ONE, &mut rv);
+        let mut rs = vec![T::ZERO; ns];
+        self.a_sv.matvec(T::ONE, &self.x_exact_v, T::ZERO, &mut rs);
+        self.bem.matvec_acc(T::ONE, &self.x_exact_s, &mut rs);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (r, b) in rv.iter().zip(&self.b_v).chain(rs.iter().zip(&self.b_s)) {
+            num += (*r - *b).abs2().to_f64();
+            den += b.abs2().to_f64();
+        }
+        (num / den).sqrt()
+    }
+}
+
+/// Stencil values parameterizing the generators.
+struct Stencil<T> {
+    diag: T,
+    /// Off-diagonal in the "forward" direction.
+    off_f: T,
+    /// Off-diagonal in the "backward" direction (differs ⇒ unsymmetric).
+    off_b: T,
+    couple: T,
+    kappa: f64,
+    bem_diag: T,
+}
+
+fn manufactured_value<T: Scalar>(i: usize, phase: f64) -> T {
+    let x = i as f64;
+    T::from_parts(
+        <T::Real as RealScalar>::from_f64_real((0.37 * x + phase).cos() + 0.5),
+        <T::Real as RealScalar>::from_f64_real(0.3 * (0.23 * x + phase).sin()),
+    )
+}
+
+fn build_problem<T: Scalar>(
+    dims: PipeDims,
+    stencil: Stencil<T>,
+    extra_patches: usize,
+    symmetric: bool,
+) -> CoupledProblem<T> {
+    let nv = dims.n_fem();
+    let (n_r, n_t, n_z) = (dims.n_r, dims.n_theta, dims.n_z);
+
+    // --- FEM volume block -------------------------------------------------
+    let mut coo = Coo::with_capacity(nv, nv, nv * 7);
+    for ir in 0..n_r {
+        for it in 0..n_t {
+            for iz in 0..n_z {
+                let u = dims.vol_id(ir, it, iz);
+                coo.push(u, u, stencil.diag);
+                // Forward neighbors get off_f from u's column, and the
+                // reverse edge gets off_b — symmetric iff off_f == off_b.
+                let mut edge = |v: usize| {
+                    coo.push(v, u, stencil.off_f);
+                    coo.push(u, v, stencil.off_b);
+                };
+                if ir + 1 < n_r {
+                    edge(dims.vol_id(ir + 1, it, iz));
+                }
+                if iz + 1 < n_z {
+                    edge(dims.vol_id(ir, it, iz + 1));
+                }
+                // Angular wrap (guard n_t == 1 and avoid double edges for
+                // n_t == 2).
+                if n_t > 2 || (n_t == 2 && it == 0) {
+                    let itn = (it + 1) % n_t;
+                    edge(dims.vol_id(ir, itn, iz));
+                }
+            }
+        }
+    }
+    let a_vv = coo.to_csc();
+
+    // --- surface geometry --------------------------------------------------
+    let radius = 1.0f64;
+    let length = 4.0f64;
+    let mut points = Vec::with_capacity(dims.n_shell());
+    for it in 0..n_t {
+        let th = std::f64::consts::TAU * it as f64 / n_t as f64;
+        for iz in 0..n_z {
+            let z = length * iz as f64 / n_z.max(1) as f64;
+            points.push(Point3::new(radius * th.cos(), radius * th.sin(), z));
+        }
+    }
+    // NOTE: shell ids must match point order: shell_id(it, iz) = it·n_z+iz ✓.
+    let n_shell = points.len();
+
+    // Industrial-like detached patches ("wing"/"fuselage"): BEM-only dofs.
+    let mut patch_pts = 0;
+    if extra_patches > 0 {
+        let side = (extra_patches as f64).sqrt().ceil() as usize;
+        for p in 0..extra_patches {
+            let (i, j) = (p / side, p % side);
+            let step = 3.0 / side as f64;
+            points.push(Point3::new(
+                2.0 + i as f64 * step,
+                1.8,
+                0.5 + j as f64 * step,
+            ));
+            patch_pts += 1;
+        }
+    }
+    let ns = n_shell + patch_pts;
+
+    // --- coupling blocks ---------------------------------------------------
+    let mut coo_sv = Coo::with_capacity(ns, nv, n_shell * 9);
+    let mut coo_vs = Coo::with_capacity(nv, ns, n_shell * 9);
+    let outer = n_r - 1;
+    for it in 0..n_t {
+        for iz in 0..n_z {
+            let s = dims.shell_id(it, iz);
+            for dt in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    let itn = ((it as i64 + dt).rem_euclid(n_t as i64)) as usize;
+                    let izn = iz as i64 + dz;
+                    if izn < 0 || izn >= n_z as i64 {
+                        continue;
+                    }
+                    let v = dims.vol_id(outer, itn, izn as usize);
+                    let w = match (dt.abs(), dz.abs()) {
+                        (0, 0) => 1.0,
+                        (1, 1) => 0.1,
+                        _ => 0.25,
+                    };
+                    let wsv = stencil.couple * T::from_f64(w);
+                    // The industrial case has a genuinely different A_vs.
+                    let wvs = if symmetric {
+                        wsv
+                    } else {
+                        stencil.couple * T::from_f64(w * 0.85)
+                    };
+                    coo_sv.push(s, v, wsv);
+                    coo_vs.push(v, s, wvs);
+                }
+            }
+        }
+    }
+    let a_sv = coo_sv.to_csc();
+    let a_vs = coo_vs.to_csc();
+
+    // --- BEM operator -------------------------------------------------------
+    let area = std::f64::consts::TAU * radius * length;
+    let h = (area / n_shell.max(1) as f64).sqrt();
+    let bem = BemOperator::<T> {
+        points,
+        kappa: stencil.kappa,
+        delta: h,
+        diag: stencil.bem_diag,
+        scale: h * h,
+    };
+
+    // --- manufactured solution and right-hand side ---------------------------
+    let x_exact_v: Vec<T> = (0..nv).map(|i| manufactured_value(i, 0.0)).collect();
+    let x_exact_s: Vec<T> = (0..ns).map(|i| manufactured_value(i, 1.3)).collect();
+    let mut b_v = vec![T::ZERO; nv];
+    a_vv.matvec(T::ONE, &x_exact_v, T::ZERO, &mut b_v);
+    a_vs.matvec(T::ONE, &x_exact_s, T::ONE, &mut b_v);
+    let mut b_s = vec![T::ZERO; ns];
+    a_sv.matvec(T::ONE, &x_exact_v, T::ZERO, &mut b_s);
+    bem.matvec_acc(T::ONE, &x_exact_s, &mut b_s);
+
+    CoupledProblem {
+        a_vv,
+        a_sv,
+        a_vs,
+        bem,
+        x_exact_v,
+        x_exact_s,
+        b_v,
+        b_s,
+        symmetric,
+    }
+}
+
+/// The academic *short pipe* test case: real symmetric, surface unknowns on
+/// the outer shell only (the paper's §V workload).
+pub fn pipe_problem<T: Scalar>(n_total: usize) -> CoupledProblem<T> {
+    let dims = PipeDims::for_target(n_total);
+    build_problem(
+        dims,
+        Stencil {
+            diag: T::from_f64(7.0),
+            off_f: T::from_f64(-1.0),
+            off_b: T::from_f64(-1.0),
+            couple: T::from_f64(0.3),
+            kappa: 0.0,
+            bem_diag: T::from_f64(4.0),
+        },
+        0,
+        true,
+    )
+}
+
+/// The industrial-like aircraft case: complex non-symmetric matrices, and a
+/// surface/volume ratio raised by detached BEM-only patches (the wing and
+/// fuselage of the paper's §VI, which the jet-flow FEM mesh does not touch).
+/// `T` should be a complex scalar; with a real scalar the imaginary parts of
+/// the stencil are dropped and the system degrades gracefully to real
+/// non-symmetric.
+pub fn industrial_problem<T: Scalar>(n_total: usize) -> CoupledProblem<T> {
+    // Paper §VI: 2 090 638 volume + 168 830 surface unknowns ⇒ the surface
+    // fraction (~7.5 %) is about twice the pipe's at that size.
+    let dims = PipeDims::for_target(n_total);
+    let shell = dims.n_shell();
+    let extra = shell; // double the BEM side with detached patches
+    build_problem(
+        dims,
+        Stencil {
+            diag: T::from_parts(
+                <T::Real as RealScalar>::from_f64_real(7.5),
+                <T::Real as RealScalar>::from_f64_real(2.0),
+            ),
+            off_f: T::from_parts(
+                <T::Real as RealScalar>::from_f64_real(-1.1),
+                <T::Real as RealScalar>::from_f64_real(0.15),
+            ),
+            off_b: T::from_parts(
+                <T::Real as RealScalar>::from_f64_real(-0.9),
+                <T::Real as RealScalar>::from_f64_real(0.05),
+            ),
+            couple: T::from_parts(
+                <T::Real as RealScalar>::from_f64_real(0.25),
+                <T::Real as RealScalar>::from_f64_real(0.05),
+            ),
+            kappa: 2.5,
+            bem_diag: T::from_parts(
+                <T::Real as RealScalar>::from_f64_real(4.0),
+                <T::Real as RealScalar>::from_f64_real(1.0),
+            ),
+        },
+        extra,
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csolve_common::C64;
+
+    #[test]
+    fn split_law_matches_table_one() {
+        // Paper Table I values, within 0.5 %.
+        for (n, want) in [
+            (1_000_000usize, 37_169usize),
+            (2_000_000, 58_910),
+            (4_000_000, 93_593),
+            (9_000_000, 160_234),
+        ] {
+            let (got, fem) = bem_fem_split(n);
+            let rel = (got as f64 - want as f64).abs() / want as f64;
+            assert!(rel < 5e-3, "N={n}: got {got}, want {want}");
+            assert_eq!(got + fem, n);
+        }
+    }
+
+    #[test]
+    fn dims_hit_target_size() {
+        for &n in &[5_000usize, 20_000, 80_000] {
+            let d = PipeDims::for_target(n);
+            let total = d.n_fem() + d.n_shell();
+            let rel = (total as f64 - n as f64).abs() / n as f64;
+            assert!(rel < 0.25, "target {n}: got {total} ({d:?})");
+            let (want_bem, _) = bem_fem_split(n);
+            let rel_bem = (d.n_shell() as f64 - want_bem as f64).abs() / want_bem as f64;
+            assert!(rel_bem < 0.3, "target {n}: bem {} vs {want_bem}", d.n_shell());
+        }
+    }
+
+    #[test]
+    fn pipe_system_is_symmetric_and_consistent() {
+        let p = pipe_problem::<f64>(3_000);
+        assert!(p.symmetric);
+        // A_vv symmetric.
+        let d = p.a_vv.to_dense();
+        for i in 0..p.n_fem().min(200) {
+            for j in 0..p.n_fem().min(200) {
+                assert_eq!(d[(i, j)], d[(j, i)]);
+            }
+        }
+        // A_vs == A_svᵀ
+        assert_eq!(p.a_vs, p.a_sv.transpose());
+        // Manufactured rhs consistent by construction.
+        assert!(p.manufactured_residual() < 1e-13);
+    }
+
+    #[test]
+    fn industrial_system_is_nonsymmetric_with_patches() {
+        let p = industrial_problem::<C64>(3_000);
+        assert!(!p.symmetric);
+        assert_ne!(p.a_vs, p.a_sv.transpose());
+        // Patch dofs have no FEM coupling: bottom rows of a_sv are empty.
+        let shell = p.n_bem() / 2;
+        for j in 0..p.n_fem() {
+            let (rows, _) = p.a_sv.col(j);
+            for &r in rows {
+                assert!(r < shell, "patch dof {r} must not couple to FEM");
+            }
+        }
+        assert!(p.manufactured_residual() < 1e-13);
+        // Higher surface ratio than the pipe at the same size.
+        let pipe = pipe_problem::<C64>(3_000);
+        let ratio_ind = p.n_bem() as f64 / p.n_total() as f64;
+        let ratio_pipe = pipe.n_bem() as f64 / pipe.n_total() as f64;
+        assert!(ratio_ind > 1.5 * ratio_pipe);
+    }
+
+    #[test]
+    fn surface_permutation_preserves_consistency() {
+        let mut p = pipe_problem::<f64>(2_000);
+        let ns = p.n_bem();
+        // An arbitrary permutation.
+        let perm: Vec<usize> = (0..ns).map(|i| (i * 7 + 3) % ns).collect();
+        {
+            // ensure it's a bijection for this test
+            let mut seen = vec![false; ns];
+            for &x in &perm {
+                assert!(!seen[x]);
+                seen[x] = true;
+            }
+        }
+        p.permute_surface(&perm);
+        assert!(p.manufactured_residual() < 1e-13);
+    }
+
+    #[test]
+    fn complex_pipe_variant_consistent() {
+        let p = pipe_problem::<C64>(1_500);
+        assert!(p.manufactured_residual() < 1e-13);
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal 3-D geometry: points and axis-aligned bounding boxes, used by the
+//! cluster tree and the admissibility condition.
+
+/// A point in 3-D space (the BEM collocation points / mesh vertices).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Point3 {
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    pub fn coord(&self, axis: usize) -> f64 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            _ => self.z,
+        }
+    }
+
+    pub fn dist(&self, o: &Point3) -> f64 {
+        let dx = self.x - o.x;
+        let dy = self.y - o.y;
+        let dz = self.z - o.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+/// Axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    pub min: Point3,
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// Empty box ready for [`Aabb::grow`].
+    pub fn empty() -> Self {
+        Self {
+            min: Point3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+            max: Point3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    pub fn from_points<'a>(pts: impl IntoIterator<Item = &'a Point3>) -> Self {
+        let mut b = Self::empty();
+        for p in pts {
+            b.grow(p);
+        }
+        b
+    }
+
+    pub fn grow(&mut self, p: &Point3) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.min.z = self.min.z.min(p.z);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+        self.max.z = self.max.z.max(p.z);
+    }
+
+    /// Box diagonal length (cluster diameter upper bound).
+    pub fn diam(&self) -> f64 {
+        if self.min.x > self.max.x {
+            return 0.0;
+        }
+        self.min.dist(&self.max)
+    }
+
+    /// Longest axis (0, 1 or 2).
+    pub fn longest_axis(&self) -> usize {
+        let dx = self.max.x - self.min.x;
+        let dy = self.max.y - self.min.y;
+        let dz = self.max.z - self.min.z;
+        if dx >= dy && dx >= dz {
+            0
+        } else if dy >= dz {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Euclidean distance between two boxes (0 when they intersect).
+    pub fn dist(&self, o: &Aabb) -> f64 {
+        let gap = |amin: f64, amax: f64, bmin: f64, bmax: f64| -> f64 {
+            if bmin > amax {
+                bmin - amax
+            } else if amin > bmax {
+                amin - bmax
+            } else {
+                0.0
+            }
+        };
+        let dx = gap(self.min.x, self.max.x, o.min.x, o.max.x);
+        let dy = gap(self.min.y, self.max.y, o.min.y, o.max.y);
+        let dz = gap(self.min.z, self.max.z, o.min.z, o.max.z);
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbox_from_points_and_diam() {
+        let pts = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 2.0, 2.0),
+            Point3::new(0.5, 1.0, 0.0),
+        ];
+        let b = Aabb::from_points(&pts);
+        assert_eq!(b.min, Point3::new(0.0, 0.0, 0.0));
+        assert_eq!(b.max, Point3::new(1.0, 2.0, 2.0));
+        assert!((b.diam() - 3.0).abs() < 1e-14);
+        assert_eq!(b.longest_axis(), 1);
+    }
+
+    #[test]
+    fn box_distance_disjoint_and_overlapping() {
+        let a = Aabb::from_points(&[Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)]);
+        let b = Aabb::from_points(&[Point3::new(4.0, 0.0, 0.0), Point3::new(5.0, 1.0, 1.0)]);
+        assert!((a.dist(&b) - 3.0).abs() < 1e-14);
+        let c = Aabb::from_points(&[Point3::new(0.5, 0.5, 0.5), Point3::new(2.0, 2.0, 2.0)]);
+        assert_eq!(a.dist(&c), 0.0);
+        // Diagonal offset.
+        let d = Aabb::from_points(&[Point3::new(2.0, 2.0, 1.0), Point3::new(3.0, 3.0, 1.0)]);
+        assert!((a.dist(&d) - (2.0f64).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn empty_box_diam_zero() {
+        assert_eq!(Aabb::empty().diam(), 0.0);
+    }
+}

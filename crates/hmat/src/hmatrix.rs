@@ -1,0 +1,708 @@
+//! The hierarchical matrix type: structure, assembly, and ε-truncated
+//! arithmetic (products with dense panels, compressed AXPY, H×H products).
+//!
+//! Invariants maintained by assembly and preserved by arithmetic:
+//!
+//! * a node is `Hier` only when *both* its row and column clusters have
+//!   children (2×2 aligned splits);
+//! * `Dense` leaves occur only when at least one cluster is a leaf;
+//! * `LowRank` leaves occur only on admissible blocks (any level).
+//!
+//! All indices are in *cluster order*.
+
+use csolve_common::{ByteSized, RealScalar, Scalar};
+use csolve_dense::{gemm, Mat, MatMut, MatRef, Op};
+use csolve_lowrank::{aca_plus, LowRank};
+
+use crate::cluster::{admissible, ClusterNodeId, ClusterTree};
+
+/// How admissible blocks are compressed at assembly time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssembleMethod {
+    /// Adaptive Cross Approximation: samples `O(r(m+n))` entries. Use when
+    /// entry evaluation is cheap relative to forming the dense block (BEM
+    /// kernel assembly).
+    Aca,
+    /// Extract the dense block and compress with rank-revealing QR. Use when
+    /// the entries are already materialized (compressing a dense Schur
+    /// block).
+    Direct,
+}
+
+/// Assembly / arithmetic options.
+#[derive(Debug, Clone, Copy)]
+pub struct HOptions {
+    /// Relative compression tolerance ε (the paper's precision parameter).
+    pub eps: f64,
+    /// Admissibility parameter η.
+    pub eta: f64,
+    /// Rank cap for ACA before falling back to splitting/dense.
+    pub max_rank: usize,
+    pub method: AssembleMethod,
+}
+
+impl Default for HOptions {
+    fn default() -> Self {
+        Self {
+            eps: 1e-3,
+            eta: 2.0,
+            max_rank: 256,
+            method: AssembleMethod::Aca,
+        }
+    }
+}
+
+pub(crate) enum HKind<T: Scalar> {
+    Dense(Mat<T>),
+    LowRank(LowRank<T>),
+    /// Children in order `[a11, a21, a12, a22]` (column-major of the 2×2).
+    Hier(Box<[HMatrix<T>; 4]>),
+    /// Factored dense diagonal leaf (`P·A = L·U` packed) — produced by H-LU.
+    DenseLu(csolve_dense::LuFactors<T>),
+}
+
+/// A hierarchical matrix over cluster-ordered index ranges.
+pub struct HMatrix<T: Scalar> {
+    pub(crate) nrows: usize,
+    pub(crate) ncols: usize,
+    pub(crate) kind: HKind<T>,
+}
+
+/// Structure statistics (for the memory studies of the paper).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct HStats {
+    pub dense_leaves: usize,
+    pub lowrank_leaves: usize,
+    pub max_rank: usize,
+    pub bytes: usize,
+    /// Bytes a dense representation of the same matrix would need.
+    pub dense_bytes: usize,
+}
+
+impl<T: Scalar> ByteSized for HMatrix<T> {
+    fn byte_size(&self) -> usize {
+        match &self.kind {
+            HKind::Dense(m) => m.byte_size(),
+            HKind::LowRank(lr) => lr.byte_size(),
+            HKind::Hier(ch) => ch.iter().map(|c| c.byte_size()).sum(),
+            HKind::DenseLu(f) => f.byte_size(),
+        }
+    }
+}
+
+impl<T: Scalar> HMatrix<T> {
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Zero matrix with a flat dense representation (small helper).
+    pub fn zeros_dense(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            kind: HKind::Dense(Mat::zeros(nrows, ncols)),
+        }
+    }
+
+    /// Assemble the block for cluster nodes `(rn, cn)` from an entry oracle
+    /// in cluster order: `oracle(i, j)` with `i` in `rows.node(rn)` global
+    /// positions, `j` likewise.
+    pub fn assemble(
+        rows: &ClusterTree,
+        cols: &ClusterTree,
+        rn: ClusterNodeId,
+        cn: ClusterNodeId,
+        oracle: &(impl Fn(usize, usize) -> T + Sync),
+        opts: &HOptions,
+    ) -> Self {
+        let r = rows.node(rn);
+        let c = cols.node(cn);
+        let (m, n) = (r.len(), c.len());
+        let (r0, c0) = (r.begin, c.begin);
+
+        if m == 0 || n == 0 {
+            return Self::zeros_dense(m, n);
+        }
+
+        if admissible(r, c, opts.eta) {
+            let eps = T::Real::from_f64_real(opts.eps);
+            match opts.method {
+                AssembleMethod::Aca => {
+                    let local = |i: usize, j: usize| oracle(r0 + i, c0 + j);
+                    if let Ok(lr) = aca_plus(&local, m, n, eps, opts.max_rank) {
+                        return Self {
+                            nrows: m,
+                            ncols: n,
+                            kind: HKind::LowRank(lr),
+                        };
+                    }
+                    // fall through: split if possible, dense otherwise
+                }
+                AssembleMethod::Direct => {
+                    let d = Mat::from_fn(m, n, |i, j| oracle(r0 + i, c0 + j));
+                    let tol = eps * d.norm_fro();
+                    let lr = LowRank::from_dense(&d, tol, opts.max_rank.min(m.min(n)));
+                    if lr.rank() * (m + n) < m * n {
+                        return Self {
+                            nrows: m,
+                            ncols: n,
+                            kind: HKind::LowRank(lr),
+                        };
+                    }
+                    return Self {
+                        nrows: m,
+                        ncols: n,
+                        kind: HKind::Dense(d),
+                    };
+                }
+            }
+        }
+
+        match (r.children, c.children) {
+            (Some((rl, rr)), Some((cl, cr))) => {
+                let build = |rn, cn| Self::assemble(rows, cols, rn, cn, oracle, opts);
+                let ((a11, a21), (a12, a22)) = rayon::join(
+                    || rayon::join(|| build(rl, cl), || build(rr, cl)),
+                    || rayon::join(|| build(rl, cr), || build(rr, cr)),
+                );
+                Self {
+                    nrows: m,
+                    ncols: n,
+                    kind: HKind::Hier(Box::new([a11, a21, a12, a22])),
+                }
+            }
+            _ => {
+                let d = Mat::from_fn(m, n, |i, j| oracle(r0 + i, c0 + j));
+                Self {
+                    nrows: m,
+                    ncols: n,
+                    kind: HKind::Dense(d),
+                }
+            }
+        }
+    }
+
+    /// Assemble the full matrix over two cluster trees.
+    pub fn assemble_root(
+        rows: &ClusterTree,
+        cols: &ClusterTree,
+        oracle: &(impl Fn(usize, usize) -> T + Sync),
+        opts: &HOptions,
+    ) -> Self {
+        Self::assemble(rows, cols, rows.root(), cols.root(), oracle, opts)
+    }
+
+    /// Compress an already materialized dense matrix (cluster order) into an
+    /// H-matrix over the given trees.
+    pub fn compress_dense(
+        rows: &ClusterTree,
+        cols: &ClusterTree,
+        dense: &Mat<T>,
+        opts: &HOptions,
+    ) -> Self {
+        assert_eq!(dense.nrows(), rows.len());
+        assert_eq!(dense.ncols(), cols.len());
+        let o = HOptions {
+            method: AssembleMethod::Direct,
+            ..*opts
+        };
+        Self::assemble_root(rows, cols, &|i, j| dense[(i, j)], &o)
+    }
+
+    /// The (row_split, col_split) of a `Hier` node.
+    pub(crate) fn splits(&self) -> (usize, usize) {
+        match &self.kind {
+            HKind::Hier(ch) => (ch[0].nrows, ch[0].ncols),
+            _ => unreachable!("splits() on a leaf"),
+        }
+    }
+
+    /// Materialize as a dense matrix (tests / small problems only).
+    pub fn to_dense(&self) -> Mat<T> {
+        let mut out = Mat::zeros(self.nrows, self.ncols);
+        self.write_dense(out.as_mut());
+        out
+    }
+
+    fn write_dense(&self, mut out: MatMut<'_, T>) {
+        match &self.kind {
+            HKind::Dense(m) => out.copy_from(m.as_ref()),
+            HKind::DenseLu(_) => panic!("write_dense on a factored leaf"),
+            HKind::LowRank(lr) => {
+                out.fill(T::ZERO);
+                lr.axpy_into_dense(T::ONE, out);
+            }
+            HKind::Hier(ch) => {
+                let (rs, cs) = self.splits();
+                let (a11, a12, a21, a22) = out.split_2x2(rs, cs);
+                ch[0].write_dense(a11);
+                ch[1].write_dense(a21);
+                ch[2].write_dense(a12);
+                ch[3].write_dense(a22);
+            }
+        }
+    }
+
+    /// `C ← α·H·B + β·C` with dense panels in cluster order.
+    pub fn mul_dense(&self, alpha: T, b: MatRef<'_, T>, beta: T, mut c: MatMut<'_, T>) {
+        assert_eq!(b.nrows(), self.ncols);
+        assert_eq!(c.nrows(), self.nrows);
+        assert_eq!(b.ncols(), c.ncols());
+        scale_panel(beta, c.rb_mut());
+        self.mul_dense_acc(alpha, b, c);
+    }
+
+    fn mul_dense_acc(&self, alpha: T, b: MatRef<'_, T>, c: MatMut<'_, T>) {
+        match &self.kind {
+            HKind::Dense(m) => gemm(alpha, m.as_ref(), Op::NoTrans, b, Op::NoTrans, T::ONE, c),
+            HKind::DenseLu(_) => panic!("mul_dense on a factored leaf"),
+            HKind::LowRank(lr) => lr.mul_dense(alpha, b, Op::NoTrans, T::ONE, c),
+            HKind::Hier(ch) => {
+                let (rs, cs) = self.splits();
+                let b1 = b.submatrix(0..cs, 0..b.ncols());
+                let b2 = b.submatrix(cs..self.ncols, 0..b.ncols());
+                let (mut c1, mut c2) = c.split_at_row(rs);
+                ch[0].mul_dense_acc(alpha, b1, c1.rb_mut());
+                ch[2].mul_dense_acc(alpha, b2, c1.rb_mut());
+                ch[1].mul_dense_acc(alpha, b1, c2.rb_mut());
+                ch[3].mul_dense_acc(alpha, b2, c2.rb_mut());
+            }
+        }
+    }
+
+    /// `C ← α·Hᵀ·B + β·C` (plain transpose).
+    pub fn mul_dense_t(&self, alpha: T, b: MatRef<'_, T>, beta: T, mut c: MatMut<'_, T>) {
+        assert_eq!(b.nrows(), self.nrows);
+        assert_eq!(c.nrows(), self.ncols);
+        scale_panel(beta, c.rb_mut());
+        self.mul_dense_t_acc(alpha, b, c);
+    }
+
+    fn mul_dense_t_acc(&self, alpha: T, b: MatRef<'_, T>, c: MatMut<'_, T>) {
+        match &self.kind {
+            HKind::Dense(m) => gemm(alpha, m.as_ref(), Op::Trans, b, Op::NoTrans, T::ONE, c),
+            HKind::DenseLu(_) => panic!("mul_dense_t on a factored leaf"),
+            HKind::LowRank(lr) => {
+                // (U·Vᵀ)ᵀ = V·Uᵀ
+                let t = LowRank::new(lr.v.clone(), lr.u.clone());
+                t.mul_dense(alpha, b, Op::NoTrans, T::ONE, c);
+            }
+            HKind::Hier(ch) => {
+                let (rs, cs) = self.splits();
+                let b1 = b.submatrix(0..rs, 0..b.ncols());
+                let b2 = b.submatrix(rs..self.nrows, 0..b.ncols());
+                let (mut c1, mut c2) = c.split_at_row(cs);
+                ch[0].mul_dense_t_acc(alpha, b1, c1.rb_mut());
+                ch[1].mul_dense_t_acc(alpha, b2, c1.rb_mut());
+                ch[2].mul_dense_t_acc(alpha, b1, c2.rb_mut());
+                ch[3].mul_dense_t_acc(alpha, b2, c2.rb_mut());
+            }
+        }
+    }
+
+    /// `y ← α·H·x + β·y`.
+    pub fn matvec(&self, alpha: T, x: &[T], beta: T, y: &mut [T]) {
+        let b = Mat::from_col_major(x.len(), 1, x.to_vec());
+        let mut c = Mat::from_col_major(y.len(), 1, y.to_vec());
+        self.mul_dense(alpha, b.as_ref(), beta, c.as_mut());
+        y.copy_from_slice(c.col(0));
+    }
+
+    /// `out = α·D·H + β·out` with a dense panel on the *left*.
+    pub fn dense_mul_h(&self, alpha: T, d: MatRef<'_, T>, beta: T, mut out: MatMut<'_, T>) {
+        assert_eq!(d.ncols(), self.nrows);
+        assert_eq!(out.nrows(), d.nrows());
+        assert_eq!(out.ncols(), self.ncols);
+        scale_panel(beta, out.rb_mut());
+        self.dense_mul_h_acc(alpha, d, out);
+    }
+
+    fn dense_mul_h_acc(&self, alpha: T, d: MatRef<'_, T>, out: MatMut<'_, T>) {
+        match &self.kind {
+            HKind::Dense(m) => gemm(alpha, d, Op::NoTrans, m.as_ref(), Op::NoTrans, T::ONE, out),
+            HKind::DenseLu(_) => panic!("dense_mul_h on a factored leaf"),
+            HKind::LowRank(lr) => {
+                if lr.rank() == 0 {
+                    return;
+                }
+                // D·U·Vᵀ
+                let du = csolve_dense::gemm_into(d, Op::NoTrans, lr.u.as_ref(), Op::NoTrans);
+                gemm(
+                    alpha,
+                    du.as_ref(),
+                    Op::NoTrans,
+                    lr.v.as_ref(),
+                    Op::Trans,
+                    T::ONE,
+                    out,
+                );
+            }
+            HKind::Hier(ch) => {
+                let (rs, cs) = self.splits();
+                let d1 = d.submatrix(0..d.nrows(), 0..rs);
+                let d2 = d.submatrix(0..d.nrows(), rs..self.nrows);
+                let (mut o1, mut o2) = out.split_at_col(cs);
+                ch[0].dense_mul_h_acc(alpha, d1, o1.rb_mut());
+                ch[1].dense_mul_h_acc(alpha, d2, o1.rb_mut());
+                ch[2].dense_mul_h_acc(alpha, d1, o2.rb_mut());
+                ch[3].dense_mul_h_acc(alpha, d2, o2.rb_mut());
+            }
+        }
+    }
+
+    /// Compressed AXPY of a dense block: `H[r0.., c0..] += α·panel`, with
+    /// recompression of touched low-rank leaves at relative tolerance `eps`.
+    ///
+    /// This is the core primitive of the paper's compressed-Schur variants:
+    /// each dense Schur block returned by the sparse solver is folded into
+    /// the compressed Schur complement through this operation.
+    pub fn axpy_dense_block(
+        &mut self,
+        alpha: T,
+        r0: usize,
+        c0: usize,
+        panel: MatRef<'_, T>,
+        eps: T::Real,
+    ) {
+        let (pm, pn) = (panel.nrows(), panel.ncols());
+        if pm == 0 || pn == 0 {
+            return;
+        }
+        assert!(r0 + pm <= self.nrows && c0 + pn <= self.ncols);
+        match &mut self.kind {
+            HKind::Dense(m) => {
+                let mut dst = m.view_mut(r0..r0 + pm, c0..c0 + pn);
+                dst.axpy(alpha, panel);
+            }
+            HKind::DenseLu(_) => panic!("axpy on a factored leaf"),
+            HKind::LowRank(lr) => {
+                // Compress the panel, zero-pad its factors to the leaf shape,
+                // truncated add.
+                let d = panel.to_owned();
+                let tol = eps * d.norm_fro();
+                let sub = LowRank::from_dense(&d, tol, pm.min(pn));
+                let mut u = Mat::zeros(self.nrows, sub.rank());
+                let mut v = Mat::zeros(self.ncols, sub.rank());
+                for k in 0..sub.rank() {
+                    u.col_mut(k)[r0..r0 + pm].copy_from_slice(sub.u.col(k));
+                    v.col_mut(k)[c0..c0 + pn].copy_from_slice(sub.v.col(k));
+                }
+                let padded = LowRank::new(u, v);
+                let total = lr.add(alpha, &padded);
+                let tol2 = eps * total.norm_fro();
+                *lr = {
+                    let mut t = total;
+                    t.recompress(tol2);
+                    t
+                };
+            }
+            HKind::Hier(_) => {
+                let (rs, cs) = self.splits();
+                let HKind::Hier(ch) = &mut self.kind else {
+                    unreachable!()
+                };
+                // Row intersections.
+                let top = r0 < rs;
+                let bot = r0 + pm > rs;
+                let left = c0 < cs;
+                let right = c0 + pn > cs;
+                let rmid = rs.saturating_sub(r0).min(pm);
+                let cmid = cs.saturating_sub(c0).min(pn);
+                let rb = r0.saturating_sub(rs); // row offset inside bottom children
+                let cr = c0.saturating_sub(cs); // col offset inside right children
+                if top && left {
+                    ch[0].axpy_dense_block(alpha, r0, c0, panel.submatrix(0..rmid, 0..cmid), eps);
+                }
+                if bot && left {
+                    ch[1].axpy_dense_block(alpha, rb, c0, panel.submatrix(rmid..pm, 0..cmid), eps);
+                }
+                if top && right {
+                    ch[2].axpy_dense_block(alpha, r0, cr, panel.submatrix(0..rmid, cmid..pn), eps);
+                }
+                if bot && right {
+                    ch[3].axpy_dense_block(alpha, rb, cr, panel.submatrix(rmid..pm, cmid..pn), eps);
+                }
+            }
+        }
+    }
+
+    /// Compressed AXPY of a low-rank term covering the whole block:
+    /// `H += α·L` with recompression at relative tolerance `eps`.
+    pub fn axpy_lowrank(&mut self, alpha: T, lr_in: &LowRank<T>, eps: T::Real) {
+        assert_eq!(lr_in.nrows(), self.nrows);
+        assert_eq!(lr_in.ncols(), self.ncols);
+        if lr_in.rank() == 0 {
+            return;
+        }
+        match &mut self.kind {
+            HKind::Dense(m) => lr_in.axpy_into_dense(alpha, m.as_mut()),
+            HKind::DenseLu(_) => panic!("axpy on a factored leaf"),
+            HKind::LowRank(mine) => {
+                let total = mine.add(alpha, lr_in);
+                let tol = eps * total.norm_fro();
+                *mine = {
+                    let mut t = total;
+                    t.recompress(tol);
+                    t
+                };
+            }
+            HKind::Hier(_) => {
+                let (rs, cs) = self.splits();
+                let (m, n) = (self.nrows, self.ncols);
+                let HKind::Hier(ch) = &mut self.kind else {
+                    unreachable!()
+                };
+                let parts = [
+                    (0usize, 0..rs, 0..cs),
+                    (1, rs..m, 0..cs),
+                    (2, 0..rs, cs..n),
+                    (3, rs..m, cs..n),
+                ];
+                for (idx, rr, cc) in parts {
+                    let sub = LowRank::new(
+                        lr_in.u.submatrix(rr.clone(), 0..lr_in.rank()),
+                        lr_in.v.submatrix(cc.clone(), 0..lr_in.rank()),
+                    );
+                    ch[idx].axpy_lowrank(alpha, &sub, eps);
+                }
+            }
+        }
+    }
+
+    /// Collapse to a single low-rank matrix at relative tolerance `eps`.
+    pub fn to_lowrank(&self, eps: T::Real) -> LowRank<T> {
+        match &self.kind {
+            HKind::Dense(m) => {
+                let tol = eps * m.norm_fro();
+                LowRank::from_dense(m, tol, m.nrows().min(m.ncols()))
+            }
+            HKind::DenseLu(_) => panic!("to_lowrank on a factored leaf"),
+            HKind::LowRank(lr) => lr.clone(),
+            HKind::Hier(ch) => {
+                let (rs, cs) = self.splits();
+                let parts = [
+                    (ch[0].to_lowrank(eps), 0usize, 0usize),
+                    (ch[1].to_lowrank(eps), rs, 0),
+                    (ch[2].to_lowrank(eps), 0, cs),
+                    (ch[3].to_lowrank(eps), rs, cs),
+                ];
+                let total_rank: usize = parts.iter().map(|(p, _, _)| p.rank()).sum();
+                let mut u = Mat::zeros(self.nrows, total_rank);
+                let mut v = Mat::zeros(self.ncols, total_rank);
+                let mut off = 0;
+                for (p, roff, coff) in &parts {
+                    for k in 0..p.rank() {
+                        u.col_mut(off + k)[*roff..*roff + p.nrows()]
+                            .copy_from_slice(p.u.col(k));
+                        v.col_mut(off + k)[*coff..*coff + p.ncols()]
+                            .copy_from_slice(p.v.col(k));
+                    }
+                    off += p.rank();
+                }
+                let mut out = LowRank::new(u, v);
+                let tol = eps * out.norm_fro();
+                out.recompress(tol);
+                out
+            }
+        }
+    }
+
+    /// Structure statistics.
+    pub fn stats(&self) -> HStats {
+        let mut s = HStats {
+            dense_bytes: self.nrows * self.ncols * std::mem::size_of::<T>(),
+            ..Default::default()
+        };
+        self.stats_rec(&mut s);
+        s
+    }
+
+    fn stats_rec(&self, s: &mut HStats) {
+        match &self.kind {
+            HKind::Dense(m) => {
+                s.dense_leaves += 1;
+                s.bytes += m.byte_size();
+            }
+            HKind::DenseLu(f) => {
+                s.dense_leaves += 1;
+                s.bytes += f.byte_size();
+            }
+            HKind::LowRank(lr) => {
+                s.lowrank_leaves += 1;
+                s.max_rank = s.max_rank.max(lr.rank());
+                s.bytes += lr.byte_size();
+            }
+            HKind::Hier(ch) => {
+                for c in ch.iter() {
+                    c.stats_rec(s);
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn scale_panel<T: Scalar>(beta: T, mut c: MatMut<'_, T>) {
+    if beta == T::ONE {
+        return;
+    }
+    if beta == T::ZERO {
+        c.fill(T::ZERO);
+        return;
+    }
+    for j in 0..c.ncols() {
+        for x in c.col_mut(j) {
+            *x *= beta;
+        }
+    }
+}
+
+/// `C ← C + α·A·B` on hierarchical operands, with recompression at relative
+/// tolerance `eps`. All three must come from the same pair of cluster trees
+/// (aligned splits).
+pub fn h_gemm<T: Scalar>(alpha: T, a: &HMatrix<T>, b: &HMatrix<T>, c: &mut HMatrix<T>, eps: T::Real) {
+    assert_eq!(a.ncols, b.nrows);
+    assert_eq!(c.nrows, a.nrows);
+    assert_eq!(c.ncols, b.ncols);
+    if a.nrows == 0 || b.ncols == 0 || a.ncols == 0 {
+        return;
+    }
+    match (&a.kind, &b.kind) {
+        (HKind::LowRank(la), _) => {
+            if la.rank() == 0 {
+                return;
+            }
+            // α·(U·Vᵀ)·B = α·U·(Bᵀ·V)ᵀ
+            let mut z = Mat::zeros(b.ncols, la.rank());
+            b.mul_dense_t(T::ONE, la.v.as_ref(), T::ZERO, z.as_mut());
+            let p = LowRank::new(la.u.clone(), z);
+            c.axpy_lowrank(alpha, &p, eps);
+        }
+        (_, HKind::LowRank(lb)) => {
+            if lb.rank() == 0 {
+                return;
+            }
+            // α·A·(U·Vᵀ) = α·(A·U)·Vᵀ
+            let mut z = Mat::zeros(a.nrows, lb.rank());
+            a.mul_dense(T::ONE, lb.u.as_ref(), T::ZERO, z.as_mut());
+            let p = LowRank::new(z, lb.v.clone());
+            c.axpy_lowrank(alpha, &p, eps);
+        }
+        (HKind::Dense(da), _) => {
+            // Thin row panel: D·B via dense×H.
+            let mut out = Mat::zeros(a.nrows, b.ncols);
+            b.dense_mul_h(T::ONE, da.as_ref(), T::ZERO, out.as_mut());
+            c.axpy_dense_block(alpha, 0, 0, out.as_ref(), eps);
+        }
+        (_, HKind::Dense(db)) => {
+            let mut out = Mat::zeros(a.nrows, b.ncols);
+            a.mul_dense(T::ONE, db.as_ref(), T::ZERO, out.as_mut());
+            c.axpy_dense_block(alpha, 0, 0, out.as_ref(), eps);
+        }
+        (HKind::Hier(_), HKind::Hier(_)) => match &mut c.kind {
+            HKind::Hier(_) => {
+                let HKind::Hier(ca) = &a.kind else { unreachable!() };
+                let HKind::Hier(cb) = &b.kind else { unreachable!() };
+                let HKind::Hier(cc) = &mut c.kind else {
+                    unreachable!()
+                };
+                // c11 += a11·b11 + a12·b21, etc. (children order [11,21,12,22])
+                h_gemm(alpha, &ca[0], &cb[0], &mut cc[0], eps);
+                h_gemm(alpha, &ca[2], &cb[1], &mut cc[0], eps);
+                h_gemm(alpha, &ca[1], &cb[0], &mut cc[1], eps);
+                h_gemm(alpha, &ca[3], &cb[1], &mut cc[1], eps);
+                h_gemm(alpha, &ca[0], &cb[2], &mut cc[2], eps);
+                h_gemm(alpha, &ca[2], &cb[3], &mut cc[2], eps);
+                h_gemm(alpha, &ca[1], &cb[2], &mut cc[3], eps);
+                h_gemm(alpha, &ca[3], &cb[3], &mut cc[3], eps);
+            }
+            _ => {
+                // c is a (low-rank) leaf spanning the split: form the product
+                // as a low-rank matrix and fold it in.
+                let p = h_mul_to_lowrank(a, b, eps);
+                c.axpy_lowrank(alpha, &p, eps);
+            }
+        },
+        (HKind::DenseLu(_), _) | (_, HKind::DenseLu(_)) => {
+            panic!("h_gemm on factored operands")
+        }
+    }
+}
+
+/// Compute `A·B` collapsed to a single low-rank matrix at relative tolerance
+/// `eps`.
+pub fn h_mul_to_lowrank<T: Scalar>(a: &HMatrix<T>, b: &HMatrix<T>, eps: T::Real) -> LowRank<T> {
+    assert_eq!(a.ncols, b.nrows);
+    match (&a.kind, &b.kind) {
+        (HKind::LowRank(la), _) => {
+            if la.rank() == 0 {
+                return LowRank::zeros(a.nrows, b.ncols);
+            }
+            let mut z = Mat::zeros(b.ncols, la.rank());
+            b.mul_dense_t(T::ONE, la.v.as_ref(), T::ZERO, z.as_mut());
+            LowRank::new(la.u.clone(), z)
+        }
+        (_, HKind::LowRank(lb)) => {
+            if lb.rank() == 0 {
+                return LowRank::zeros(a.nrows, b.ncols);
+            }
+            let mut z = Mat::zeros(a.nrows, lb.rank());
+            a.mul_dense(T::ONE, lb.u.as_ref(), T::ZERO, z.as_mut());
+            LowRank::new(z, lb.v.clone())
+        }
+        (HKind::Dense(da), _) => {
+            let mut out = Mat::zeros(a.nrows, b.ncols);
+            b.dense_mul_h(T::ONE, da.as_ref(), T::ZERO, out.as_mut());
+            let tol = eps * out.norm_fro();
+            LowRank::from_dense(&out, tol, out.nrows().min(out.ncols()))
+        }
+        (_, HKind::Dense(db)) => {
+            let mut out = Mat::zeros(a.nrows, b.ncols);
+            a.mul_dense(T::ONE, db.as_ref(), T::ZERO, out.as_mut());
+            let tol = eps * out.norm_fro();
+            LowRank::from_dense(&out, tol, out.nrows().min(out.ncols()))
+        }
+        (HKind::Hier(ca), HKind::Hier(cb)) => {
+            let (ars, _) = a.splits();
+            let (_, bcs) = b.splits();
+            // P_ij = Σ_k a_ik·b_kj, each collapsed then merged.
+            let quad = |ai1: &HMatrix<T>, ai2: &HMatrix<T>, b1j: &HMatrix<T>, b2j: &HMatrix<T>| {
+                let p1 = h_mul_to_lowrank(ai1, b1j, eps);
+                let p2 = h_mul_to_lowrank(ai2, b2j, eps);
+                let tol = eps * (p1.norm_fro() + p2.norm_fro());
+                p1.add_truncate(T::ONE, &p2, tol)
+            };
+            let p11 = quad(&ca[0], &ca[2], &cb[0], &cb[1]);
+            let p21 = quad(&ca[1], &ca[3], &cb[0], &cb[1]);
+            let p12 = quad(&ca[0], &ca[2], &cb[2], &cb[3]);
+            let p22 = quad(&ca[1], &ca[3], &cb[2], &cb[3]);
+            let parts = [
+                (&p11, 0usize, 0usize),
+                (&p21, ars, 0),
+                (&p12, 0, bcs),
+                (&p22, ars, bcs),
+            ];
+            let total_rank: usize = parts.iter().map(|(p, _, _)| p.rank()).sum();
+            let mut u = Mat::zeros(a.nrows, total_rank);
+            let mut v = Mat::zeros(b.ncols, total_rank);
+            let mut off = 0;
+            for (p, roff, coff) in &parts {
+                for k in 0..p.rank() {
+                    u.col_mut(off + k)[*roff..*roff + p.nrows()].copy_from_slice(p.u.col(k));
+                    v.col_mut(off + k)[*coff..*coff + p.ncols()].copy_from_slice(p.v.col(k));
+                }
+                off += p.rank();
+            }
+            let mut out = LowRank::new(u, v);
+            let tol = eps * out.norm_fro();
+            out.recompress(tol);
+            out
+        }
+        (HKind::DenseLu(_), _) | (_, HKind::DenseLu(_)) => {
+            panic!("h_mul_to_lowrank on factored operands")
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Cross-module tests for the H-matrix layer: every hierarchical operation
+//! is validated against its dense counterpart on kernels with genuine
+//! low-rank off-diagonal structure.
+
+use csolve_common::{ByteSized, C64, Scalar};
+use csolve_dense::{gemm_into, Mat, Op};
+use csolve_lowrank::LowRank;
+use rand::SeedableRng;
+
+use crate::cluster::ClusterTree;
+use crate::factor::HLu;
+use crate::geometry::Point3;
+use crate::hmatrix::{h_gemm, h_mul_to_lowrank, AssembleMethod, HMatrix, HOptions};
+
+/// Points on a square surface patch — a stand-in for a BEM surface mesh.
+fn surface_points(n_side: usize) -> Vec<Point3> {
+    let mut pts = Vec::with_capacity(n_side * n_side);
+    for i in 0..n_side {
+        for j in 0..n_side {
+            let x = i as f64 / n_side as f64;
+            let y = j as f64 / n_side as f64;
+            // Gentle curvature so the geometry is 3-D.
+            pts.push(Point3::new(x, y, 0.1 * (x * x + y * y)));
+        }
+    }
+    pts
+}
+
+/// Smooth Green-like kernel with a diagonal shift: symmetric positive-ish,
+/// hierarchically low-rank off the diagonal.
+fn kernel_entry(pts: &[Point3], shift: f64, i: usize, j: usize) -> f64 {
+    if i == j {
+        shift
+    } else {
+        let r = pts[i].dist(&pts[j]);
+        1.0 / (4.0 * std::f64::consts::PI * (r + 0.05))
+    }
+}
+
+fn build_test_h(
+    n_side: usize,
+    eps: f64,
+    method: AssembleMethod,
+) -> (ClusterTree, HMatrix<f64>, Mat<f64>) {
+    let pts = surface_points(n_side);
+    let n = pts.len();
+    let tree = ClusterTree::build(&pts, 24);
+    let shift = n as f64;
+    // Oracle in cluster order.
+    let perm = tree.perm.clone();
+    let p2 = pts.clone();
+    let oracle = move |i: usize, j: usize| kernel_entry(&p2, shift, perm[i], perm[j]);
+    let opts = HOptions {
+        eps,
+        // Generous admissibility: at these (test-sized) point counts the
+        // standard eta = 2 leaves most blocks in the near field.
+        eta: 6.0,
+        max_rank: 64,
+        method,
+    };
+    let h = HMatrix::assemble_root(&tree, &tree, &oracle, &opts);
+    let dense = Mat::from_fn(n, n, |i, j| kernel_entry(&pts, shift, tree.perm[i], tree.perm[j]));
+    (tree, h, dense)
+}
+
+fn rel_err(got: &Mat<f64>, want: &Mat<f64>) -> f64 {
+    let mut d = got.clone();
+    d.axpy(-1.0, want);
+    d.norm_fro() / want.norm_fro()
+}
+
+#[test]
+fn assembly_approximates_kernel_and_compresses() {
+    for method in [AssembleMethod::Aca, AssembleMethod::Direct] {
+        // Large enough that the block structure has plenty of admissible
+        // (well separated) blocks; loose eps as in the paper's regime.
+        let (_, h, dense) = build_test_h(24, 1e-4, method);
+        let err = rel_err(&h.to_dense(), &dense);
+        assert!(err < 1e-3, "{method:?}: rel err {err:.3e}");
+        let st = h.stats();
+        assert!(st.lowrank_leaves > 0, "{method:?}: no compression happened");
+        // At test-scale point counts the near field dominates; the asymptotic
+        // O(n·r·log n) gain is exercised by the capacity benchmarks instead.
+        assert!(
+            st.bytes < st.dense_bytes * 4 / 5,
+            "{method:?}: bytes {} vs dense {}",
+            st.bytes,
+            st.dense_bytes
+        );
+        assert_eq!(h.byte_size(), st.bytes);
+    }
+}
+
+#[test]
+fn mul_dense_matches_dense() {
+    let (_, h, dense) = build_test_h(12, 1e-9, AssembleMethod::Aca);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let b = Mat::<f64>::random(dense.ncols(), 5, &mut rng);
+    let mut c = Mat::<f64>::random(dense.nrows(), 5, &mut rng);
+    let c0 = c.clone();
+    h.mul_dense(2.0, b.as_ref(), 0.5, c.as_mut());
+    let mut want = gemm_into(dense.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+    want.scale(2.0);
+    let mut c0h = c0;
+    c0h.scale(0.5);
+    want.axpy(1.0, &c0h);
+    assert!(rel_err(&c, &want) < 1e-6);
+}
+
+#[test]
+fn mul_dense_t_and_dense_mul_h_match() {
+    let (_, h, dense) = build_test_h(10, 1e-9, AssembleMethod::Aca);
+    let n = dense.nrows();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let b = Mat::<f64>::random(n, 4, &mut rng);
+    // Hᵀ·B
+    let mut c = Mat::<f64>::zeros(n, 4);
+    h.mul_dense_t(1.0, b.as_ref(), 0.0, c.as_mut());
+    let want = gemm_into(dense.as_ref(), Op::Trans, b.as_ref(), Op::NoTrans);
+    assert!(rel_err(&c, &want) < 1e-6);
+    // D·H
+    let d = Mat::<f64>::random(3, n, &mut rng);
+    let mut out = Mat::<f64>::zeros(3, n);
+    h.dense_mul_h(1.0, d.as_ref(), 0.0, out.as_mut());
+    let want = gemm_into(d.as_ref(), Op::NoTrans, dense.as_ref(), Op::NoTrans);
+    assert!(rel_err(&out, &want) < 1e-6);
+}
+
+#[test]
+fn matvec_matches() {
+    let (_, h, dense) = build_test_h(9, 1e-9, AssembleMethod::Aca);
+    let n = dense.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut y = vec![0.0; n];
+    h.matvec(1.0, &x, 0.0, &mut y);
+    let mut want = vec![0.0; n];
+    csolve_dense::matvec(1.0, dense.as_ref(), Op::NoTrans, &x, 0.0, &mut want);
+    let err: f64 = y
+        .iter()
+        .zip(&want)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(err < 1e-6 * n as f64);
+}
+
+#[test]
+fn axpy_dense_block_various_offsets() {
+    let (_, mut h, mut dense) = build_test_h(10, 1e-9, AssembleMethod::Aca);
+    let n = dense.nrows();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    // A few panels at awkward offsets crossing child boundaries.
+    for &(r0, c0, pm, pn) in &[
+        (0usize, 0usize, n, 16usize),
+        (7, n - 20, 33, 20),
+        (n / 2 - 5, n / 2 - 5, 11, 11),
+        (0, 0, 1, 1),
+    ] {
+        let panel = Mat::<f64>::random(pm, pn, &mut rng);
+        h.axpy_dense_block(0.7, r0, c0, panel.as_ref(), 1e-10);
+        let mut dst = dense.view_mut(r0..r0 + pm, c0..c0 + pn);
+        dst.axpy(0.7, panel.as_ref());
+    }
+    assert!(rel_err(&h.to_dense(), &dense) < 1e-6);
+}
+
+#[test]
+fn axpy_lowrank_full_shape() {
+    let (_, mut h, mut dense) = build_test_h(9, 1e-9, AssembleMethod::Aca);
+    let n = dense.nrows();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let u = Mat::<f64>::random(n, 3, &mut rng);
+    let v = Mat::<f64>::random(n, 3, &mut rng);
+    let lr = LowRank::new(u, v);
+    h.axpy_lowrank(-1.5, &lr, 1e-10);
+    dense.axpy(-1.5, &lr.to_dense());
+    assert!(rel_err(&h.to_dense(), &dense) < 1e-6);
+}
+
+#[test]
+fn to_lowrank_of_admissible_product() {
+    let (_, h, dense) = build_test_h(8, 1e-8, AssembleMethod::Aca);
+    // The full matrix is not low-rank (diagonal dominates), but the
+    // reconstruction must still meet the tolerance loosely at high eps.
+    let lr = h.to_lowrank(1e-9);
+    let err = rel_err(&lr.to_dense(), &dense);
+    assert!(err < 1e-6, "err {err:.3e}");
+}
+
+#[test]
+fn h_gemm_matches_dense_product() {
+    let (_, ha, da) = build_test_h(9, 1e-9, AssembleMethod::Aca);
+    let (_, hb, db) = build_test_h(9, 1e-9, AssembleMethod::Aca);
+    let (_, mut hc, mut dc) = build_test_h(9, 1e-9, AssembleMethod::Aca);
+    h_gemm(-1.0, &ha, &hb, &mut hc, 1e-10);
+    let prod = gemm_into(da.as_ref(), Op::NoTrans, db.as_ref(), Op::NoTrans);
+    dc.axpy(-1.0, &prod);
+    assert!(rel_err(&hc.to_dense(), &dc) < 1e-5);
+}
+
+#[test]
+fn h_mul_to_lowrank_matches() {
+    let (_, ha, da) = build_test_h(8, 1e-9, AssembleMethod::Aca);
+    let (_, hb, db) = build_test_h(8, 1e-9, AssembleMethod::Aca);
+    let p = h_mul_to_lowrank(&ha, &hb, 1e-9);
+    let want = gemm_into(da.as_ref(), Op::NoTrans, db.as_ref(), Op::NoTrans);
+    assert!(rel_err(&p.to_dense(), &want) < 1e-5);
+}
+
+#[test]
+fn hlu_solves_real_system() {
+    let (_, h, dense) = build_test_h(12, 1e-10, AssembleMethod::Aca);
+    let n = dense.nrows();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let x_exact = Mat::<f64>::random(n, 3, &mut rng);
+    let b = gemm_into(dense.as_ref(), Op::NoTrans, x_exact.as_ref(), Op::NoTrans);
+    let f = HLu::factor(h, 1e-12).unwrap();
+    let mut x = b.clone();
+    f.solve_in_place(x.as_mut());
+    let err = rel_err(&x, &x_exact);
+    assert!(err < 1e-6, "solve err {err:.3e}");
+}
+
+#[test]
+fn hlu_compressed_factor_still_accurate_at_loose_eps() {
+    // The paper's regime: eps = 1e-3 compression, relative error of the
+    // solution stays below eps.
+    let (_, h, dense) = build_test_h(14, 1e-3, AssembleMethod::Aca);
+    let n = dense.nrows();
+    let x_exact = Mat::<f64>::from_fn(n, 1, |i, _| 1.0 + (i as f64 * 0.01).cos());
+    let b = gemm_into(dense.as_ref(), Op::NoTrans, x_exact.as_ref(), Op::NoTrans);
+    let st_before = h.stats();
+    let f = HLu::factor(h, 1e-3).unwrap();
+    let mut x = b.clone();
+    f.solve_in_place(x.as_mut());
+    let err = rel_err(&x, &x_exact);
+    assert!(err < 1e-3, "solve err {err:.3e}");
+    assert!(st_before.bytes < st_before.dense_bytes);
+}
+
+#[test]
+fn hlu_complex_system() {
+    // Complex symmetric kernel (oscillatory Green function) + shift.
+    let pts = surface_points(10);
+    let n = pts.len();
+    let tree = ClusterTree::build(&pts, 16);
+    let perm = tree.perm.clone();
+    let p2 = pts.clone();
+    let kappa = 3.0;
+    let entry = move |pi: usize, pj: usize| -> C64 {
+        if pi == pj {
+            C64::new(n as f64, 0.3 * n as f64)
+        } else {
+            let r = p2[pi].dist(&p2[pj]);
+            let amp = 1.0 / (4.0 * std::f64::consts::PI * (r + 0.05));
+            C64::new(amp * (kappa * r).cos(), amp * (kappa * r).sin())
+        }
+    };
+    let e2 = entry.clone();
+    let oracle = move |i: usize, j: usize| e2(perm[i], perm[j]);
+    let opts = HOptions {
+        eps: 1e-9,
+        ..Default::default()
+    };
+    let h = HMatrix::assemble_root(&tree, &tree, &oracle, &opts);
+    let dense = Mat::from_fn(n, n, |i, j| entry(tree.perm[i], tree.perm[j]));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let x_exact = Mat::<C64>::random(n, 2, &mut rng);
+    let b = gemm_into(dense.as_ref(), Op::NoTrans, x_exact.as_ref(), Op::NoTrans);
+    let f = HLu::factor(h, 1e-11).unwrap();
+    let mut x = b;
+    f.solve_in_place(x.as_mut());
+    let mut d = x;
+    d.axpy(-C64::ONE, &x_exact);
+    let err = d.norm_fro() / x_exact.norm_fro();
+    assert!(err < 1e-6, "complex solve err {err:.3e}");
+}
+
+#[test]
+fn compress_dense_roundtrip() {
+    let pts = surface_points(16);
+    let n = pts.len();
+    let tree = ClusterTree::build(&pts, 16);
+    let dense = Mat::from_fn(n, n, |i, j| kernel_entry(&pts, n as f64, tree.perm[i], tree.perm[j]));
+    let opts = HOptions {
+        eps: 1e-6,
+        ..Default::default()
+    };
+    let h = HMatrix::compress_dense(&tree, &tree, &dense, &opts);
+    assert!(rel_err(&h.to_dense(), &dense) < 1e-4);
+    let st = h.stats();
+    assert!(st.bytes < st.dense_bytes, "bytes {} vs dense {}", st.bytes, st.dense_bytes);
+}

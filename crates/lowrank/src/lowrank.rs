@@ -1,0 +1,442 @@
+//! The [`LowRank`] matrix type `A ≈ U·Vᵀ` and its recompression arithmetic.
+//!
+//! The plain (non-conjugated) transpose convention is used so that
+//! transposition of a low-rank matrix is a pure factor swap even in the
+//! complex symmetric setting of the paper.
+
+use csolve_common::{ByteSized, RealScalar, Scalar};
+use csolve_dense::{gemm, gemm_into, Mat, MatMut, MatRef, Op};
+
+use crate::qr::{col_piv_qr, qr_in_place};
+use crate::svd::jacobi_svd;
+
+/// Rank-`r` representation `U·Vᵀ` with `U: m×r`, `V: n×r`.
+#[derive(Clone)]
+pub struct LowRank<T> {
+    pub u: Mat<T>,
+    pub v: Mat<T>,
+}
+
+impl<T: Scalar> std::fmt::Debug for LowRank<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LowRank({}x{}, rank {})",
+            self.nrows(),
+            self.ncols(),
+            self.rank()
+        )
+    }
+}
+
+impl<T> ByteSized for LowRank<T> {
+    fn byte_size(&self) -> usize {
+        self.u.byte_size() + self.v.byte_size()
+    }
+}
+
+impl<T: Scalar> LowRank<T> {
+    pub fn new(u: Mat<T>, v: Mat<T>) -> Self {
+        assert_eq!(u.ncols(), v.ncols(), "LowRank: factor ranks must agree");
+        Self { u, v }
+    }
+
+    /// Rank-zero (all-zero) matrix of the given shape.
+    pub fn zeros(m: usize, n: usize) -> Self {
+        Self {
+            u: Mat::zeros(m, 0),
+            v: Mat::zeros(n, 0),
+        }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.u.nrows()
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.v.nrows()
+    }
+
+    pub fn rank(&self) -> usize {
+        self.u.ncols()
+    }
+
+    /// Compress a dense block at *absolute* Frobenius tolerance `tol`
+    /// (pass `eps · ‖A‖_F` for the paper's relative ε). Rank-revealing QR
+    /// followed by an SVD cleanup of the core.
+    pub fn from_dense(a: &Mat<T>, tol: T::Real, max_rank: usize) -> Self {
+        let f = col_piv_qr(a.clone(), tol * T::Real::from_f64_real(0.5), max_rank);
+        let (u, v) = f.factors();
+        let mut lr = Self::new(u, v);
+        lr.recompress(tol);
+        lr
+    }
+
+    /// Materialize as dense.
+    pub fn to_dense(&self) -> Mat<T> {
+        if self.rank() == 0 {
+            return Mat::zeros(self.nrows(), self.ncols());
+        }
+        gemm_into(self.u.as_ref(), Op::NoTrans, self.v.as_ref(), Op::Trans)
+    }
+
+    /// `out += α·U·Vᵀ` on a dense block of matching shape.
+    pub fn axpy_into_dense(&self, alpha: T, out: MatMut<'_, T>) {
+        assert_eq!(out.nrows(), self.nrows());
+        assert_eq!(out.ncols(), self.ncols());
+        if self.rank() == 0 {
+            return;
+        }
+        gemm(
+            alpha,
+            self.u.as_ref(),
+            Op::NoTrans,
+            self.v.as_ref(),
+            Op::Trans,
+            T::ONE,
+            out,
+        );
+    }
+
+    /// `C ← α·(U·Vᵀ)·op(B) + β·C` — costs `O((m+n)·r·k)`.
+    pub fn mul_dense(&self, alpha: T, b: MatRef<'_, T>, opb: Op, beta: T, mut c: MatMut<'_, T>) {
+        // tmp = Vᵀ·op(B) : r×k
+        let (_, k) = opb.shape_of(&b);
+        if self.rank() == 0 {
+            if beta == T::ZERO {
+                c.fill(T::ZERO);
+            } else if beta != T::ONE {
+                for j in 0..c.ncols() {
+                    for x in c.col_mut(j) {
+                        *x *= beta;
+                    }
+                }
+            }
+            return;
+        }
+        let mut tmp = Mat::zeros(self.rank(), k);
+        gemm(
+            T::ONE,
+            self.v.as_ref(),
+            Op::Trans,
+            b,
+            opb,
+            T::ZERO,
+            tmp.as_mut(),
+        );
+        gemm(
+            alpha,
+            self.u.as_ref(),
+            Op::NoTrans,
+            tmp.as_ref(),
+            Op::NoTrans,
+            beta,
+            c,
+        );
+    }
+
+    /// `y ← α·(U·Vᵀ)·x + β·y`.
+    pub fn matvec(&self, alpha: T, x: &[T], beta: T, y: &mut [T]) {
+        if self.rank() == 0 {
+            if beta == T::ZERO {
+                y.fill(T::ZERO);
+            } else if beta != T::ONE {
+                for v in y.iter_mut() {
+                    *v *= beta;
+                }
+            }
+            return;
+        }
+        let mut tmp = vec![T::ZERO; self.rank()];
+        csolve_dense::matvec(T::ONE, self.v.as_ref(), Op::Trans, x, T::ZERO, &mut tmp);
+        csolve_dense::matvec(alpha, self.u.as_ref(), Op::NoTrans, &tmp, beta, y);
+    }
+
+    /// Transpose is a factor swap: `(U·Vᵀ)ᵀ = V·Uᵀ`.
+    pub fn transpose(&self) -> Self {
+        Self {
+            u: self.v.clone(),
+            v: self.u.clone(),
+        }
+    }
+
+    /// Scale in place (applied to `U`).
+    pub fn scale(&mut self, alpha: T) {
+        self.u.scale(alpha);
+    }
+
+    /// Formal sum: rank grows to `r₁ + r₂` (no truncation).
+    pub fn add(&self, alpha: T, other: &LowRank<T>) -> Self {
+        assert_eq!(self.nrows(), other.nrows());
+        assert_eq!(self.ncols(), other.ncols());
+        let r1 = self.rank();
+        let r2 = other.rank();
+        let mut u = Mat::zeros(self.nrows(), r1 + r2);
+        let mut v = Mat::zeros(self.ncols(), r1 + r2);
+        for j in 0..r1 {
+            u.col_mut(j).copy_from_slice(self.u.col(j));
+            v.col_mut(j).copy_from_slice(self.v.col(j));
+        }
+        for j in 0..r2 {
+            let dst = u.col_mut(r1 + j);
+            for (d, &s) in dst.iter_mut().zip(other.u.col(j)) {
+                *d = alpha * s;
+            }
+            v.col_mut(r1 + j).copy_from_slice(other.v.col(j));
+        }
+        Self { u, v }
+    }
+
+    /// Truncated sum `self + α·other` recompressed at absolute tolerance
+    /// `tol` — the *compressed AXPY* of the paper.
+    pub fn add_truncate(&self, alpha: T, other: &LowRank<T>, tol: T::Real) -> Self {
+        let mut sum = self.add(alpha, other);
+        sum.recompress(tol);
+        sum
+    }
+
+    /// Recompress in place at absolute Frobenius tolerance `tol`:
+    /// QR of both factors, SVD of the small core, truncate.
+    pub fn recompress(&mut self, tol: T::Real) {
+        let r = self.rank();
+        if r == 0 {
+            return;
+        }
+        let qu = qr_in_place(std::mem::replace(&mut self.u, Mat::zeros(0, 0)));
+        let qv = qr_in_place(std::mem::replace(&mut self.v, Mat::zeros(0, 0)));
+        // core = Ru·Rvᵀ (ru×rv)
+        let ru = qu.r();
+        let rv = qv.r();
+        let core = gemm_into(ru.as_ref(), Op::NoTrans, rv.as_ref(), Op::Trans);
+        let svd = jacobi_svd(&core);
+        // Truncate: keep σ_i with Σ_{j>r'} σ_j² ≤ tol² (Frobenius criterion).
+        let mut keep = svd.s.len();
+        let tol2 = tol * tol;
+        let mut tail = T::Real::RZERO;
+        while keep > 0 {
+            let add = svd.s[keep - 1] * svd.s[keep - 1];
+            if tail + add > tol2 {
+                break;
+            }
+            tail += add;
+            keep -= 1;
+        }
+        // U ← Qu·(W·Σ), V ← Qv·conj(Z)
+        let mut wsig = svd.u.submatrix(0..svd.u.nrows(), 0..keep);
+        for j in 0..keep {
+            let sj = T::from_real(svd.s[j]);
+            for x in wsig.col_mut(j) {
+                *x *= sj;
+            }
+        }
+        let zconj = Mat::from_fn(svd.v.nrows(), keep, |i, j| svd.v[(i, j)].conj());
+        let qu_thin = qu.q_thin();
+        let qv_thin = qv.q_thin();
+        self.u = gemm_into(qu_thin.as_ref(), Op::NoTrans, wsig.as_ref(), Op::NoTrans);
+        self.v = gemm_into(qv_thin.as_ref(), Op::NoTrans, zconj.as_ref(), Op::NoTrans);
+    }
+
+    /// Frobenius norm computed from the factors in `O((m+n)·r²)`.
+    pub fn norm_fro(&self) -> T::Real {
+        let r = self.rank();
+        if r == 0 {
+            return T::Real::RZERO;
+        }
+        let gu = gemm_into(self.u.as_ref(), Op::ConjTrans, self.u.as_ref(), Op::NoTrans);
+        let gv = gemm_into(self.v.as_ref(), Op::ConjTrans, self.v.as_ref(), Op::NoTrans);
+        // ‖UVᵀ‖²_F = tr(conj(V)·UᴴU·Vᵀ) = Σ_{kl} Gu_{kl}·Gv_{kl}
+        // (real because Gu and Gv are Hermitian positive semi-definite).
+        let mut acc = T::Real::RZERO;
+        for i in 0..r {
+            for j in 0..r {
+                acc += (gu[(i, j)] * gv[(i, j)]).real();
+            }
+        }
+        acc.rmax(T::Real::RZERO).rsqrt_val()
+    }
+
+    /// Extract rows `rows` as a low-rank matrix (shares column factor).
+    pub fn rows(&self, rows: std::ops::Range<usize>) -> Self {
+        Self {
+            u: self.u.submatrix(rows, 0..self.rank()),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Extract columns `cols` as a low-rank matrix (shares row factor).
+    pub fn cols(&self, cols: std::ops::Range<usize>) -> Self {
+        Self {
+            u: self.u.clone(),
+            v: self.v.submatrix(cols, 0..self.rank()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csolve_common::C64;
+    use rand::SeedableRng;
+
+    fn rand_lowrank(m: usize, n: usize, r: usize, seed: u64) -> (LowRank<f64>, Mat<f64>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let u = Mat::<f64>::random(m, r, &mut rng);
+        let v = Mat::<f64>::random(n, r, &mut rng);
+        let lr = LowRank::new(u, v);
+        let dense = lr.to_dense();
+        (lr, dense)
+    }
+
+    #[test]
+    fn from_dense_and_back() {
+        let (_, a) = rand_lowrank(20, 15, 4, 1);
+        let lr = LowRank::from_dense(&a, 1e-10 * a.norm_fro(), usize::MAX);
+        assert!(lr.rank() <= 6, "rank {} too high", lr.rank());
+        let mut d = lr.to_dense();
+        d.axpy(-1.0, &a);
+        assert!(d.norm_fro() < 1e-8 * a.norm_fro());
+    }
+
+    #[test]
+    fn recompress_reduces_inflated_rank() {
+        let (lr, a) = rand_lowrank(25, 18, 3, 2);
+        // Inflate: add itself then recompress — rank must come back to ~3.
+        let doubled = lr.add(1.0, &lr);
+        assert_eq!(doubled.rank(), 6);
+        let mut rc = doubled.clone();
+        rc.recompress(1e-10 * a.norm_fro());
+        assert!(rc.rank() <= 3, "rank after recompression: {}", rc.rank());
+        let mut d = rc.to_dense();
+        let mut want = a.clone();
+        want.scale(2.0);
+        d.axpy(-1.0, &want);
+        assert!(d.norm_fro() < 1e-8 * a.norm_fro());
+    }
+
+    #[test]
+    fn add_truncate_is_compressed_axpy() {
+        let (x, xd) = rand_lowrank(12, 12, 2, 3);
+        let (y, yd) = rand_lowrank(12, 12, 2, 4);
+        let tol = 1e-12;
+        let z = x.add_truncate(-1.0, &y, tol);
+        let mut want = xd.clone();
+        want.axpy(-1.0, &yd);
+        let mut d = z.to_dense();
+        d.axpy(-1.0, &want);
+        assert!(d.norm_fro() < 1e-9);
+        assert!(z.rank() <= 4);
+    }
+
+    #[test]
+    fn truncation_error_within_tolerance() {
+        // Sum of many rank-1 terms with decaying magnitude.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (m, n) = (30, 30);
+        let mut acc = LowRank::<f64>::zeros(m, n);
+        let mut dense = Mat::<f64>::zeros(m, n);
+        for k in 0..12 {
+            let mut u = Mat::<f64>::random(m, 1, &mut rng);
+            let v = Mat::<f64>::random(n, 1, &mut rng);
+            u.scale(0.3f64.powi(k));
+            let term = LowRank::new(u, v);
+            dense.axpy(1.0, &term.to_dense());
+            acc = acc.add(1.0, &term);
+        }
+        let tol = 1e-6 * dense.norm_fro();
+        let mut rc = acc.clone();
+        rc.recompress(tol);
+        assert!(rc.rank() < 12);
+        let mut d = rc.to_dense();
+        d.axpy(-1.0, &dense);
+        assert!(d.norm_fro() <= 2.0 * tol, "err {:.3e} vs tol {tol:.3e}", d.norm_fro());
+    }
+
+    #[test]
+    fn mul_dense_and_matvec() {
+        let (lr, a) = rand_lowrank(10, 14, 3, 6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let b = Mat::<f64>::random(14, 5, &mut rng);
+        let mut c = Mat::<f64>::zeros(10, 5);
+        lr.mul_dense(1.0, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        let want = gemm_into(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+        let mut d = c;
+        d.axpy(-1.0, &want);
+        assert!(d.norm_max() < 1e-11);
+
+        let x: Vec<f64> = (0..14).map(|i| i as f64 * 0.1 - 0.7).collect();
+        let mut y = vec![0.0; 10];
+        lr.matvec(2.0, &x, 0.0, &mut y);
+        let mut want = vec![0.0; 10];
+        csolve_dense::matvec(2.0, a.as_ref(), Op::NoTrans, &x, 0.0, &mut want);
+        for (g, w) in y.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_factors() {
+        let (lr, a) = rand_lowrank(8, 13, 2, 8);
+        let t = lr.transpose();
+        let mut d = t.to_dense();
+        d.axpy(-1.0, &a.transpose());
+        assert!(d.norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn norm_fro_matches_dense() {
+        let (lr, a) = rand_lowrank(9, 11, 4, 9);
+        assert!((lr.norm_fro() - a.norm_fro()).abs() < 1e-10 * a.norm_fro());
+        // complex case
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let u = Mat::<C64>::random(7, 3, &mut rng);
+        let v = Mat::<C64>::random(6, 3, &mut rng);
+        let lrc = LowRank::new(u, v);
+        let ad = lrc.to_dense();
+        assert!((lrc.norm_fro() - ad.norm_fro()).abs() < 1e-10 * ad.norm_fro());
+    }
+
+    #[test]
+    fn rank_zero_operations() {
+        let z = LowRank::<f64>::zeros(5, 6);
+        assert_eq!(z.rank(), 0);
+        assert_eq!(z.to_dense().norm_max(), 0.0);
+        assert_eq!(z.norm_fro(), 0.0);
+        let mut y = vec![1.0; 5];
+        z.matvec(1.0, &[1.0; 6], 0.0, &mut y);
+        assert!(y.iter().all(|&v| v == 0.0));
+        let mut rc = z.clone();
+        rc.recompress(1e-10);
+        assert_eq!(rc.rank(), 0);
+    }
+
+    #[test]
+    fn row_and_col_extraction() {
+        let (lr, a) = rand_lowrank(10, 10, 3, 11);
+        let rows = lr.rows(2..6);
+        let mut d = rows.to_dense();
+        d.axpy(-1.0, &a.submatrix(2..6, 0..10));
+        assert!(d.norm_max() < 1e-12);
+        let cols = lr.cols(1..4);
+        let mut d = cols.to_dense();
+        d.axpy(-1.0, &a.submatrix(0..10, 1..4));
+        assert!(d.norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn complex_recompression() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let u = Mat::<C64>::random(14, 3, &mut rng);
+        let v = Mat::<C64>::random(12, 3, &mut rng);
+        let lr = LowRank::new(u, v);
+        let a = lr.to_dense();
+        let doubled = lr.add(C64::new(0.5, 0.5), &lr);
+        let mut rc = doubled;
+        rc.recompress(1e-10 * a.norm_fro());
+        assert!(rc.rank() <= 3);
+        let mut want = a.clone();
+        want.scale(C64::new(1.5, 0.5));
+        let mut d = rc.to_dense();
+        d.axpy(-C64::ONE, &want);
+        assert!(d.norm_fro() < 1e-8 * a.norm_fro());
+    }
+}

@@ -1,0 +1,282 @@
+//! Elimination tree, postordering and exact factor column counts.
+//!
+//! These are the classical symbolic-analysis kernels of sparse Cholesky-like
+//! factorizations (Liu's elimination tree algorithm, tree postorder, and the
+//! Gilbert–Ng–Peyton skeleton algorithm for column counts), operating on the
+//! symmetric adjacency structure of the matrix to factor.
+
+/// `parent[j]` of the elimination tree, `usize::MAX` for roots.
+pub const NO_PARENT: usize = usize::MAX;
+
+/// Elimination tree of a symmetric matrix given as adjacency lists (sorted,
+/// no self loops): `parent[j] = min { i > j : L[i,j] ≠ 0 }`.
+pub fn elimination_tree(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut parent = vec![NO_PARENT; n];
+    let mut ancestor = vec![NO_PARENT; n];
+    for j in 0..n {
+        for &i in &adj[j] {
+            if i >= j {
+                break; // sorted: only i < j matter
+            }
+            // Walk from i up to the current root, path-compressing onto j.
+            let mut r = i;
+            while r != NO_PARENT && r != j {
+                let next = ancestor[r];
+                ancestor[r] = j;
+                if next == NO_PARENT {
+                    parent[r] = j;
+                }
+                r = next;
+            }
+        }
+    }
+    parent
+}
+
+/// Postorder of the forest defined by `parent`; returns `post` with
+/// `post[k]` = k-th node in postorder.
+pub fn postorder(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    // Build child lists (reverse order so the stack visits smaller first).
+    let mut head = vec![NO_PARENT; n];
+    let mut next = vec![NO_PARENT; n];
+    for j in (0..n).rev() {
+        let p = parent[j];
+        if p != NO_PARENT {
+            next[j] = head[p];
+            head[p] = j;
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack = Vec::new();
+    for root in 0..n {
+        if parent[root] != NO_PARENT {
+            continue;
+        }
+        // Iterative DFS emitting children before parents.
+        stack.push(root);
+        while let Some(&top) = stack.last() {
+            let child = head[top];
+            if child == NO_PARENT {
+                post.push(top);
+                stack.pop();
+            } else {
+                head[top] = next[child];
+                stack.push(child);
+            }
+        }
+    }
+    post
+}
+
+/// Exact column counts of the Cholesky factor `L` (including the diagonal),
+/// by the Gilbert–Ng–Peyton skeleton algorithm. `adj` is the symmetric
+/// adjacency (sorted, no self loops), `parent` the elimination tree, `post`
+/// its postorder.
+pub fn column_counts(adj: &[Vec<usize>], parent: &[usize], post: &[usize]) -> Vec<usize> {
+    let n = adj.len();
+    let mut delta = vec![0usize; n];
+    let mut first = vec![NO_PARENT; n];
+    // first[j] = postorder index of the first descendant leaf of j.
+    for (k, &j) in post.iter().enumerate() {
+        delta[j] = if first[j] == NO_PARENT { 1 } else { 0 };
+        let mut jj = j;
+        while jj != NO_PARENT && first[jj] == NO_PARENT {
+            first[jj] = k;
+            jj = parent[jj];
+        }
+    }
+    let mut maxfirst = vec![NO_PARENT; n];
+    let mut prevleaf = vec![NO_PARENT; n];
+    let mut ancestor: Vec<usize> = (0..n).collect();
+    // Signed accumulation (delta can transiently go negative).
+    let mut sdelta: Vec<i64> = delta.iter().map(|&d| d as i64).collect();
+
+    for &j in post.iter() {
+        if parent[j] != NO_PARENT {
+            sdelta[parent[j]] -= 1;
+        }
+        for &i in &adj[j] {
+            if i <= j {
+                continue;
+            }
+            // Is j a new leaf of the row subtree of i?
+            if maxfirst[i] != NO_PARENT && first[j] <= maxfirst[i] {
+                continue;
+            }
+            maxfirst[i] = first[j];
+            let jprev = prevleaf[i];
+            prevleaf[i] = j;
+            if jprev == NO_PARENT {
+                // First leaf: contributes a full new path.
+                sdelta[j] += 1;
+            } else {
+                // Subsequent leaf: find the least common ancestor.
+                let mut q = jprev;
+                while q != ancestor[q] {
+                    q = ancestor[q];
+                }
+                // Path compression.
+                let mut s = jprev;
+                while s != q {
+                    let sp = ancestor[s];
+                    ancestor[s] = q;
+                    s = sp;
+                }
+                sdelta[j] += 1;
+                sdelta[q] -= 1;
+            }
+        }
+        if parent[j] != NO_PARENT {
+            ancestor[j] = parent[j];
+        }
+    }
+    // Accumulate up the tree (children precede parents in postorder).
+    for &j in post.iter() {
+        if parent[j] != NO_PARENT {
+            sdelta[parent[j]] += sdelta[j];
+        }
+    }
+    sdelta.into_iter().map(|d| d.max(1) as usize).collect()
+}
+
+/// Brute-force symbolic Cholesky pattern — O(n·|L|), for testing and tiny
+/// problems: returns the set of below-diagonal row indices of each column of
+/// `L` (diagonal excluded).
+pub fn symbolic_cholesky_bruteforce(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut cols: Vec<std::collections::BTreeSet<usize>> = adj
+        .iter()
+        .enumerate()
+        .map(|(j, nbrs)| nbrs.iter().copied().filter(|&i| i > j).collect())
+        .collect();
+    for j in 0..n {
+        // The column's pattern spreads to the column of its first
+        // below-diagonal entry (the etree parent), transitively.
+        if let Some(&p) = cols[j].iter().next() {
+            let pattern: Vec<usize> = cols[j].iter().copied().filter(|&i| i > p).collect();
+            for i in pattern {
+                cols[p].insert(i);
+            }
+        }
+    }
+    cols.into_iter().map(|s| s.into_iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_sym_adj(n: usize, density: f64, seed: u64) -> Vec<Vec<usize>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut adj = vec![Vec::new(); n];
+        for j in 0..n {
+            for i in 0..j {
+                if rng.random::<f64>() < density {
+                    adj[j].push(i);
+                    adj[i].push(j);
+                }
+            }
+        }
+        for l in adj.iter_mut() {
+            l.sort_unstable();
+        }
+        adj
+    }
+
+    #[test]
+    fn etree_simple_chain() {
+        // Tridiagonal matrix: parent[j] = j+1.
+        let n = 6;
+        let mut adj = vec![Vec::new(); n];
+        for j in 0..n - 1 {
+            adj[j].push(j + 1);
+            adj[j + 1].push(j);
+        }
+        for l in adj.iter_mut() {
+            l.sort_unstable();
+        }
+        let parent = elimination_tree(&adj);
+        for j in 0..n - 1 {
+            assert_eq!(parent[j], j + 1);
+        }
+        assert_eq!(parent[n - 1], NO_PARENT);
+        let post = postorder(&parent);
+        assert_eq!(post, (0..n).collect::<Vec<_>>());
+        let counts = column_counts(&adj, &parent, &post);
+        // Tridiagonal L: 2 entries per column except the last.
+        for j in 0..n - 1 {
+            assert_eq!(counts[j], 2);
+        }
+        assert_eq!(counts[n - 1], 1);
+    }
+
+    #[test]
+    fn etree_matches_symbolic_parent() {
+        for seed in 0..5 {
+            let adj = rand_sym_adj(25, 0.15, seed);
+            let parent = elimination_tree(&adj);
+            let lcols = symbolic_cholesky_bruteforce(&adj);
+            for j in 0..25 {
+                let want = lcols[j].first().copied().unwrap_or(NO_PARENT);
+                assert_eq!(parent[j], want, "seed {seed}, col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        let adj = rand_sym_adj(40, 0.1, 7);
+        let parent = elimination_tree(&adj);
+        let post = postorder(&parent);
+        let mut pos = vec![0usize; 40];
+        for (k, &j) in post.iter().enumerate() {
+            pos[j] = k;
+        }
+        for j in 0..40 {
+            if parent[j] != NO_PARENT {
+                assert!(pos[j] < pos[parent[j]], "child after parent");
+            }
+        }
+        // Permutation check.
+        let mut seen = [false; 40];
+        for &j in &post {
+            assert!(!seen[j]);
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn column_counts_match_bruteforce() {
+        for seed in 0..8 {
+            let n = 30;
+            let adj = rand_sym_adj(n, 0.12, 100 + seed);
+            let parent = elimination_tree(&adj);
+            let post = postorder(&parent);
+            let counts = column_counts(&adj, &parent, &post);
+            let lcols = symbolic_cholesky_bruteforce(&adj);
+            for j in 0..n {
+                assert_eq!(
+                    counts[j],
+                    lcols[j].len() + 1,
+                    "seed {seed}, col {j}: counts {} vs brute {}",
+                    counts[j],
+                    lcols[j].len() + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_all_roots() {
+        let adj = vec![Vec::new(); 5];
+        let parent = elimination_tree(&adj);
+        assert!(parent.iter().all(|&p| p == NO_PARENT));
+        let post = postorder(&parent);
+        assert_eq!(post.len(), 5);
+        let counts = column_counts(&adj, &parent, &post);
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,353 @@
+//! End-to-end tests of the multifrontal solver against dense references.
+
+use csolve_common::{C64, MemTracker, RealScalar, Scalar};
+use csolve_dense::{gemm, gemm_into, lu_in_place, lu_solve_in_place, Mat, Op};
+use rand::SeedableRng;
+
+use crate::formats::{Coo, Csc};
+use crate::numeric::{factorize, factorize_schur, SparseOptions, Symmetry};
+use crate::ordering::OrderingKind;
+
+/// 3-D 7-point Laplacian + shift on an nx×ny×nz grid (SPD).
+fn grid3d(nx: usize, ny: usize, nz: usize, shift: f64) -> Csc<f64> {
+    let id = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    let n = nx * ny * nz;
+    let mut coo = Coo::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let u = id(i, j, k);
+                coo.push(u, u, 6.0 + shift);
+                let mut nb = |v: usize| {
+                    coo.push(u, v, -1.0);
+                };
+                if i > 0 {
+                    nb(id(i - 1, j, k));
+                }
+                if i + 1 < nx {
+                    nb(id(i + 1, j, k));
+                }
+                if j > 0 {
+                    nb(id(i, j - 1, k));
+                }
+                if j + 1 < ny {
+                    nb(id(i, j + 1, k));
+                }
+                if k > 0 {
+                    nb(id(i, j, k - 1));
+                }
+                if k + 1 < nz {
+                    nb(id(i, j, k + 1));
+                }
+            }
+        }
+    }
+    coo.to_csc()
+}
+
+/// Random unsymmetric diagonally dominant matrix with symmetric pattern.
+fn rand_unsym(n: usize, seed: u64) -> Csc<f64> {
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 8.0 + rng.random::<f64>());
+    }
+    for i in 0..n {
+        for _ in 0..3 {
+            let j = rng.random_range(0..n);
+            if i != j {
+                // Symmetric pattern, unsymmetric values.
+                coo.push(i, j, rng.random_range(-1.0..1.0));
+                coo.push(j, i, rng.random_range(-1.0..1.0));
+            }
+        }
+    }
+    coo.to_csc()
+}
+
+/// Complex symmetric version of the 3-D grid (constant complex stencil, so
+/// A[i,j] == A[j,i] exactly).
+fn grid3d_complex(nx: usize, ny: usize, nz: usize) -> Csc<C64> {
+    let r = grid3d(nx, ny, nz, 1.0);
+    Csc {
+        nrows: r.nrows,
+        ncols: r.ncols,
+        colptr: r.colptr.clone(),
+        rowidx: r.rowidx.clone(),
+        values: r
+            .values
+            .iter()
+            .map(|&v| {
+                if v > 0.0 {
+                    C64::new(v, 0.5 * v)
+                } else {
+                    C64::new(v, 0.1)
+                }
+            })
+            .collect(),
+    }
+}
+
+fn solve_error<T: Scalar>(a: &Csc<T>, opts: &SparseOptions, nrhs: usize, seed: u64) -> f64 {
+    let n = a.nrows;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let x_exact = Mat::<T>::random(n, nrhs, &mut rng);
+    let mut b = Mat::<T>::zeros(n, nrhs);
+    a.mul_dense(T::ONE, x_exact.as_ref(), T::ZERO, b.as_mut());
+    let f = factorize(a, opts).unwrap();
+    f.solve_in_place(&mut b).unwrap();
+    let mut d = b;
+    d.axpy(-T::ONE, &x_exact);
+    d.norm_fro().to_f64() / x_exact.norm_fro().to_f64()
+}
+
+#[test]
+fn ldlt_solves_3d_grid_all_orderings() {
+    let a = grid3d(7, 6, 5, 1.0);
+    for ordering in [
+        OrderingKind::Natural,
+        OrderingKind::Rcm,
+        OrderingKind::NestedDissection,
+    ] {
+        let opts = SparseOptions {
+            ordering,
+            ..Default::default()
+        };
+        let err = solve_error(&a, &opts, 3, 1);
+        assert!(err < 1e-10, "{ordering:?}: err {err:.3e}");
+    }
+}
+
+#[test]
+fn lu_solves_unsymmetric() {
+    let a = rand_unsym(150, 2);
+    let opts = SparseOptions {
+        symmetry: Symmetry::UnsymmetricLu,
+        ..Default::default()
+    };
+    let err = solve_error(&a, &opts, 2, 3);
+    assert!(err < 1e-9, "err {err:.3e}");
+}
+
+#[test]
+fn ldlt_complex_symmetric() {
+    let a = grid3d_complex(5, 5, 4);
+    let opts = SparseOptions::default();
+    let err = solve_error(&a, &opts, 2, 4);
+    assert!(err < 1e-9, "err {err:.3e}");
+}
+
+#[test]
+fn blr_compression_keeps_accuracy_and_reduces_bytes() {
+    let a = grid3d(9, 9, 8, 1.0);
+    let plain = SparseOptions::default();
+    let blr = SparseOptions {
+        blr_eps: Some(1e-9),
+        ..Default::default()
+    };
+    let err_plain = solve_error(&a, &plain, 2, 5);
+    let err_blr = solve_error(&a, &blr, 2, 5);
+    assert!(err_plain < 1e-10);
+    assert!(err_blr < 1e-6, "BLR err {err_blr:.3e}");
+    let f_plain = factorize(&a, &plain).unwrap();
+    let f_blr = factorize(&a, &blr).unwrap();
+    assert!(
+        f_blr.stats().factor_bytes <= f_plain.stats().factor_bytes,
+        "BLR {} should not exceed dense {}",
+        f_blr.stats().factor_bytes,
+        f_plain.stats().factor_bytes
+    );
+}
+
+#[test]
+fn schur_complement_matches_dense_reference_symmetric() {
+    // W = [A11 A12; A21 A22] with the last `ns` variables as Schur block.
+    let a = grid3d(5, 4, 4, 2.0);
+    let n = a.nrows;
+    let ns = 12;
+    let schur_vars: Vec<usize> = (n - ns..n).collect();
+    let opts = SparseOptions::default();
+    let (_f, s_got) = factorize_schur(&a, &schur_vars, &opts).unwrap();
+    assert_eq!(s_got.nrows(), ns);
+    // Dense reference.
+    let ad = a.to_dense();
+    let elim: Vec<usize> = (0..n - ns).collect();
+    let a11 = {
+        let mut m = Mat::<f64>::zeros(n - ns, n - ns);
+        for (ii, &i) in elim.iter().enumerate() {
+            for (jj, &j) in elim.iter().enumerate() {
+                m[(ii, jj)] = ad[(i, j)];
+            }
+        }
+        m
+    };
+    let a12 = Mat::<f64>::from_fn(n - ns, ns, |i, j| ad[(i, n - ns + j)]);
+    let a21 = Mat::<f64>::from_fn(ns, n - ns, |i, j| ad[(n - ns + i, j)]);
+    let a22 = Mat::<f64>::from_fn(ns, ns, |i, j| ad[(n - ns + i, n - ns + j)]);
+    let f11 = lu_in_place(a11).unwrap();
+    let mut x = a12.clone();
+    lu_solve_in_place(&f11, x.as_mut());
+    let mut s_ref = a22;
+    gemm(
+        -1.0,
+        a21.as_ref(),
+        Op::NoTrans,
+        x.as_ref(),
+        Op::NoTrans,
+        1.0,
+        s_ref.as_mut(),
+    );
+    let mut d = s_got.clone();
+    d.axpy(-1.0, &s_ref);
+    assert!(
+        d.norm_max() < 1e-9 * s_ref.norm_max(),
+        "Schur err {:.3e}",
+        d.norm_max()
+    );
+}
+
+#[test]
+fn schur_with_scattered_vars_and_zero_block() {
+    // The multi-factorization W matrix: [Avv Avs; Asv 0] — Schur output must
+    // equal −Asv·Avv⁻¹·Avs. Unsymmetric values.
+    let nv = 60;
+    let ns = 7;
+    let n = nv + ns;
+    let avv = rand_unsym(nv, 6);
+    let mut coo = Coo::new(n, n);
+    for j in 0..nv {
+        for p in avv.colptr[j]..avv.colptr[j + 1] {
+            coo.push(avv.rowidx[p], j, avv.values[p]);
+        }
+    }
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    // Sparse coupling blocks with symmetric pattern, unsymmetric values.
+    for s in 0..ns {
+        for _ in 0..5 {
+            let v = rng.random_range(0..nv);
+            coo.push(nv + s, v, rng.random_range(-1.0..1.0));
+            coo.push(v, nv + s, rng.random_range(-1.0..1.0));
+        }
+    }
+    let w = coo.to_csc();
+    let schur_vars: Vec<usize> = (nv..n).collect();
+    let opts = SparseOptions {
+        symmetry: Symmetry::UnsymmetricLu,
+        ..Default::default()
+    };
+    let (_f, s_got) = factorize_schur(&w, &schur_vars, &opts).unwrap();
+    // Dense reference: −A21·A11⁻¹·A12 (A22 = 0).
+    let wd = w.to_dense();
+    let a11 = Mat::<f64>::from_fn(nv, nv, |i, j| wd[(i, j)]);
+    let a12 = Mat::<f64>::from_fn(nv, ns, |i, j| wd[(i, nv + j)]);
+    let a21 = Mat::<f64>::from_fn(ns, nv, |i, j| wd[(nv + i, j)]);
+    let f11 = lu_in_place(a11).unwrap();
+    let mut x = a12;
+    lu_solve_in_place(&f11, x.as_mut());
+    let s_ref = {
+        let mut m = gemm_into(a21.as_ref(), Op::NoTrans, x.as_ref(), Op::NoTrans);
+        m.scale(-1.0);
+        m
+    };
+    let mut d = s_got.clone();
+    d.axpy(-1.0, &s_ref);
+    assert!(
+        d.norm_max() < 1e-9 * (1.0 + s_ref.norm_max()),
+        "Schur err {:.3e}",
+        d.norm_max()
+    );
+}
+
+#[test]
+fn sparse_rhs_solve_matches_dense_rhs_solve() {
+    let a = grid3d(6, 6, 5, 1.5);
+    let n = a.nrows;
+    // Sparse RHS block: a few scattered nonzeros per column.
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let mut coo = Coo::new(n, 6);
+    for j in 0..6 {
+        for _ in 0..4 {
+            coo.push(rng.random_range(0..n), j, rng.random_range(-1.0..1.0));
+        }
+    }
+    let rhs = coo.to_csc();
+    let opts = SparseOptions::default();
+    let f = factorize(&a, &opts).unwrap();
+    let x_sparse = f.solve_sparse_rhs(&rhs).unwrap();
+    let mut x_dense = rhs.to_dense();
+    f.solve_in_place(&mut x_dense).unwrap();
+    let mut d = x_sparse;
+    d.axpy(-1.0, &x_dense);
+    assert!(d.norm_max() < 1e-12, "{:.3e}", d.norm_max());
+}
+
+#[test]
+fn memory_budget_enforced_during_factorization() {
+    let a = grid3d(10, 10, 10, 1.0);
+    // A tiny budget must fail cleanly with OOM.
+    let tracker = MemTracker::with_budget(200_000);
+    let opts = SparseOptions {
+        tracker: Some(tracker.clone()),
+        ..Default::default()
+    };
+    match factorize(&a, &opts) {
+        Err(e) => assert!(e.is_oom(), "expected OOM, got {e}"),
+        Ok(_) => panic!("factorization must not fit in 200 kB"),
+    }
+    // All transient charges must have been released on the error path.
+    assert_eq!(tracker.live(), 0);
+    // A generous budget succeeds and records a peak.
+    let tracker = MemTracker::with_budget(1 << 30);
+    let opts = SparseOptions {
+        tracker: Some(tracker.clone()),
+        ..Default::default()
+    };
+    let f = factorize(&a, &opts).unwrap();
+    assert!(tracker.peak() > 0);
+    assert!(f.stats().peak_bytes >= f.stats().factor_bytes);
+    // Live bytes now = factor bytes (the held charge).
+    assert_eq!(tracker.live(), f.stats().factor_bytes);
+    drop(f);
+    assert_eq!(tracker.live(), 0);
+}
+
+#[test]
+fn singular_matrix_reports_singular_pivot() {
+    // A matrix with an exactly zero row/col.
+    let mut coo = Coo::new(4, 4);
+    coo.push(0, 0, 1.0);
+    coo.push(1, 1, 2.0);
+    coo.push(3, 3, 1.0);
+    // Variable 2 fully decoupled AND zero diagonal.
+    let a = coo.to_csc();
+    let r = factorize(&a, &SparseOptions::default());
+    assert!(
+        matches!(r, Err(csolve_common::Error::SingularPivot { .. })),
+        "expected singular pivot"
+    );
+}
+
+#[test]
+fn factor_stats_are_sane() {
+    let a = grid3d(8, 8, 6, 1.0);
+    let f = factorize(&a, &SparseOptions::default()).unwrap();
+    let st = f.stats();
+    assert!(st.n_supernodes > 0);
+    assert!(st.max_front >= 2);
+    assert!(st.factor_bytes > a.nnz() * 8 / 2);
+    assert!(st.flops > 0.0);
+    assert!(f.compression_ratio() == 0.0); // no BLR requested
+}
+
+#[test]
+fn multiple_rhs_counts() {
+    let a = grid3d(5, 5, 5, 1.0);
+    for nrhs in [1usize, 7, 32] {
+        let opts = SparseOptions::default();
+        let err = solve_error(&a, &opts, nrhs, 100 + nrhs as u64);
+        assert!(err < 1e-10, "nrhs={nrhs}: {err:.3e}");
+    }
+}

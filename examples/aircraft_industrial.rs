@@ -1,0 +1,58 @@
+//! The paper's industrial scenario (§VI): a complex non-symmetric coupled
+//! system with a high surface/volume ratio (the BEM mesh covers the wing
+//! and fuselage, which the jet-flow FEM mesh never touches), solved with
+//! and without low-rank compression.
+//!
+//! Run with: `cargo run --release --example aircraft_industrial`
+
+use csolve_common::C64;
+use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
+use csolve_fembem::industrial_problem;
+
+fn main() {
+    let problem = industrial_problem::<C64>(6_000);
+    println!(
+        "industrial-like case: N = {} ({} volume + {} surface, complex non-symmetric)\n",
+        problem.n_total(),
+        problem.n_fem(),
+        problem.n_bem()
+    );
+
+    let runs = [
+        ("multi-solve,  no compression", Algorithm::MultiSolve, DenseBackend::Spido, false),
+        ("multi-solve,  full compression", Algorithm::MultiSolve, DenseBackend::Hmat, true),
+        ("multi-facto,  no compression", Algorithm::MultiFactorization, DenseBackend::Spido, false),
+        ("multi-facto,  full compression", Algorithm::MultiFactorization, DenseBackend::Hmat, true),
+    ];
+
+    println!(
+        "{:<32} {:>9} {:>12} {:>12} {:>12}",
+        "configuration", "time (s)", "peak (MiB)", "Schur (MiB)", "rel. error"
+    );
+    for (label, algo, backend, compress) in runs {
+        let cfg = SolverConfig {
+            eps: 1e-4, // the industrial accuracy of the paper
+            dense_backend: backend,
+            sparse_compression: compress,
+            n_b: 3,
+            ..Default::default()
+        };
+        match solve(&problem, algo, &cfg) {
+            Ok(out) => println!(
+                "{:<32} {:>9.2} {:>12.1} {:>12.1} {:>12.3e}",
+                label,
+                out.metrics.total_seconds,
+                out.metrics.peak_bytes as f64 / (1 << 20) as f64,
+                out.metrics.schur_bytes as f64 / (1 << 20) as f64,
+                problem.relative_error(&out.xv, &out.xs),
+            ),
+            Err(e) => println!("{label:<32} failed: {e}"),
+        }
+    }
+    println!(
+        "\nNote how compressing the dense side shrinks the Schur complement storage\n\
+         by an order of magnitude while the error stays below eps — the memory freed\n\
+         is what lets the industrial case grow the Schur block and cut CPU time\n\
+         (paper, Table II)."
+    );
+}

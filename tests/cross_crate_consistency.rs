@@ -1,0 +1,183 @@
+//! Cross-crate consistency: the same mathematical objects computed through
+//! different subsystem stacks must agree (sparse Schur vs dense algebra,
+//! H-matrix solve vs dense solve, coupled system vs monolithic solve).
+
+use csolve_dense::{gemm, lu_in_place, lu_solve_in_place, Mat, Op};
+use csolve_fembem::pipe_problem;
+use csolve_hmat::{ClusterTree, HLu, HMatrix, HOptions};
+use csolve_sparse::{factorize_schur, Coo, Csc, SparseOptions, Symmetry};
+
+/// Assemble the full coupled matrix densely (tiny sizes only).
+fn assemble_full_dense(p: &csolve_fembem::CoupledProblem<f64>) -> Mat<f64> {
+    let nv = p.n_fem();
+    let ns = p.n_bem();
+    let n = nv + ns;
+    let mut a = Mat::<f64>::zeros(n, n);
+    let to_dense = |m: &Csc<f64>| m.to_dense();
+    let avv = to_dense(&p.a_vv);
+    let asv = to_dense(&p.a_sv);
+    let avs = to_dense(&p.a_vs);
+    for j in 0..nv {
+        for i in 0..nv {
+            a[(i, j)] = avv[(i, j)];
+        }
+        for i in 0..ns {
+            a[(nv + i, j)] = asv[(i, j)];
+        }
+    }
+    for j in 0..ns {
+        for i in 0..nv {
+            a[(i, nv + j)] = avs[(i, j)];
+        }
+        for i in 0..ns {
+            a[(nv + i, nv + j)] = p.bem.eval(i, j);
+        }
+    }
+    a
+}
+
+#[test]
+fn coupled_solution_matches_monolithic_dense_solve() {
+    let p = pipe_problem::<f64>(900);
+    let a = assemble_full_dense(&p);
+    let n = a.nrows();
+    let mut b = Mat::<f64>::zeros(n, 1);
+    b.col_mut(0)[..p.n_fem()].copy_from_slice(&p.b_v);
+    b.col_mut(0)[p.n_fem()..].copy_from_slice(&p.b_s);
+    let f = lu_in_place(a).unwrap();
+    let mut x = b;
+    lu_solve_in_place(&f, x.as_mut());
+    // Dense monolithic solution must match the manufactured one …
+    let mut err = 0.0f64;
+    for (got, want) in x.col(0)[..p.n_fem()]
+        .iter()
+        .zip(&p.x_exact_v)
+        .chain(x.col(0)[p.n_fem()..].iter().zip(&p.x_exact_s))
+    {
+        err = err.max((got - want).abs());
+    }
+    assert!(err < 1e-8, "monolithic dense err {err:.3e}");
+    // … and so must the coupled driver.
+    let out = csolve_coupled::solve(
+        &p,
+        csolve_coupled::Algorithm::MultiSolve,
+        &csolve_coupled::SolverConfig {
+            eps: 1e-10,
+            dense_backend: csolve_coupled::DenseBackend::Spido,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(p.relative_error(&out.xv, &out.xs) < 1e-8);
+}
+
+#[test]
+fn sparse_schur_equals_dense_schur_on_the_pipe_coupling() {
+    // Build W = [A_vv A_vs; A_sv 0] from the generated pipe and compare the
+    // solver's Schur output with the dense computation.
+    let p = pipe_problem::<f64>(700);
+    let nv = p.n_fem();
+    let ns = p.n_bem();
+    let n = nv + ns;
+    let mut coo = Coo::new(n, n);
+    let push = |coo: &mut Coo<f64>, m: &Csc<f64>, r0: usize, c0: usize| {
+        for j in 0..m.ncols {
+            for q in m.colptr[j]..m.colptr[j + 1] {
+                coo.push(r0 + m.rowidx[q], c0 + j, m.values[q]);
+            }
+        }
+    };
+    push(&mut coo, &p.a_vv, 0, 0);
+    push(&mut coo, &p.a_vs, 0, nv);
+    push(&mut coo, &p.a_sv, nv, 0);
+    let w = coo.to_csc();
+    let schur_vars: Vec<usize> = (nv..n).collect();
+    let opts = SparseOptions {
+        symmetry: Symmetry::SymmetricLdlt,
+        ..Default::default()
+    };
+    let (_f, x) = factorize_schur(&w, &schur_vars, &opts).unwrap();
+
+    // Dense reference: −A_sv · A_vv⁻¹ · A_vs.
+    let avv = p.a_vv.to_dense();
+    let avs = p.a_vs.to_dense();
+    let asv = p.a_sv.to_dense();
+    let f = lu_in_place(avv).unwrap();
+    let mut y = avs;
+    lu_solve_in_place(&f, y.as_mut());
+    let mut want = Mat::<f64>::zeros(ns, ns);
+    gemm(
+        -1.0,
+        asv.as_ref(),
+        Op::NoTrans,
+        y.as_ref(),
+        Op::NoTrans,
+        0.0,
+        want.as_mut(),
+    );
+    let mut d = x.clone();
+    d.axpy(-1.0, &want);
+    assert!(
+        d.norm_max() < 1e-9 * (1.0 + want.norm_max()),
+        "Schur mismatch {:.3e}",
+        d.norm_max()
+    );
+}
+
+#[test]
+fn hmatrix_solve_of_the_bem_block_matches_dense() {
+    // The BEM operator of a generated pipe, factored both densely and as an
+    // H-matrix: solutions must agree to the compression tolerance.
+    let p = pipe_problem::<f64>(2_500);
+    let ns = p.n_bem();
+    let tree = ClusterTree::build(&p.bem.points, 48);
+    let bem = p.bem.permuted(&tree.perm);
+    let oracle = |i: usize, j: usize| bem.eval(i, j);
+    let opts = HOptions {
+        eps: 1e-8,
+        eta: 6.0,
+        ..Default::default()
+    };
+    let h = HMatrix::assemble_root(&tree, &tree, &oracle, &opts);
+    let dense = bem.assemble_block(0..ns, 0..ns);
+
+    let x_exact: Vec<f64> = (0..ns).map(|i| (i as f64 * 0.17).cos()).collect();
+    let mut b = vec![0.0f64; ns];
+    csolve_dense::matvec(1.0, dense.as_ref(), Op::NoTrans, &x_exact, 0.0, &mut b);
+
+    let hf = HLu::factor(h, 1e-10).unwrap();
+    let mut xh = Mat::from_col_major(ns, 1, b.clone());
+    hf.solve_in_place(xh.as_mut());
+
+    let df = lu_in_place(dense).unwrap();
+    let mut xd = Mat::from_col_major(ns, 1, b);
+    lu_solve_in_place(&df, xd.as_mut());
+
+    let mut max_diff = 0.0f64;
+    for i in 0..ns {
+        max_diff = max_diff.max((xh[(i, 0)] - xd[(i, 0)]).abs());
+        assert!((xd[(i, 0)] - x_exact[i]).abs() < 1e-8);
+    }
+    assert!(max_diff < 1e-5, "H vs dense solve diff {max_diff:.3e}");
+}
+
+#[test]
+fn byte_accounting_is_consistent_across_crates() {
+    use csolve_common::ByteSized;
+    let p = pipe_problem::<f64>(1_200);
+    // CSC accounting.
+    assert!(p.a_vv.byte_size() >= p.a_vv.nnz() * (8 + 8));
+    // H-matrix accounting equals its stats.
+    let tree = ClusterTree::build(&p.bem.points, 32);
+    let bem = p.bem.permuted(&tree.perm);
+    let h = HMatrix::assemble_root(
+        &tree,
+        &tree,
+        &|i, j| bem.eval(i, j),
+        &HOptions::default(),
+    );
+    assert_eq!(h.byte_size(), h.stats().bytes);
+    // Sparse factorization accounting matches its stats.
+    let f = csolve_sparse::factorize(&p.a_vv, &SparseOptions::default()).unwrap();
+    assert_eq!(f.byte_size(), f.stats().factor_bytes);
+}

@@ -1,0 +1,216 @@
+//! Property-based tests over randomly generated coupled systems: for any
+//! valid random instance, every algorithm/backend combination must solve it
+//! to the compression tolerance, and structural invariants must hold.
+
+use csolve_dense::Mat;
+use csolve_fembem::{BemOperator, CoupledProblem};
+use csolve_hmat::Point3;
+use csolve_sparse::{Coo, Csc};
+use proptest::prelude::*;
+
+/// Build a random well-conditioned coupled system (small, for proptest).
+fn random_problem(
+    nv: usize,
+    ns: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> CoupledProblem<f64> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // Sparse SPD-ish volume block: chain + random symmetric extra edges.
+    let mut coo = Coo::new(nv, nv);
+    for i in 0..nv {
+        coo.push(i, i, 6.0 + rng.random::<f64>());
+    }
+    for i in 1..nv {
+        coo.push(i, i - 1, -1.0);
+        coo.push(i - 1, i, -1.0);
+    }
+    for _ in 0..extra_edges {
+        let i = rng.random_range(0..nv);
+        let j = rng.random_range(0..nv);
+        if i != j {
+            let v = rng.random_range(-0.5..0.5);
+            coo.push(i, j, v);
+            coo.push(j, i, v);
+        }
+    }
+    let a_vv = coo.to_csc();
+
+    // Coupling: each surface dof touches a few random volume dofs.
+    let mut coo_sv = Coo::new(ns, nv);
+    for s in 0..ns {
+        for _ in 0..3 {
+            coo_sv.push(s, rng.random_range(0..nv), rng.random_range(-0.3..0.3));
+        }
+    }
+    let a_sv = coo_sv.to_csc();
+    let a_vs = a_sv.transpose();
+
+    // Surface points on a circle; smooth kernel + dominant diagonal.
+    let points: Vec<Point3> = (0..ns)
+        .map(|i| {
+            let t = i as f64 / ns as f64 * std::f64::consts::TAU;
+            Point3::new(t.cos(), t.sin(), 0.1 * t)
+        })
+        .collect();
+    let bem = BemOperator::<f64> {
+        points,
+        kappa: 0.0,
+        delta: 0.2,
+        diag: 3.0,
+        scale: 0.5,
+    };
+
+    let x_exact_v: Vec<f64> = (0..nv).map(|i| (i as f64 * 0.3).sin() + 1.0).collect();
+    let x_exact_s: Vec<f64> = (0..ns).map(|i| (i as f64 * 0.7).cos() - 0.5).collect();
+    let mut b_v = vec![0.0; nv];
+    a_vv.matvec(1.0, &x_exact_v, 0.0, &mut b_v);
+    a_vs.matvec(1.0, &x_exact_s, 1.0, &mut b_v);
+    let mut b_s = vec![0.0; ns];
+    a_sv.matvec(1.0, &x_exact_v, 0.0, &mut b_s);
+    bem.matvec_acc(1.0, &x_exact_s, &mut b_s);
+
+    CoupledProblem {
+        a_vv,
+        a_sv,
+        a_vs,
+        bem,
+        x_exact_v,
+        x_exact_s,
+        b_v,
+        b_s,
+        symmetric: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_algorithm_solves_random_systems(
+        nv in 40usize..160,
+        ns in 8usize..48,
+        extra in 0usize..60,
+        seed in 0u64..1_000_000,
+    ) {
+        use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
+        let p = random_problem(nv, ns, extra, seed);
+        prop_assume!(p.manufactured_residual() < 1e-12);
+        for algo in Algorithm::ALL {
+            let cfg = SolverConfig {
+                eps: 1e-9,
+                dense_backend: DenseBackend::Spido,
+                n_c: 8,
+                n_s: 16,
+                n_b: 3,
+                ..Default::default()
+            };
+            let out = solve(&p, algo, &cfg).unwrap();
+            let err = p.relative_error(&out.xv, &out.xs);
+            prop_assert!(err < 1e-6, "{}: err {err:.3e}", algo.name());
+        }
+    }
+
+    #[test]
+    fn sparse_roundtrip_properties(
+        n in 5usize..60,
+        density in 0.02f64..0.4,
+        seed in 0u64..1_000_000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut coo = Coo::new(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                if rng.random::<f64>() < density {
+                    coo.push(i, j, rng.random_range(-1.0..1.0));
+                }
+            }
+        }
+        let a: Csc<f64> = coo.to_csc();
+        a.check().unwrap();
+        // Transpose is an involution.
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        // Symmetric permutation preserves entries.
+        let perm: Vec<usize> = {
+            let mut p: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                p.swap(i, rng.random_range(0..=i));
+            }
+            p
+        };
+        let ap = a.permute_sym(&perm);
+        for (new_i, &old_i) in perm.iter().enumerate() {
+            for (new_j, &old_j) in perm.iter().enumerate() {
+                prop_assert_eq!(ap.get(new_i, new_j), a.get(old_i, old_j));
+            }
+        }
+        // SpMM against to_dense.
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
+        let mut y1 = vec![0.0; n];
+        a.matvec(1.0, &x, 0.0, &mut y1);
+        let d = a.to_dense();
+        let mut y2 = vec![0.0; n];
+        csolve_dense::matvec(1.0, d.as_ref(), csolve_dense::Op::NoTrans, &x, 0.0, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lowrank_truncation_error_is_bounded(
+        m in 4usize..40,
+        n in 4usize..40,
+        r in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        use csolve_lowrank::LowRank;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let u = Mat::<f64>::random(m, r, &mut rng);
+        let v = Mat::<f64>::random(n, r, &mut rng);
+        let lr = LowRank::new(u, v);
+        let dense = lr.to_dense();
+        prop_assume!(dense.norm_fro() > 1e-6);
+        // from_dense at tolerance tol must satisfy ‖A − Ã‖_F ≤ c·tol.
+        let tol = 1e-3 * dense.norm_fro();
+        let approx = LowRank::from_dense(&dense, tol, m.min(n));
+        let mut diff = approx.to_dense();
+        diff.axpy(-1.0, &dense);
+        prop_assert!(diff.norm_fro() <= 4.0 * tol,
+            "truncation error {:.3e} vs tol {:.3e}", diff.norm_fro(), tol);
+        // The compressed AXPY identity: (A + A) − 2A = 0 within tolerance.
+        let twice = lr.add_truncate(1.0, &lr, tol);
+        let mut d2 = twice.to_dense();
+        let mut want = dense.clone();
+        want.scale(2.0);
+        d2.axpy(-1.0, &want);
+        prop_assert!(d2.norm_fro() <= 4.0 * tol);
+    }
+
+    #[test]
+    fn cluster_tree_partitions_any_point_cloud(
+        pts in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0), 1..300),
+        leaf in 1usize..64,
+    ) {
+        use csolve_hmat::ClusterTree;
+        let points: Vec<Point3> = pts.iter().map(|&(x, y, z)| Point3::new(x, y, z)).collect();
+        let t = ClusterTree::build(&points, leaf);
+        // Permutation is a bijection.
+        let mut seen = vec![false; points.len()];
+        for &i in &t.perm {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        // Leaves tile the index space with bounded size.
+        let mut cursor = 0;
+        for r in t.leaf_ranges() {
+            prop_assert_eq!(r.start, cursor);
+            prop_assert!(r.end - r.start <= leaf);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, points.len());
+    }
+}
