@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI: formatting, lints, docs (warnings fatal), all tests.
+# The workspace builds offline; vendor/ holds the dependency stand-ins.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "CI OK"

@@ -207,5 +207,11 @@ fn bench_sparse(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dense, bench_lowrank, bench_hmat, bench_sparse);
+criterion_group!(
+    benches,
+    bench_dense,
+    bench_lowrank,
+    bench_hmat,
+    bench_sparse
+);
 criterion_main!(benches);

@@ -10,9 +10,17 @@ fn main() {
         let p = pipe_problem::<f64>(n);
         println!("N={n} (bem {})", p.n_bem());
         for v in fig10_variants() {
-            let cfg = SolverConfig { eps: 1e-4, dense_backend: v.backend, n_b: 4, ..Default::default() };
+            let cfg = SolverConfig {
+                eps: 1e-4,
+                dense_backend: v.backend,
+                n_b: 4,
+                ..Default::default()
+            };
             match attempt(&p, v.algo, &cfg) {
-                csolve_bench::Attempt::Ok(r) => println!("  {:<26} {:>7.1}s peak {:>8.1} MiB schur {:>7.1} MiB", v.label, r.seconds, r.peak_mib, r.schur_mib),
+                csolve_bench::Attempt::Ok(r) => println!(
+                    "  {:<26} {:>7.1}s peak {:>8.1} MiB schur {:>7.1} MiB",
+                    v.label, r.seconds, r.peak_mib, r.schur_mib
+                ),
                 other => println!("  {:<26} {}", v.label, other.cell()),
             }
         }

@@ -13,7 +13,7 @@
 //! * every successful run has relative error below the compression ε
 //!   (Fig. 11).
 //!
-//! CLI: `--budget-mib 256 --eps 1e-4 --max-n 64000 --large`
+//! CLI: `--budget-mib 256 --eps 1e-4 --max-n 64000 --large --threads 0` (0 = all cores)
 
 use csolve_bench::{attempt, fig10_variants, header, Args, Attempt, RunResult, Variant};
 use csolve_coupled::{Algorithm, SolverConfig};
@@ -22,21 +22,33 @@ use csolve_fembem::pipe_problem;
 /// The per-method configuration ladder (the paper evaluates several
 /// configurations per algorithm and reports the best): memory-frugal
 /// fallbacks are tried when the fast configuration does not fit.
-fn configs_for(v: &Variant, budget: usize, eps: f64) -> Vec<SolverConfig> {
+fn configs_for(v: &Variant, budget: usize, eps: f64, threads: usize) -> Vec<SolverConfig> {
     let base = SolverConfig {
         eps,
         dense_backend: v.backend,
         sparse_compression: v.sparse_compression,
         mem_budget: Some(budget),
+        num_threads: threads,
         ..Default::default()
     };
     match v.algo {
         Algorithm::MultiSolve => vec![
-            SolverConfig { n_c: 256, n_s: 1024, ..base.clone() },
-            SolverConfig { n_c: 64, n_s: 256, ..base },
+            SolverConfig {
+                n_c: 256,
+                n_s: 1024,
+                ..base.clone()
+            },
+            SolverConfig {
+                n_c: 64,
+                n_s: 256,
+                ..base
+            },
         ],
         Algorithm::MultiFactorization => vec![
-            SolverConfig { n_b: 2, ..base.clone() },
+            SolverConfig {
+                n_b: 2,
+                ..base.clone()
+            },
             SolverConfig { n_b: 4, ..base },
         ],
         _ => vec![base],
@@ -49,10 +61,11 @@ fn best_attempt(
     v: &Variant,
     budget: usize,
     eps: f64,
+    threads: usize,
 ) -> Attempt {
     let mut best: Option<RunResult> = None;
     let mut last = Attempt::Oom;
-    for cfg in configs_for(v, budget, eps) {
+    for cfg in configs_for(v, budget, eps, threads) {
         match attempt(problem, v.algo, &cfg) {
             Attempt::Ok(r) => {
                 if best.as_ref().is_none_or(|b| r.seconds < b.seconds) {
@@ -73,6 +86,7 @@ fn main() {
     let budget = args.get_usize("--budget-mib", 640) * 1024 * 1024;
     let eps = args.get_f64("--eps", 1e-4);
     let max_n = args.get_usize("--max-n", if args.has("--large") { 96_000 } else { 64_000 });
+    let threads = args.get_usize("--threads", 0);
 
     header(
         "Figures 10 & 11 — solving larger systems (capacity + best time + error)",
@@ -105,7 +119,7 @@ fn main() {
         let mut last_err = f64::NAN;
         for &n in &sizes {
             let problem = pipe_problem::<f64>(n);
-            let a = best_attempt(&problem, &v, budget, eps);
+            let a = best_attempt(&problem, &v, budget, eps, threads);
             print!("{:>18}", a.cell());
             if let Attempt::Ok(r) = &a {
                 max_ok = n;
@@ -124,7 +138,10 @@ fn main() {
 
     println!("\nFig. 11 — relative error of the largest successful run per method");
     println!("(paper: all below the compression threshold eps = {eps:.0e})\n");
-    println!("{:<26} {:>10} {:>14} {:>8}", "method", "N", "rel. error", "< eps?");
+    println!(
+        "{:<26} {:>10} {:>14} {:>8}",
+        "method", "N", "rel. error", "< eps?"
+    );
     for (label, n, err) in error_rows {
         if n == 0 {
             println!("{label:<26} {:>10} {:>14} {:>8}", "-", "-", "-");

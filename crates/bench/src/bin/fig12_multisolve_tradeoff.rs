@@ -10,7 +10,7 @@
 //! * a too small `n_S` causes recompression overhead (time up);
 //! * the compressed variant uses significantly less Schur memory.
 //!
-//! CLI: `--n 12000 --eps 1e-4`
+//! CLI: `--n 12000 --eps 1e-4 --threads 0` (0 = all cores)
 
 use csolve_bench::{attempt, header, Args};
 use csolve_coupled::{Algorithm, DenseBackend, SolverConfig};
@@ -20,6 +20,7 @@ fn main() {
     let args = Args::parse();
     let n = args.get_usize("--n", 12_000);
     let eps = args.get_f64("--eps", 1e-4);
+    let threads = args.get_usize("--threads", 0);
 
     header(
         "Figure 12 — multi-solve trade-off (n_c, n_S)",
@@ -42,6 +43,7 @@ fn main() {
             eps,
             dense_backend: DenseBackend::Spido,
             n_c,
+            num_threads: threads,
             ..Default::default()
         };
         match attempt(&problem, Algorithm::MultiSolve, &cfg) {
@@ -53,13 +55,15 @@ fn main() {
         }
     }
 
-    println!("\ncompressed multi-solve (MUMPS/HMAT), n_S = n_c (small panels stress recompression):");
+    println!(
+        "\ncompressed multi-solve (MUMPS/HMAT), n_S = n_c (small panels stress recompression):"
+    );
     println!(
         "{:>8} {:>8} {:>10} {:>12} {:>12} {:>12}",
         "n_c", "n_S", "time (s)", "peak (MiB)", "Schur (MiB)", "rel. error"
     );
     for w in [32usize, 64, 128, 256] {
-        run_hmat(&problem, eps, w, w);
+        run_hmat(&problem, eps, w, w, threads);
     }
 
     println!("\ncompressed multi-solve (MUMPS/HMAT), n_c = 256 fixed, varying n_S:");
@@ -68,16 +72,23 @@ fn main() {
         "n_c", "n_S", "time (s)", "peak (MiB)", "Schur (MiB)", "rel. error"
     );
     for n_s in [512usize, 1024, 2048, 4096] {
-        run_hmat(&problem, eps, 256, n_s);
+        run_hmat(&problem, eps, 256, n_s, threads);
     }
 }
 
-fn run_hmat(problem: &csolve_fembem::CoupledProblem<f64>, eps: f64, n_c: usize, n_s: usize) {
+fn run_hmat(
+    problem: &csolve_fembem::CoupledProblem<f64>,
+    eps: f64,
+    n_c: usize,
+    n_s: usize,
+    threads: usize,
+) {
     let cfg = SolverConfig {
         eps,
         dense_backend: DenseBackend::Hmat,
         n_c,
         n_s,
+        num_threads: threads,
         ..Default::default()
     };
     match attempt(problem, Algorithm::MultiSolve, &cfg) {

@@ -6,7 +6,7 @@
 //! output shrinks ⇒ memory falls. Compressing `S`/`A_ss` (HMAT) trims
 //! memory further, though less dramatically than for multi-solve.
 //!
-//! CLI: `--n 8000 --eps 1e-4`
+//! CLI: `--n 8000 --eps 1e-4 --threads 0` (0 = all cores)
 
 use csolve_bench::{attempt, header, Args};
 use csolve_coupled::{Algorithm, DenseBackend, SolverConfig};
@@ -16,6 +16,7 @@ fn main() {
     let args = Args::parse();
     let n = args.get_usize("--n", 8_000);
     let eps = args.get_f64("--eps", 1e-4);
+    let threads = args.get_usize("--threads", 0);
 
     header(
         "Figure 13 — multi-factorization trade-off (n_b)",
@@ -42,6 +43,7 @@ fn main() {
                 eps,
                 dense_backend: backend,
                 n_b,
+                num_threads: threads,
                 ..Default::default()
             };
             match attempt(&problem, Algorithm::MultiFactorization, &cfg) {

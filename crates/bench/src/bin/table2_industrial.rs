@@ -17,7 +17,7 @@
 //! This harness reproduces the same nine rows on a scaled complex
 //! non-symmetric industrial-like case under a scaled memory budget.
 //!
-//! CLI: `--n 8000 --eps 1e-4 --budget-mib 215`
+//! CLI: `--n 8000 --eps 1e-4 --budget-mib 215 --threads 0` (0 = all cores)
 
 use csolve_bench::{attempt, header, Args, Attempt};
 use csolve_common::C64;
@@ -38,6 +38,7 @@ fn main() {
     let n = args.get_usize("--n", 8_000);
     let eps = args.get_f64("--eps", 1e-4);
     let budget = args.get_usize("--budget-mib", 215) * 1024 * 1024;
+    let threads = args.get_usize("--threads", 0);
 
     header(
         "Table II — industrial application (complex non-symmetric, high BEM ratio)",
@@ -139,6 +140,7 @@ fn main() {
             sparse_compression: row.sparse_compression,
             n_b: row.n_b,
             mem_budget: Some(budget),
+            num_threads: threads,
             ..Default::default()
         };
         let a = attempt(&problem, row.algo, &cfg);

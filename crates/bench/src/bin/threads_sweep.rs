@@ -1,0 +1,122 @@
+//! Strong-scaling sweep of the task-parallel blockwise Schur pipelines.
+//!
+//! Runs compressed multi-solve and multi-factorization (MUMPS/HMAT) at
+//! 1, 2, 4, … worker threads on the same problem and reports, per thread
+//! count: total wall time, speedup over the 1-thread run, tracked peak
+//! memory, and a per-phase breakdown (wall time and bytes processed).
+//! It also checks that the solutions are bitwise identical across thread
+//! counts — the pipeline commits block contributions in a fixed order, so
+//! the non-associative compressed AXPYs must fold identically.
+//!
+//! Per-phase times for the parallel phases ("sparse solve (Y)", "SpMM",
+//! "Schur assembly", …) are summed over worker threads, so they behave
+//! like CPU time: they should stay roughly constant across the sweep
+//! while total wall time drops.
+//!
+//! Note: speedup requires real cores. On a single-core host the sweep
+//! still runs (and still verifies determinism and the memory budget),
+//! but wall time will not improve.
+//!
+//! CLI: `--n 8000 --eps 1e-4 --max-threads 4 --budget-mib 0`
+
+use csolve_bench::{header, mib, phase_report, Args};
+use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
+use csolve_fembem::pipe_problem;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("--n", 8_000);
+    let eps = args.get_f64("--eps", 1e-4);
+    let max_threads = args.get_usize("--max-threads", 4).max(1);
+    let budget_mib = args.get_usize("--budget-mib", 0);
+
+    header(
+        "Threads sweep — task-parallel blockwise Schur pipelines",
+        "Agullo, Felšöci, Sylvand (IPDPS 2022), §IV (parallel extension of this harness)",
+    );
+    let problem = pipe_problem::<f64>(n);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "\nscaled N = {} (n_BEM = {}), eps = {eps:.0e}, host cores = {cores}",
+        problem.n_total(),
+        problem.n_bem()
+    );
+    if let Some(b) = budget(budget_mib) {
+        println!("memory budget = {:.0} MiB", mib(b));
+    }
+    if cores == 1 {
+        println!(
+            "NOTE: single-core host — expect no wall-time speedup; the determinism\n\
+             and budget columns are still meaningful."
+        );
+    }
+    println!();
+
+    let threads: Vec<usize> = std::iter::successors(Some(1usize), |t| Some(t * 2))
+        .take_while(|&t| t <= max_threads)
+        .collect();
+
+    for (algo, name) in [
+        (Algorithm::MultiSolve, "compressed multi-solve (MUMPS/HMAT)"),
+        (
+            Algorithm::MultiFactorization,
+            "compressed multi-facto (MUMPS/HMAT)",
+        ),
+    ] {
+        println!("{name}:");
+        println!(
+            "{:>8} {:>10} {:>9} {:>12} {:>12} {:>10}",
+            "threads", "time (s)", "speedup", "peak (MiB)", "rel. error", "bitwise"
+        );
+        let mut reference: Option<(f64, Vec<u64>)> = None;
+        let mut details = Vec::new();
+        for &t in &threads {
+            let cfg = SolverConfig {
+                eps,
+                dense_backend: DenseBackend::Hmat,
+                num_threads: t,
+                mem_budget: budget(budget_mib),
+                ..Default::default()
+            };
+            match solve(&problem, algo, &cfg) {
+                Ok(out) => {
+                    let solution_bits: Vec<u64> = out
+                        .xv
+                        .iter()
+                        .chain(out.xs.iter())
+                        .map(|x| x.to_bits())
+                        .collect();
+                    let (speedup, identical) = match &reference {
+                        Some((t1, bits1)) => {
+                            (t1 / out.metrics.total_seconds, *bits1 == solution_bits)
+                        }
+                        None => (1.0, true),
+                    };
+                    println!(
+                        "{t:>8} {:>10.2} {:>8.2}x {:>12.1} {:>12.3e} {:>10}",
+                        out.metrics.total_seconds,
+                        speedup,
+                        mib(out.metrics.peak_bytes),
+                        problem.relative_error(&out.xv, &out.xs),
+                        if identical { "yes" } else { "NO" }
+                    );
+                    if reference.is_none() {
+                        reference = Some((out.metrics.total_seconds, solution_bits));
+                    }
+                    details.push((t, out.metrics));
+                }
+                Err(e) if e.is_oom() => println!("{t:>8} {:>10}", "OOM"),
+                Err(e) => println!("{t:>8} FAILED: {e}"),
+            }
+        }
+        for (t, m) in &details {
+            println!("\nper-phase breakdown, {t} thread(s):");
+            print!("{}", phase_report(m));
+        }
+        println!();
+    }
+}
+
+fn budget(budget_mib: usize) -> Option<usize> {
+    (budget_mib > 0).then_some(budget_mib * 1024 * 1024)
+}

@@ -8,7 +8,7 @@
 //! crossovers sit, and which methods hit the memory wall first.
 
 use csolve_common::Scalar;
-use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
+use csolve_coupled::{solve, Algorithm, DenseBackend, Metrics, SolverConfig};
 use csolve_fembem::CoupledProblem;
 
 /// Result of one measured run.
@@ -18,6 +18,8 @@ pub struct RunResult {
     pub peak_mib: f64,
     pub schur_mib: f64,
     pub rel_error: f64,
+    /// Full per-phase metrics of the run (wall time, bytes, threads).
+    pub metrics: Metrics,
 }
 
 /// Outcome of a run attempt: success, out-of-memory, or another failure.
@@ -66,10 +68,30 @@ pub fn attempt<T: Scalar>(
             peak_mib: out.metrics.peak_bytes as f64 / (1024.0 * 1024.0),
             schur_mib: out.metrics.schur_bytes as f64 / (1024.0 * 1024.0),
             rel_error: problem.relative_error(&out.xv, &out.xs),
+            metrics: out.metrics,
         }),
         Err(e) if e.is_oom() => Attempt::Oom,
         Err(e) => Attempt::Failed(e.to_string()),
     }
+}
+
+/// Multi-line per-phase breakdown of a run: wall time (summed over worker
+/// threads for parallel phases) and bytes processed where recorded.
+pub fn phase_report(metrics: &Metrics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<28} {:>10} {:>12}\n",
+        "phase", "time (s)", "MiB"
+    ));
+    for (name, secs) in &metrics.phases {
+        let bytes = metrics.bytes_of(name);
+        if bytes > 0 {
+            out.push_str(&format!("  {name:<28} {secs:>10.3} {:>12.1}\n", mib(bytes)));
+        } else {
+            out.push_str(&format!("  {name:<28} {secs:>10.3} {:>12}\n", "-"));
+        }
+    }
+    out
 }
 
 /// A labelled solver variant (the rows/series of the paper's plots).

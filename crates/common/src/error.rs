@@ -116,6 +116,10 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("dense Schur") && s.contains("1024") && s.contains("4096"));
         assert!(e.is_oom());
-        assert!(!Error::SingularPivot { index: 3, magnitude: 0.0 }.is_oom());
+        assert!(!Error::SingularPivot {
+            index: 3,
+            magnitude: 0.0
+        }
+        .is_oom());
     }
 }

@@ -27,7 +27,7 @@ pub mod timing;
 
 pub use error::{Error, Result};
 pub use mem::{ByteSized, MemCharge, MemTracker, Tracked};
-pub use scalar::{C32, C64, Complex, RealScalar, Scalar};
+pub use scalar::{Complex, RealScalar, Scalar, C32, C64};
 pub use timing::{PhaseTimer, Stopwatch};
 
 /// Read the peak resident set size of the current process in kibibytes, if

@@ -101,12 +101,13 @@ impl MemTracker {
     }
 
     /// Charge for a [`ByteSized`] value and bundle them.
-    pub fn track<M: ByteSized>(self: &Arc<Self>, value: M, what: &'static str) -> Result<Tracked<M>> {
+    pub fn track<M: ByteSized>(
+        self: &Arc<Self>,
+        value: M,
+        what: &'static str,
+    ) -> Result<Tracked<M>> {
         let charge = self.charge(value.byte_size(), what)?;
-        Ok(Tracked {
-            value,
-            charge,
-        })
+        Ok(Tracked { value, charge })
     }
 }
 

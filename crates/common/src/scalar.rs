@@ -428,7 +428,13 @@ mod tests {
 
     #[test]
     fn complex_sqrt_principal_branch() {
-        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (3.0, 4.0), (0.0, -2.0), (-1.0, -1.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (3.0, 4.0),
+            (0.0, -2.0),
+            (-1.0, -1.0),
+        ] {
             let z = C64::new(re, im);
             let s = z.sqrt();
             let sq = s * s;

@@ -36,11 +36,16 @@ impl Stopwatch {
     }
 }
 
-/// Accumulates wall-clock time per named phase. Thread-safe so parallel
-/// sections can report into the same timer.
+/// Accumulates wall-clock time — and optionally bytes processed — per named
+/// phase. Thread-safe so parallel sections can report into the same timer.
+///
+/// When a phase runs on several worker threads concurrently, its accumulated
+/// duration is the *sum over threads* (akin to CPU time), which can exceed
+/// the wall-clock time of the enclosing run.
 #[derive(Debug, Default)]
 pub struct PhaseTimer {
     phases: Mutex<Vec<(String, Duration)>>,
+    bytes: Mutex<Vec<(String, usize)>>,
 }
 
 impl PhaseTimer {
@@ -67,9 +72,36 @@ impl PhaseTimer {
         out
     }
 
+    /// Add `n` bytes to the byte counter of phase `name`, creating it on
+    /// first use. Byte counters are independent of the duration entries:
+    /// a phase may have either, both, or neither.
+    pub fn add_bytes(&self, name: &str, n: usize) {
+        let mut bytes = self.bytes.lock();
+        if let Some(entry) = bytes.iter_mut().find(|(b, _)| b == name) {
+            entry.1 += n;
+        } else {
+            bytes.push((name.to_string(), n));
+        }
+    }
+
     /// Snapshot of (phase, duration) pairs in first-use order.
     pub fn phases(&self) -> Vec<(String, Duration)> {
         self.phases.lock().clone()
+    }
+
+    /// Snapshot of (phase, bytes) pairs in first-use order.
+    pub fn bytes(&self) -> Vec<(String, usize)> {
+        self.bytes.lock().clone()
+    }
+
+    /// Byte counter of one phase, zero if absent.
+    pub fn get_bytes(&self, name: &str) -> usize {
+        self.bytes
+            .lock()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| *b)
+            .unwrap_or_default()
     }
 
     /// Total accumulated time across phases.
@@ -116,6 +148,20 @@ mod tests {
         assert_eq!(t.get("missing"), Duration::ZERO);
         assert_eq!(t.total(), Duration::from_millis(175));
         assert!(t.summary().starts_with("factor"));
+    }
+
+    #[test]
+    fn accumulates_bytes_independently_of_durations() {
+        let t = PhaseTimer::new();
+        t.add_bytes("solve", 100);
+        t.add_bytes("spmm", 50);
+        t.add_bytes("solve", 25);
+        assert_eq!(t.get_bytes("solve"), 125);
+        assert_eq!(t.get_bytes("spmm"), 50);
+        assert_eq!(t.get_bytes("missing"), 0);
+        assert_eq!(t.bytes().len(), 2);
+        // No durations were recorded for these phases.
+        assert_eq!(t.phases().len(), 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// Every algorithm, in the paper's order of introduction.
     pub const ALL: [Algorithm; 4] = [
         Algorithm::BaselineCoupling,
         Algorithm::AdvancedCoupling,
@@ -25,6 +26,7 @@ impl Algorithm {
         Algorithm::MultiFactorization,
     ];
 
+    /// Stable kebab-case identifier (used in reports and CLI output).
     pub fn name(&self) -> &'static str {
         match self {
             Algorithm::BaselineCoupling => "baseline-coupling",
@@ -47,6 +49,7 @@ pub enum DenseBackend {
 }
 
 impl DenseBackend {
+    /// Solver name as used in the paper ("SPIDO" / "HMAT").
     pub fn name(&self) -> &'static str {
         match self {
             DenseBackend::Spido => "SPIDO",
@@ -60,6 +63,7 @@ impl DenseBackend {
 pub struct SolverConfig {
     /// Low-rank precision ε (paper: 10⁻³ academic, 10⁻⁴ industrial).
     pub eps: f64,
+    /// Dense solver handling `A_ss` and the Schur complement `S`.
     pub dense_backend: DenseBackend,
     /// Enable BLR compression inside the sparse solver (paper: MUMPS
     /// low-rank, on for every experiment except the reference rows of
@@ -81,6 +85,17 @@ pub struct SolverConfig {
     pub hmat_leaf: usize,
     /// H-matrix admissibility parameter η.
     pub hmat_eta: f64,
+    /// Worker threads for the blockwise Schur pipelines and the dense
+    /// kernels (0: use the ambient rayon thread count). Results are
+    /// bitwise-identical for every thread count: block contributions commit
+    /// in a fixed order regardless of which thread computes them.
+    pub num_threads: usize,
+    /// Maximum pipeline blocks admitted concurrently (0: same as the thread
+    /// count). Each in-flight block reserves its worst-case working set
+    /// against the memory budget up front, so lowering this bounds the
+    /// transient memory overhead of parallelism; under budget pressure the
+    /// scheduler lowers it on its own, down to one block at a time.
+    pub max_inflight_blocks: usize,
 }
 
 impl Default for SolverConfig {
@@ -96,6 +111,8 @@ impl Default for SolverConfig {
             mem_budget: None,
             hmat_leaf: 64,
             hmat_eta: 6.0,
+            num_threads: 0,
+            max_inflight_blocks: 0,
         }
     }
 }
@@ -103,25 +120,46 @@ impl Default for SolverConfig {
 /// Wall-clock and memory metrics of one solve.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    /// (phase name, seconds) in execution order.
+    /// (phase name, seconds) in execution order. For phases that ran on
+    /// several worker threads concurrently this is the sum over threads
+    /// (akin to CPU time), which can exceed [`Metrics::total_seconds`].
     pub phases: Vec<(String, f64)>,
+    /// End-to-end wall time of the solve.
     pub total_seconds: f64,
     /// Peak tracked bytes over the whole solve.
     pub peak_bytes: usize,
     /// Bytes held by the (possibly compressed) Schur complement right
     /// before its factorization.
     pub schur_bytes: usize,
+    /// (phase name, bytes produced/processed) in first-use order — e.g. the
+    /// total size of all `Y` panels under `"sparse solve (Y)"`.
+    pub phase_bytes: Vec<(String, usize)>,
+    /// Worker threads the solve ran with.
+    pub threads: usize,
+    /// Total number of unknowns `N = n_FEM + n_BEM`.
     pub n_total: usize,
+    /// Dense surface (BEM) unknowns.
     pub n_bem: usize,
+    /// Sparse volume (FEM) unknowns.
     pub n_fem: usize,
 }
 
 impl Metrics {
+    /// Total seconds recorded for one phase, zero if absent.
     pub fn phase_seconds(&self, name: &str) -> f64 {
         self.phases
             .iter()
             .filter(|(n, _)| n == name)
             .map(|(_, s)| *s)
+            .sum()
+    }
+
+    /// Bytes recorded for one phase, zero if absent.
+    pub fn bytes_of(&self, name: &str) -> usize {
+        self.phase_bytes
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, b)| *b)
             .sum()
     }
 
@@ -134,11 +172,12 @@ impl Metrics {
             .collect::<Vec<_>>()
             .join(" | ");
         format!(
-            "N={} (fem {}, bem {}): total {:.2}s, peak {:.1} MiB, Schur {:.1} MiB [{phases}]",
+            "N={} (fem {}, bem {}): total {:.2}s ({} threads), peak {:.1} MiB, Schur {:.1} MiB [{phases}]",
             self.n_total,
             self.n_fem,
             self.n_bem,
             self.total_seconds,
+            self.threads.max(1),
             self.peak_bytes as f64 / (1024.0 * 1024.0),
             self.schur_bytes as f64 / (1024.0 * 1024.0),
         )
@@ -165,13 +204,25 @@ mod tests {
             total_seconds: 3.5,
             peak_bytes: 1 << 20,
             schur_bytes: 1 << 19,
+            phase_bytes: vec![("a".into(), 4096)],
+            threads: 2,
             n_total: 100,
             n_bem: 20,
             n_fem: 80,
         };
         assert_eq!(m.phase_seconds("a"), 1.5);
         assert_eq!(m.phase_seconds("missing"), 0.0);
+        assert_eq!(m.bytes_of("a"), 4096);
+        assert_eq!(m.bytes_of("missing"), 0);
         assert!(m.summary().contains("N=100"));
+        assert!(m.summary().contains("2 threads"));
+    }
+
+    #[test]
+    fn parallel_knobs_default_to_auto() {
+        let c = SolverConfig::default();
+        assert_eq!(c.num_threads, 0);
+        assert_eq!(c.max_inflight_blocks, 0);
     }
 
     #[test]

@@ -1,17 +1,27 @@
 //! The solution driver: workspace setup (surface cluster ordering) and the
 //! four Schur-complement strategies of the paper.
+//!
+//! The blockwise strategies (multi-solve, multi-factorization) run their
+//! block loops as a task-parallel pipeline: independent block contributions
+//! are computed concurrently across rayon workers, admitted one by one
+//! against the memory budget by a [`BudgetScheduler`], and folded into the
+//! Schur accumulator in a fixed order by an [`OrderedCommit`] — so results
+//! are bitwise-identical for every thread count, and peak tracked memory
+//! never exceeds the configured budget (concurrency degrades instead).
 
 use std::sync::Arc;
 
-use csolve_common::{ByteSized, MemTracker, PhaseTimer, Result, Scalar, Stopwatch};
+use csolve_common::{ByteSized, Error, MemTracker, PhaseTimer, Result, Scalar, Stopwatch};
 use csolve_dense::{Mat, MatRef};
 use csolve_fembem::{BemOperator, CoupledProblem};
 use csolve_hmat::ClusterTree;
 use csolve_sparse::{
     factorize, factorize_schur, Coo, Csc, SparseFactorization, SparseOptions, Symmetry,
 };
+use rayon::prelude::*;
 
 use crate::config::{Algorithm, DenseBackend, Metrics, SolverConfig};
+use crate::pipeline::{Admission, BudgetScheduler, OrderedCommit};
 use crate::schur::{SchurAcc, SchurFactor};
 
 /// Result of a coupled solve.
@@ -21,6 +31,7 @@ pub struct Outcome<T> {
     pub xv: Vec<T>,
     /// Surface solution (original ordering).
     pub xs: Vec<T>,
+    /// Wall-clock, phase and memory measurements of the run.
     pub metrics: Metrics,
 }
 
@@ -59,11 +70,78 @@ impl<T: Scalar> Ws<'_, T> {
     }
 }
 
+/// The sparse factorization is shared by reference across pipeline workers;
+/// it must stay immutable-thread-safe. (Compile-time check.)
+#[allow(dead_code)]
+fn assert_factorization_shareable<T: Scalar>() {
+    fn sharable<X: Send + Sync>() {}
+    sharable::<SparseFactorization<T>>();
+}
+
+/// Worker threads the solve will use: the explicit knob, or the ambient
+/// rayon thread count when the knob is 0.
+fn effective_threads(cfg: &SolverConfig) -> usize {
+    if cfg.num_threads > 0 {
+        cfg.num_threads
+    } else {
+        rayon::current_num_threads()
+    }
+    .max(1)
+}
+
+/// Concurrent-block cap for the pipelines: the explicit knob, or one block
+/// per worker thread.
+fn inflight_cap(cfg: &SolverConfig, threads: usize) -> usize {
+    if cfg.max_inflight_blocks > 0 {
+        cfg.max_inflight_blocks
+    } else {
+        threads
+    }
+    .max(1)
+}
+
 /// Solve the coupled system with the chosen algorithm and configuration.
+///
+/// # Examples
+///
+/// ```
+/// use csolve_coupled::{solve, Algorithm, SolverConfig};
+///
+/// let problem = csolve_fembem::pipe_problem::<f64>(800);
+/// let cfg = SolverConfig { eps: 1e-4, ..Default::default() };
+/// let out = solve(&problem, Algorithm::MultiSolve, &cfg).unwrap();
+/// assert!(problem.relative_error(&out.xv, &out.xs) < 1e-4);
+/// ```
+///
+/// Capacity experiments bound the tracked memory; an infeasible budget is a
+/// clean out-of-memory error, not a crash:
+///
+/// ```
+/// use csolve_coupled::{solve, Algorithm, SolverConfig};
+///
+/// let problem = csolve_fembem::pipe_problem::<f64>(800);
+/// let cfg = SolverConfig { mem_budget: Some(10_000), ..Default::default() };
+/// let err = solve(&problem, Algorithm::MultiSolve, &cfg).unwrap_err();
+/// assert!(err.is_oom());
+/// ```
 pub fn solve<T: Scalar>(
     problem: &CoupledProblem<T>,
     algo: Algorithm,
     cfg: &SolverConfig,
+) -> Result<Outcome<T>> {
+    let threads = effective_threads(cfg);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| Error::InvalidConfig(format!("thread pool construction failed: {e}")))?;
+    pool.install(|| solve_inner(problem, algo, cfg, threads))
+}
+
+fn solve_inner<T: Scalar>(
+    problem: &CoupledProblem<T>,
+    algo: Algorithm,
+    cfg: &SolverConfig,
+    threads: usize,
 ) -> Result<Outcome<T>> {
     let tracker = match cfg.mem_budget {
         Some(b) => MemTracker::with_budget(b),
@@ -105,6 +183,8 @@ pub fn solve<T: Scalar>(
         total_seconds: sw.elapsed_secs(),
         peak_bytes: tracker.peak(),
         schur_bytes,
+        phase_bytes: timer.bytes(),
+        threads,
         n_total: problem.n_total(),
         n_bem: problem.n_bem(),
         n_fem: problem.n_fem(),
@@ -163,6 +243,7 @@ fn baseline_coupling<T: Scalar>(
     )?;
     let y = timer.time("sparse solve (Y)", || fact.solve_sparse_rhs(&ws.a_vs))?;
     y_charge.resize(y.byte_size(), "dense Y = A_vv^-1 A_vs")?;
+    timer.add_bytes("sparse solve (Y)", y.byte_size());
 
     let mut schur = timer.time("Schur init (A_ss)", || {
         SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
@@ -178,14 +259,17 @@ fn baseline_coupling<T: Scalar>(
             ws.a_sv
                 .mul_dense(T::ONE, y.view(0..nv, c0..c1), T::ZERO, z.as_mut())
         });
+        timer.add_bytes("SpMM", z.byte_size());
         timer.time("Schur assembly", || {
             schur.axpy_block(-T::ONE, 0, c0, z.as_ref(), cfg.eps)
         })?;
+        timer.add_bytes("Schur assembly", z.byte_size());
         c0 = c1;
     }
     drop(y);
     drop(y_charge);
     let schur_bytes = schur.bytes();
+    timer.add_bytes("dense factorization", schur_bytes);
     let sf = timer.time("dense factorization", || {
         schur.factor(ws.symmetric, cfg.eps)
     })?;
@@ -212,12 +296,14 @@ fn advanced_coupling<T: Scalar>(
         coo.to_csc()
     });
     let _w_charge = tracker.charge(w.byte_size(), "stacked W matrix")?;
+    timer.add_bytes("assemble W", w.byte_size());
     let schur_vars: Vec<usize> = (nv..n).collect();
     // The dense Schur output of the sparse solver (the API limitation).
     let x_charge = tracker.charge(ns * ns * std::mem::size_of::<T>(), "dense Schur output")?;
     let (fact_w, x) = timer.time("sparse factorization+Schur", || {
         factorize_schur(&w, &schur_vars, &ws.sparse_opts(cfg, tracker))
     })?;
+    timer.add_bytes("sparse factorization+Schur", x.byte_size());
 
     // S = A_ss + X (X already carries the minus sign).
     let mut schur = timer.time("Schur init (A_ss)", || {
@@ -226,9 +312,11 @@ fn advanced_coupling<T: Scalar>(
     timer.time("Schur assembly", || {
         schur.axpy_block(T::ONE, 0, 0, x.as_ref(), cfg.eps)
     })?;
+    timer.add_bytes("Schur assembly", x.byte_size());
     drop(x);
     drop(x_charge);
     let schur_bytes = schur.bytes();
+    timer.add_bytes("dense factorization", schur_bytes);
     let sf = timer.time("dense factorization", || {
         schur.factor(ws.symmetric, cfg.eps)
     })?;
@@ -252,6 +340,13 @@ fn advanced_coupling<T: Scalar>(
 /// `n_c` columns through repeated sparse solves (Algorithm 1; with the HMAT
 /// backend and `n_S`-wide Schur panels this is the compressed-Schur
 /// Algorithm 2).
+///
+/// The `n_S`-wide Schur panels are independent of each other, so they run as
+/// a pipeline: each panel is admitted against the memory budget (reserving
+/// its `Z` panel plus the worst-case transient `Y` of one inner sparse
+/// solve), computed on whichever worker is free, and committed into `S` in
+/// panel order — the same fold order as the sequential loop, hence the same
+/// bits in the compressed accumulator.
 fn multi_solve<T: Scalar>(
     ws: &Ws<'_, T>,
     cfg: &SolverConfig,
@@ -259,10 +354,11 @@ fn multi_solve<T: Scalar>(
     timer: &PhaseTimer,
 ) -> Result<(Vec<T>, Vec<T>, usize)> {
     let (nv, ns) = (ws.nv(), ws.ns());
+    let elem = std::mem::size_of::<T>();
     let fact = timer.time("sparse factorization", || {
         factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
     })?;
-    let mut schur = timer.time("Schur init (A_ss)", || {
+    let schur = timer.time("Schur init (A_ss)", || {
         SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
     })?;
 
@@ -276,40 +372,71 @@ fn multi_solve<T: Scalar>(
     };
     let all_v: Vec<usize> = (0..nv).collect();
 
-    let mut p0 = 0;
-    while p0 < ns {
-        let p1 = (p0 + n_s).min(ns);
-        let _zp_charge =
-            tracker.charge(ns * (p1 - p0) * std::mem::size_of::<T>(), "Schur panel Z")?;
-        let mut zpanel = Mat::<T>::zeros(ns, p1 - p0);
-        let mut c0 = p0;
-        while c0 < p1 {
-            let c1 = (c0 + n_c).min(p1);
-            let w = c1 - c0;
-            // Columns c0..c1 of A_vs as a sparse RHS.
-            let cols: Vec<usize> = (c0..c1).collect();
-            let rhs = ws.a_vs.submatrix(&all_v, &cols);
-            let mut y_charge =
-                tracker.charge(2 * nv * w * std::mem::size_of::<T>(), "dense Y panel")?;
-            let y = timer.time("sparse solve (Y)", || fact.solve_sparse_rhs(&rhs))?;
-            y_charge.resize(y.byte_size(), "dense Y panel")?;
-            timer.time("SpMM", || {
-                ws.a_sv.mul_dense(
-                    T::ONE,
-                    y.as_ref(),
-                    T::ZERO,
-                    zpanel.view_mut(0..ns, (c0 - p0)..(c1 - p0)),
-                )
-            });
-            c0 = c1;
-        }
-        timer.time("Schur assembly", || {
-            schur.axpy_block(-T::ONE, 0, p0, zpanel.as_ref(), cfg.eps)
-        })?;
-        p0 = p1;
-    }
+    let panels: Vec<(usize, usize, usize)> = (0..ns.div_ceil(n_s.max(1)))
+        .map(|i| (i, i * n_s, ((i + 1) * n_s).min(ns)))
+        .collect();
 
+    let threads = rayon::current_num_threads();
+    let sched = BudgetScheduler::new(Arc::clone(tracker), inflight_cap(cfg, threads));
+    let commit = OrderedCommit::new(schur);
+    let (fact_r, sched_r, commit_r) = (&fact, &sched, &commit);
+
+    panels.into_par_iter().for_each(move |(seq, p0, p1)| {
+        let w = p1 - p0;
+        // Worst-case working set of this panel: its Z panel plus one inner
+        // sparse solve's Y (the solver uses a permuted internal copy: 2×).
+        let reserve = (ns * w + 2 * nv * n_c.min(w)) * elem;
+        let mut adm = match sched_r.admit(seq, reserve, "Schur panel Z + Y workspace") {
+            Ok(a) => a,
+            Err(e) => return fail(sched_r, commit_r, &e),
+        };
+
+        let compute = || -> Result<Mat<T>> {
+            let mut zpanel = Mat::<T>::zeros(ns, w);
+            let mut c0 = p0;
+            while c0 < p1 {
+                let c1 = (c0 + n_c).min(p1);
+                // Columns c0..c1 of A_vs as a sparse RHS.
+                let cols: Vec<usize> = (c0..c1).collect();
+                let rhs = ws.a_vs.submatrix(&all_v, &cols);
+                let y = timer.time("sparse solve (Y)", || fact_r.solve_sparse_rhs(&rhs))?;
+                timer.add_bytes("sparse solve (Y)", y.byte_size());
+                timer.time("SpMM", || {
+                    ws.a_sv.mul_dense(
+                        T::ONE,
+                        y.as_ref(),
+                        T::ZERO,
+                        zpanel.view_mut(0..ns, (c0 - p0)..(c1 - p0)),
+                    )
+                });
+                c0 = c1;
+            }
+            timer.add_bytes("SpMM", zpanel.byte_size());
+            Ok(zpanel)
+        };
+        let zpanel = match compute() {
+            Ok(z) => z,
+            Err(e) => return fail(sched_r, commit_r, &e),
+        };
+        // The Y workspace is gone; park with only the Z panel reserved.
+        if let Err(e) = adm.resize(zpanel.byte_size(), "Schur panel Z") {
+            return fail(sched_r, commit_r, &e);
+        }
+        adm.begin_commit();
+        let committed = commit_r.commit(seq, |schur| {
+            timer.time("Schur assembly", || {
+                schur.axpy_block(-T::ONE, 0, p0, zpanel.as_ref(), cfg.eps)
+            })
+        });
+        match committed {
+            Ok(()) => timer.add_bytes("Schur assembly", zpanel.byte_size()),
+            Err(e) => sched_r.poison(&e),
+        }
+    });
+
+    let schur = commit.into_result()?;
     let schur_bytes = schur.bytes();
+    timer.add_bytes("dense factorization", schur_bytes);
     let sf = timer.time("dense factorization", || {
         schur.factor(ws.symmetric, cfg.eps)
     })?;
@@ -325,6 +452,14 @@ fn multi_solve<T: Scalar>(
 /// `W` is unsymmetric (paper: "except when i = j"), so the unsymmetric
 /// solver mode is used throughout, with its duplicated storage — the very
 /// overhead the paper identifies as multi-factorization's memory weakness.
+///
+/// Tiles run as a pipeline like the multi-solve panels. One wrinkle: the
+/// sparse solver charges its internal factorization memory directly against
+/// the tracker, so a tile can hit an out-of-memory error *mid-compute* that
+/// only exists because other tiles are in flight. Such a tile releases its
+/// reservation, waits for concurrent tiles to free memory, and retries —
+/// propagating the error only when no concurrent work is left to wait for
+/// (i.e. when the sequential algorithm would have failed too).
 fn multi_factorization<T: Scalar>(
     ws: &Ws<'_, T>,
     cfg: &SolverConfig,
@@ -332,7 +467,8 @@ fn multi_factorization<T: Scalar>(
     timer: &PhaseTimer,
 ) -> Result<(Vec<T>, Vec<T>, usize)> {
     let (nv, ns) = (ws.nv(), ws.ns());
-    let mut schur = timer.time("Schur init (A_ss)", || {
+    let elem = std::mem::size_of::<T>();
+    let schur = timer.time("Schur init (A_ss)", || {
         SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
     })?;
 
@@ -351,32 +487,88 @@ fn multi_factorization<T: Scalar>(
         tracker: Some(Arc::clone(tracker)),
     };
 
-    for ri in &ranges {
+    let tiles: Vec<(usize, std::ops::Range<usize>, std::ops::Range<usize>)> = ranges
+        .iter()
+        .flat_map(|ri| ranges.iter().map(move |rj| (ri.clone(), rj.clone())))
+        .enumerate()
+        .map(|(seq, (ri, rj))| (seq, ri, rj))
+        .collect();
+
+    let threads = rayon::current_num_threads();
+    let sched = BudgetScheduler::new(Arc::clone(tracker), inflight_cap(cfg, threads));
+    let commit = OrderedCommit::new(schur);
+    let (sched_r, commit_r, w_opts_r) = (&sched, &commit, &w_opts);
+
+    tiles.into_par_iter().for_each(move |(seq, ri, rj)| {
         let rows: Vec<usize> = ri.clone().collect();
+        let cols: Vec<usize> = rj.clone().collect();
         let a_sv_i = ws.a_sv.submatrix(&rows, &all_v);
-        for rj in &ranges {
-            let cols: Vec<usize> = rj.clone().collect();
-            let a_vs_j = ws.a_vs.submatrix(&all_v, &cols);
-            let m = rows.len().max(cols.len());
+        let a_vs_j = ws.a_vs.submatrix(&all_v, &cols);
+        let m = rows.len().max(cols.len());
+        // Reservation: the stacked W (values + row indices + column
+        // pointers) and the dense Schur output X_ij.
+        let nnz = ws.a_vv.nnz() + a_sv_i.nnz() + a_vs_j.nnz();
+        let w_bytes = nnz * (elem + std::mem::size_of::<usize>())
+            + (nv + m + 1) * std::mem::size_of::<usize>();
+        let reserve = w_bytes + m * m * elem;
+        let mut adm: Option<Admission<'_>> =
+            match sched_r.admit(seq, reserve, "stacked W + Schur block X_ij") {
+                Ok(a) => Some(a),
+                Err(e) => return fail(sched_r, commit_r, &e),
+            };
+
+        let compute = || -> Result<Mat<T>> {
             // Stacked square W (padded when the edge blocks differ in size).
             let w = timer.time("assemble W", || {
-                let mut coo =
-                    Coo::with_capacity(nv + m, nv + m, ws.a_vv.nnz() + a_sv_i.nnz() + a_vs_j.nnz());
+                let mut coo = Coo::with_capacity(nv + m, nv + m, nnz);
                 push_csc(&mut coo, ws.a_vv, 0, 0);
                 push_csc(&mut coo, &a_vs_j, 0, nv);
                 push_csc(&mut coo, &a_sv_i, nv, 0);
                 coo.to_csc()
             });
-            let _w_charge = tracker.charge(w.byte_size(), "stacked W matrix")?;
+            timer.add_bytes("assemble W", w.byte_size());
             let schur_vars: Vec<usize> = (nv..nv + m).collect();
-            let x_charge =
-                tracker.charge(m * m * std::mem::size_of::<T>(), "dense Schur block X_ij")?;
             // Each call re-factorizes A_vv — the superfluous work the method
             // trades for memory (hence its name).
             let (fact_w, x) = timer.time("sparse factorization+Schur", || {
-                factorize_schur(&w, &schur_vars, &w_opts)
+                factorize_schur(&w, &schur_vars, w_opts_r)
             })?;
             drop(fact_w);
+            timer.add_bytes("sparse factorization+Schur", x.byte_size());
+            Ok(x)
+        };
+
+        // Compute with a retry loop around transient (concurrency-induced)
+        // out-of-memory failures from the sparse solver's internal charges.
+        let mut stalled_retry_done = false;
+        let x = loop {
+            match compute() {
+                Ok(x) => break x,
+                Err(e) if e.is_oom() => {
+                    // Free our reservation so concurrent tiles can finish,
+                    // then wait for memory to come back.
+                    drop(adm.take());
+                    let stalled = sched_r.wait_for_progress(sched_r.epoch());
+                    if stalled && stalled_retry_done {
+                        return fail(sched_r, commit_r, &e);
+                    }
+                    stalled_retry_done = stalled;
+                    match sched_r.readmit(reserve, "stacked W + Schur block X_ij") {
+                        Ok(a) => adm = Some(a),
+                        Err(e) => return fail(sched_r, commit_r, &e),
+                    }
+                }
+                Err(e) => return fail(sched_r, commit_r, &e),
+            }
+        };
+
+        let adm = adm.as_mut().expect("admission held");
+        // W is freed; park with only the Schur block reserved.
+        if let Err(e) = adm.resize(x.byte_size(), "dense Schur block X_ij") {
+            return fail(sched_r, commit_r, &e);
+        }
+        adm.begin_commit();
+        let committed = commit_r.commit(seq, |schur| {
             timer.time("Schur assembly", || {
                 schur.axpy_block(
                     T::ONE,
@@ -385,13 +577,17 @@ fn multi_factorization<T: Scalar>(
                     x.view(0..rows.len(), 0..cols.len()),
                     cfg.eps,
                 )
-            })?;
-            drop(x);
-            drop(x_charge);
+            })
+        });
+        match committed {
+            Ok(()) => timer.add_bytes("Schur assembly", rows.len() * cols.len() * elem),
+            Err(e) => sched_r.poison(&e),
         }
-    }
+    });
 
+    let schur = commit.into_result()?;
     let schur_bytes = schur.bytes();
+    timer.add_bytes("dense factorization", schur_bytes);
     let sf = timer.time("dense factorization", || {
         schur.factor(ws.symmetric, cfg.eps)
     })?;
@@ -402,6 +598,13 @@ fn multi_factorization<T: Scalar>(
     })?;
     let (xv, xs) = finish_solution(ws, &fact, &sf, timer)?;
     Ok((xv, xs, schur_bytes))
+}
+
+/// Record `e` as the pipeline's error in both primitives so every blocked
+/// worker drains promptly (first error wins).
+fn fail<S>(sched: &BudgetScheduler, commit: &OrderedCommit<S>, e: &Error) {
+    sched.poison(e);
+    commit.abort(e);
 }
 
 /// Append a CSC block into a COO builder at offset (r0, c0).

@@ -34,10 +34,12 @@
 
 // Index-based loops mirror the reference algorithms (LAPACK/CSparse style)
 // and are kept for readability of the numeric kernels.
+#![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
 pub mod config;
 pub mod driver;
+pub mod pipeline;
 pub mod schur;
 
 pub use config::{Algorithm, DenseBackend, Metrics, SolverConfig};

@@ -1,0 +1,521 @@
+//! Task-parallel machinery for the blockwise Schur pipelines: budget-aware
+//! block admission and deterministic ordered commits.
+//!
+//! The paper's blockwise algorithms (multi-solve §IV-A, multi-factorization
+//! §IV-B) produce a stream of independent block contributions that are folded
+//! into the Schur accumulator one after another. Running the block
+//! computations concurrently multiplies the transient working memory by the
+//! number of in-flight blocks, and — with the H-matrix backend — makes the
+//! result depend on the (non-associative) order of compressed AXPYs. The two
+//! primitives here address exactly those two problems:
+//!
+//! * [`BudgetScheduler`] — admission control. A worker may only start
+//!   computing its block after reserving the block's worst-case working-set
+//!   bytes against the run's [`MemTracker`]. Admission is granted in block
+//!   order; when the budget cannot accommodate another in-flight block, the
+//!   worker simply waits for earlier blocks to release memory, so concurrency
+//!   degrades gracefully (down to one block at a time) instead of failing
+//!   with a spurious out-of-memory error. Only when a reservation cannot be
+//!   satisfied with *no* other block in flight — i.e. when the sequential
+//!   algorithm would also die — does admission fail.
+//! * [`OrderedCommit`] — deterministic reduction. Computed blocks are folded
+//!   into the shared accumulator strictly in block index order, under one
+//!   lock. This serializes the compressed AXPYs (thread-safety) *and* pins
+//!   their order (bitwise-identical results for any thread count: the
+//!   commit order equals the sequential algorithm's loop order).
+//!
+//! # Why ordered admission?
+//!
+//! Admitting blocks out of order can deadlock the ordered commit: if block
+//! `k` is admitted while block `k-1` still waits for memory, every admitted
+//! block ≥ `k` parks in [`OrderedCommit::commit`] holding its reservation,
+//! and block `k-1` waits forever for bytes that will never be released.
+//! Granting admission in block order makes the lowest uncommitted block
+//! always runnable: the only memory it can wait for belongs to *earlier*
+//! blocks, which can complete without it.
+//!
+//! # Failure propagation
+//!
+//! The first error poisons both primitives: blocked admissions return the
+//! error instead of waiting, and parked commits drain without applying their
+//! panels. The pipeline therefore ends promptly with the original error and
+//! every reservation released.
+
+use std::sync::Arc;
+
+use csolve_common::{Error, MemCharge, MemTracker, Result};
+use parking_lot::{Condvar, Mutex};
+
+/// How long a blocked worker sleeps between re-checks of the scheduler
+/// state. All state transitions `notify_all`, so this is purely a defensive
+/// backstop turning any missed-wakeup bug into slow polling instead of a
+/// hang.
+const WAIT_SLICE: std::time::Duration = std::time::Duration::from_millis(50);
+
+#[derive(Debug)]
+struct SchedState {
+    /// Next block index to be admitted (admission is granted in order).
+    next_ticket: usize,
+    /// Admissions currently held (reserved and not yet dropped).
+    inflight: usize,
+    /// Admitted workers still computing (not yet parked in a commit wait).
+    computing: usize,
+    /// Maximum concurrently admitted blocks; shrinks under budget pressure.
+    cap: usize,
+    /// Bumped whenever memory is released or a worker stops computing, so
+    /// retrying workers can tell progress from a stall.
+    epoch: u64,
+    /// First error; set once, then every admission request fails fast.
+    poisoned: Option<Error>,
+}
+
+/// Budget-aware admission control for a run of pipeline blocks.
+///
+/// See the [module documentation](self) for the design rationale.
+#[derive(Debug)]
+pub struct BudgetScheduler {
+    tracker: Arc<MemTracker>,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl BudgetScheduler {
+    /// Scheduler admitting at most `cap` blocks concurrently (clamped to at
+    /// least one), charging reservations against `tracker`.
+    pub fn new(tracker: Arc<MemTracker>, cap: usize) -> Self {
+        Self {
+            tracker,
+            state: Mutex::new(SchedState {
+                next_ticket: 0,
+                inflight: 0,
+                computing: 0,
+                cap: cap.max(1),
+                epoch: 0,
+                poisoned: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Reserve `bytes` for block `seq` and enter the in-flight set.
+    ///
+    /// Blocks until every block `< seq` has been admitted, a concurrency slot
+    /// is free, and the reservation fits the budget. Fails only when the
+    /// reservation cannot fit with no other block in flight (the sequential
+    /// algorithm would fail too) or after the scheduler was poisoned.
+    pub fn admit(&self, seq: usize, bytes: usize, what: &'static str) -> Result<Admission<'_>> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(e) = &st.poisoned {
+                return Err(e.clone());
+            }
+            if st.next_ticket == seq && st.inflight < st.cap {
+                match self.tracker.charge(bytes, what) {
+                    Ok(charge) => {
+                        st.next_ticket += 1;
+                        st.inflight += 1;
+                        st.computing += 1;
+                        self.cv.notify_all();
+                        return Ok(Admission {
+                            sched: self,
+                            charge: Some(charge),
+                            committing: false,
+                        });
+                    }
+                    Err(e) => {
+                        if st.inflight == 0 {
+                            return Err(e);
+                        }
+                        // Budget pressure: stop admitting beyond the level
+                        // that currently fits, then wait for releases.
+                        st.cap = st.inflight;
+                    }
+                }
+            }
+            self.cv.wait_for(&mut st, WAIT_SLICE);
+        }
+    }
+
+    /// Re-reserve `bytes` for a block whose first attempt hit an
+    /// out-of-memory error mid-compute (its ticket is already consumed).
+    ///
+    /// Blocks while other workers are still computing (their releases may
+    /// free the needed bytes); fails once no computing worker remains and
+    /// the reservation still does not fit.
+    pub fn readmit(&self, bytes: usize, what: &'static str) -> Result<Admission<'_>> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(e) = &st.poisoned {
+                return Err(e.clone());
+            }
+            match self.tracker.charge(bytes, what) {
+                Ok(charge) => {
+                    st.inflight += 1;
+                    st.computing += 1;
+                    self.cv.notify_all();
+                    return Ok(Admission {
+                        sched: self,
+                        charge: Some(charge),
+                        committing: false,
+                    });
+                }
+                Err(e) => {
+                    if st.computing == 0 {
+                        return Err(e);
+                    }
+                }
+            }
+            self.cv.wait_for(&mut st, WAIT_SLICE);
+        }
+    }
+
+    /// Wait for the scheduler state to advance past `epoch0`. Returns `true`
+    /// if the pipeline is stalled instead — no worker is computing anymore,
+    /// so no further memory release is coming.
+    pub fn wait_for_progress(&self, epoch0: u64) -> bool {
+        let mut st = self.state.lock();
+        while st.epoch == epoch0 && st.computing > 0 {
+            self.cv.wait_for(&mut st, WAIT_SLICE);
+        }
+        st.computing == 0
+    }
+
+    /// Current epoch (see [`BudgetScheduler::wait_for_progress`]).
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Record the first error; every subsequent or blocked admission fails
+    /// with a clone of it. Idempotent: later errors are ignored.
+    pub fn poison(&self, e: &Error) {
+        let mut st = self.state.lock();
+        if st.poisoned.is_none() {
+            st.poisoned = Some(e.clone());
+        }
+        self.cv.notify_all();
+    }
+
+    fn bump(&self) {
+        let mut st = self.state.lock();
+        st.epoch += 1;
+        self.cv.notify_all();
+    }
+
+    fn leave_computing(&self) {
+        let mut st = self.state.lock();
+        st.computing -= 1;
+        st.epoch += 1;
+        self.cv.notify_all();
+    }
+
+    fn release(&self, was_computing: bool) {
+        let mut st = self.state.lock();
+        st.inflight -= 1;
+        if was_computing {
+            st.computing -= 1;
+        }
+        st.epoch += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// RAII token for one admitted block: holds the block's byte reservation and
+/// its slot in the scheduler's in-flight set, releasing both on drop.
+#[derive(Debug)]
+pub struct Admission<'a> {
+    sched: &'a BudgetScheduler,
+    charge: Option<MemCharge>,
+    committing: bool,
+}
+
+impl Admission<'_> {
+    /// Shrink (or budget-checked grow) the reservation to `bytes` — e.g.
+    /// down to the computed block's actual size once the working set is
+    /// freed, so commit-parked blocks hold as little as possible.
+    pub fn resize(&mut self, bytes: usize, what: &'static str) -> Result<()> {
+        self.charge
+            .as_mut()
+            .expect("admission charge present")
+            .resize(bytes, what)?;
+        self.sched.bump();
+        Ok(())
+    }
+
+    /// Mark this block as done computing, about to park in an ordered
+    /// commit. Lets [`BudgetScheduler::wait_for_progress`] distinguish
+    /// workers that can still release memory from workers waiting their
+    /// commit turn.
+    pub fn begin_commit(&mut self) {
+        if !self.committing {
+            self.committing = true;
+            self.sched.leave_computing();
+        }
+    }
+}
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        // Release the bytes before leaving the in-flight set, so a worker
+        // woken by the release immediately sees the freed budget.
+        self.charge = None;
+        self.sched.release(!self.committing);
+    }
+}
+
+#[derive(Debug)]
+struct CommitState<S> {
+    next: usize,
+    value: Option<S>,
+    error: Option<Error>,
+}
+
+/// Deterministic ordered reduction of block results into a shared
+/// accumulator: block `seq` is applied only after blocks `0..seq`, under one
+/// lock, reproducing the sequential algorithm's fold order exactly.
+#[derive(Debug)]
+pub struct OrderedCommit<S> {
+    state: Mutex<CommitState<S>>,
+    cv: Condvar,
+}
+
+impl<S> OrderedCommit<S> {
+    /// Wrap the accumulator `value`; commits start at block 0.
+    pub fn new(value: S) -> Self {
+        Self {
+            state: Mutex::new(CommitState {
+                next: 0,
+                value: Some(value),
+                error: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Apply `f` to the accumulator as the `seq`-th commit.
+    ///
+    /// Blocks until commits `0..seq` have completed. After any recorded
+    /// error the call drains immediately with a clone of that error and `f`
+    /// is not run; an error returned by `f` itself is recorded and unblocks
+    /// every later commit the same way.
+    pub fn commit<R>(&self, seq: usize, f: impl FnOnce(&mut S) -> Result<R>) -> Result<R> {
+        let mut st = self.state.lock();
+        while st.next != seq && st.error.is_none() {
+            self.cv.wait_for(&mut st, WAIT_SLICE);
+        }
+        if let Some(e) = &st.error {
+            return Err(e.clone());
+        }
+        let out = f(st.value.as_mut().expect("accumulator present"));
+        st.next += 1;
+        if let Err(e) = &out {
+            if st.error.is_none() {
+                st.error = Some(e.clone());
+            }
+        }
+        self.cv.notify_all();
+        out
+    }
+
+    /// Record `e` as the pipeline's error (first error wins) and unblock
+    /// every parked commit.
+    pub fn abort(&self, e: &Error) {
+        let mut st = self.state.lock();
+        if st.error.is_none() {
+            st.error = Some(e.clone());
+        }
+        self.cv.notify_all();
+    }
+
+    /// Finish the reduction: the accumulator on success, the first recorded
+    /// error otherwise.
+    pub fn into_result(self) -> Result<S> {
+        let mut st = self.state.into_inner();
+        match st.error.take() {
+            Some(e) => Err(e),
+            None => Ok(st.value.take().expect("accumulator present")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csolve_common::MemTracker;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_admission_and_commit() {
+        let tracker = MemTracker::with_budget(1000);
+        let sched = BudgetScheduler::new(Arc::clone(&tracker), 1);
+        let commit = OrderedCommit::new(Vec::new());
+        for seq in 0..4 {
+            let mut adm = sched.admit(seq, 100, "block").unwrap();
+            adm.begin_commit();
+            commit
+                .commit(seq, |v: &mut Vec<usize>| {
+                    v.push(seq);
+                    Ok(())
+                })
+                .unwrap();
+        }
+        assert_eq!(commit.into_result().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(tracker.live(), 0);
+    }
+
+    #[test]
+    fn commits_are_applied_in_block_order_despite_racing_workers() {
+        let tracker = MemTracker::unbounded();
+        let sched = BudgetScheduler::new(Arc::clone(&tracker), 8);
+        let commit = OrderedCommit::new(Vec::new());
+        std::thread::scope(|s| {
+            // Spawn in reverse so late blocks race ahead of early ones.
+            for seq in (0..8usize).rev() {
+                let (sched, commit) = (&sched, &commit);
+                s.spawn(move || {
+                    let mut adm = sched.admit(seq, 10, "block").unwrap();
+                    std::thread::sleep(std::time::Duration::from_millis((7 - seq as u64) * 3));
+                    adm.begin_commit();
+                    commit
+                        .commit(seq, |v: &mut Vec<usize>| {
+                            v.push(seq);
+                            Ok(())
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(commit.into_result().unwrap(), (0..8).collect::<Vec<_>>());
+        assert_eq!(tracker.live(), 0);
+    }
+
+    #[test]
+    fn budget_limits_inflight_blocks() {
+        // Budget fits exactly two 100-byte reservations; with 4 workers the
+        // tracker peak must never exceed the budget.
+        let tracker = MemTracker::with_budget(250);
+        let sched = BudgetScheduler::new(Arc::clone(&tracker), 4);
+        let commit = OrderedCommit::new(());
+        std::thread::scope(|s| {
+            for seq in 0..6usize {
+                let (sched, commit, tracker) = (&sched, &commit, &tracker);
+                s.spawn(move || {
+                    let mut adm = sched.admit(seq, 100, "block").unwrap();
+                    assert!(tracker.live() <= 250);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    adm.begin_commit();
+                    commit.commit(seq, |_| Ok(())).unwrap();
+                });
+            }
+        });
+        assert!(tracker.peak() <= 250);
+        assert_eq!(tracker.live(), 0);
+        commit.into_result().unwrap();
+    }
+
+    #[test]
+    fn impossible_reservation_fails_only_when_alone() {
+        let tracker = MemTracker::with_budget(100);
+        let sched = BudgetScheduler::new(Arc::clone(&tracker), 2);
+        // Nothing in flight and the reservation exceeds the whole budget:
+        // fail immediately, as the sequential algorithm would.
+        let err = sched.admit(0, 200, "huge").unwrap_err();
+        assert!(err.is_oom());
+        assert_eq!(tracker.live(), 0);
+    }
+
+    #[test]
+    fn degraded_admission_waits_for_release() {
+        let tracker = MemTracker::with_budget(150);
+        let sched = BudgetScheduler::new(Arc::clone(&tracker), 4);
+        let order = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let (sched, order) = (&sched, &order);
+            s.spawn(move || {
+                let adm = sched.admit(0, 100, "a").unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                order.fetch_add(1, Ordering::SeqCst);
+                drop(adm);
+            });
+            s.spawn(move || {
+                // 100 + 100 exceeds the budget: must wait for block 0 to
+                // release, i.e. admission degrades to one block at a time.
+                let _adm = sched.admit(1, 100, "b").unwrap();
+                assert_eq!(order.load(Ordering::SeqCst), 1);
+            });
+        });
+        assert_eq!(tracker.live(), 0);
+        assert!(tracker.peak() <= 150);
+    }
+
+    #[test]
+    fn poison_drains_blocked_admissions_and_commits() {
+        let tracker = MemTracker::with_budget(100);
+        let sched = BudgetScheduler::new(Arc::clone(&tracker), 2);
+        let commit = OrderedCommit::new(());
+        let e = Error::InvalidConfig("boom".into());
+        std::thread::scope(|s| {
+            let (sched, commit, e) = (&sched, &commit, &e);
+            s.spawn(move || {
+                // Ticket 1 can never be admitted (ticket 0 is never used);
+                // the poison must unblock it.
+                let err = sched.admit(1, 10, "b").unwrap_err();
+                assert_eq!(&err, e);
+            });
+            s.spawn(move || {
+                // A commit parked behind seq 0 drains on abort.
+                let err = commit.commit(1, |_| Ok(())).unwrap_err();
+                assert_eq!(&err, e);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            sched.poison(e);
+            commit.abort(e);
+        });
+        assert!(commit.into_result().is_err());
+    }
+
+    #[test]
+    fn commit_error_propagates_to_later_commits() {
+        let commit = OrderedCommit::new(0u32);
+        let e = Error::InvalidConfig("bad block".into());
+        let got = commit.commit(0, |_| -> Result<()> { Err(e.clone()) });
+        assert_eq!(got.unwrap_err(), e);
+        let err = commit
+            .commit(1, |v| {
+                *v += 1;
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err, e);
+        assert_eq!(commit.into_result().unwrap_err(), e);
+    }
+
+    #[test]
+    fn readmit_waits_for_computing_workers() {
+        let tracker = MemTracker::with_budget(150);
+        let sched = BudgetScheduler::new(Arc::clone(&tracker), 4);
+        std::thread::scope(|s| {
+            let sched = &sched;
+            s.spawn(move || {
+                let adm = sched.admit(0, 100, "a").unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                drop(adm); // release while the retrier waits
+            });
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let _t1 = sched.admit(1, 40, "b").unwrap();
+                // Simulate a mid-compute OOM retry needing 100 bytes: must
+                // succeed once block 0 releases.
+                let _r = sched.readmit(100, "retry").unwrap();
+            });
+        });
+        assert_eq!(tracker.live(), 0);
+    }
+
+    #[test]
+    fn wait_for_progress_detects_stall() {
+        let tracker = MemTracker::unbounded();
+        let sched = BudgetScheduler::new(tracker, 2);
+        // No worker computing: stalled immediately.
+        assert!(sched.wait_for_progress(sched.epoch()));
+    }
+}

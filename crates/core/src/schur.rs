@@ -18,8 +18,21 @@ use crate::config::{DenseBackend, SolverConfig};
 /// Accumulator for `S = A_ss − Σ (Schur contributions)`, initialized with
 /// `A_ss` itself.
 pub enum SchurAcc<T: Scalar> {
-    Dense { mat: Mat<T>, charge: MemCharge },
-    Hmat { h: HMatrix<T>, charge: MemCharge },
+    /// SPIDO backend: `S` stored as one dense matrix.
+    Dense {
+        /// The dense accumulator.
+        mat: Mat<T>,
+        /// Budget charge covering `mat`.
+        charge: MemCharge,
+    },
+    /// HMAT backend: `S` kept compressed, contributions folded in through
+    /// compressed AXPYs.
+    Hmat {
+        /// The hierarchical accumulator.
+        h: HMatrix<T>,
+        /// Budget charge re-synced after every recompression.
+        charge: MemCharge,
+    },
 }
 
 impl<T: Scalar> SchurAcc<T> {
@@ -75,8 +88,7 @@ impl<T: Scalar> SchurAcc<T> {
     ) -> Result<()> {
         match self {
             SchurAcc::Dense { mat, .. } => {
-                let mut dst =
-                    mat.view_mut(r0..r0 + panel.nrows(), c0..c0 + panel.ncols());
+                let mut dst = mat.view_mut(r0..r0 + panel.nrows(), c0..c0 + panel.ncols());
                 dst.axpy(alpha, panel);
                 Ok(())
             }
@@ -118,16 +130,25 @@ impl<T: Scalar> SchurAcc<T> {
 
 /// Factored Schur complement, ready for multi-RHS solves.
 pub enum SchurFactor<T: Scalar> {
+    /// Dense LDLᵀ factors (SPIDO backend, symmetric systems).
     DenseLdlt {
+        /// The factorization.
         f: csolve_dense::LdltFactors<T>,
+        /// Budget charge held until the factors are dropped.
         _charge: MemCharge,
     },
+    /// Dense LU factors (SPIDO backend, unsymmetric systems).
     DenseLu {
+        /// The factorization.
         f: csolve_dense::LuFactors<T>,
+        /// Budget charge held until the factors are dropped.
         _charge: MemCharge,
     },
+    /// Hierarchical LU factors (HMAT backend).
     HLu {
+        /// The factorization.
         f: HLu<T>,
+        /// Budget charge held until the factors are dropped.
         _charge: MemCharge,
     },
 }

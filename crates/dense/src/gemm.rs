@@ -300,7 +300,15 @@ mod tests {
         let b = Mat::<f64>::random(5, 5, &mut rng);
         let c0 = Mat::<f64>::random(5, 5, &mut rng);
         let mut c = c0.clone();
-        gemm(2.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.5, c.as_mut());
+        gemm(
+            2.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.5,
+            c.as_mut(),
+        );
         let mut want = naive_gemm(&a, Op::NoTrans, &b, Op::NoTrans);
         want.scale(2.0);
         let mut half_c0 = c0.clone();

@@ -3,7 +3,7 @@
 //! This crate plays the role of the proprietary ScaLAPACK-like dense direct
 //! solver (SPIDO) used in the reproduced paper: a column-major matrix type
 //! ([`Mat`]) together with blocked, rayon-parallel BLAS-3 style kernels
-//! ([`gemm`], [`trsm_left`]), full and *partial* LU / LDLᵀ factorizations and
+//! ([`gemm()`], [`trsm_left`]), full and *partial* LU / LDLᵀ factorizations and
 //! the corresponding triangular solves.
 //!
 //! The *partial* factorizations ([`partial_ldlt`], [`partial_lu`]) eliminate

@@ -140,11 +140,7 @@ impl<T: Scalar> Mat<T> {
     }
 
     /// Owned copy of a sub-block.
-    pub fn submatrix(
-        &self,
-        rows: std::ops::Range<usize>,
-        cols: std::ops::Range<usize>,
-    ) -> Mat<T> {
+    pub fn submatrix(&self, rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> Mat<T> {
         self.view(rows, cols).to_owned()
     }
 

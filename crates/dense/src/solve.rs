@@ -26,16 +26,44 @@ pub fn apply_row_swaps_fwd<T: Scalar>(ipiv: &[usize], mut b: MatMut<'_, T>) {
 pub fn lu_solve_in_place<T: Scalar>(f: &LuFactors<T>, mut b: MatMut<'_, T>) {
     assert_eq!(f.lu.nrows(), b.nrows(), "lu_solve: dims");
     apply_row_swaps_fwd(&f.ipiv, b.rb_mut());
-    trsm_left(Tri::Lower, Op::NoTrans, Diag::Unit, T::ONE, f.lu.as_ref(), b.rb_mut());
-    trsm_left(Tri::Upper, Op::NoTrans, Diag::NonUnit, T::ONE, f.lu.as_ref(), b);
+    trsm_left(
+        Tri::Lower,
+        Op::NoTrans,
+        Diag::Unit,
+        T::ONE,
+        f.lu.as_ref(),
+        b.rb_mut(),
+    );
+    trsm_left(
+        Tri::Upper,
+        Op::NoTrans,
+        Diag::NonUnit,
+        T::ONE,
+        f.lu.as_ref(),
+        b,
+    );
 }
 
 /// Solve `Aᵀ·X = B` in place given `P·A = L·U` factors
 /// (`Aᵀ = Uᵀ·Lᵀ·P` ⇒ solve Uᵀ, then Lᵀ, then apply `Pᵀ`).
 pub fn lu_solve_transpose_in_place<T: Scalar>(f: &LuFactors<T>, mut b: MatMut<'_, T>) {
     assert_eq!(f.lu.nrows(), b.nrows(), "lu_solve_t: dims");
-    trsm_left(Tri::Upper, Op::Trans, Diag::NonUnit, T::ONE, f.lu.as_ref(), b.rb_mut());
-    trsm_left(Tri::Lower, Op::Trans, Diag::Unit, T::ONE, f.lu.as_ref(), b.rb_mut());
+    trsm_left(
+        Tri::Upper,
+        Op::Trans,
+        Diag::NonUnit,
+        T::ONE,
+        f.lu.as_ref(),
+        b.rb_mut(),
+    );
+    trsm_left(
+        Tri::Lower,
+        Op::Trans,
+        Diag::Unit,
+        T::ONE,
+        f.lu.as_ref(),
+        b.rb_mut(),
+    );
     // Apply inverse permutation: reverse order of the recorded swaps.
     for j in (0..f.ipiv.len()).rev() {
         let p = f.ipiv[j];
@@ -55,7 +83,14 @@ pub fn lu_solve_transpose_in_place<T: Scalar>(f: &LuFactors<T>, mut b: MatMut<'_
 /// for complex symmetric matrices).
 pub fn ldlt_solve_in_place<T: Scalar>(f: &LdltFactors<T>, mut b: MatMut<'_, T>) {
     assert_eq!(f.ld.nrows(), b.nrows(), "ldlt_solve: dims");
-    trsm_left(Tri::Lower, Op::NoTrans, Diag::Unit, T::ONE, f.ld.as_ref(), b.rb_mut());
+    trsm_left(
+        Tri::Lower,
+        Op::NoTrans,
+        Diag::Unit,
+        T::ONE,
+        f.ld.as_ref(),
+        b.rb_mut(),
+    );
     // Diagonal scaling.
     let n = f.ld.nrows();
     for c in 0..b.ncols() {

@@ -271,7 +271,12 @@ mod tests {
                 let b = Mat::<f64>::random(12, 7, &mut rng);
                 let mut x = b.clone();
                 trsm_left(tri, op, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut());
-                let back = gemm_into(op_mat(&t, op).as_ref(), Op::NoTrans, x.as_ref(), Op::NoTrans);
+                let back = gemm_into(
+                    op_mat(&t, op).as_ref(),
+                    Op::NoTrans,
+                    x.as_ref(),
+                    Op::NoTrans,
+                );
                 let mut d = back.clone();
                 d.axpy(-1.0, &b);
                 assert!(d.norm_max() < 1e-10, "{tri:?} {op:?}: {:.3e}", d.norm_max());
@@ -289,7 +294,14 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let b = Mat::<f64>::random(8, 3, &mut rng);
         let mut x = b.clone();
-        trsm_left(Tri::Lower, Op::NoTrans, Diag::Unit, 1.0, t.as_ref(), x.as_mut());
+        trsm_left(
+            Tri::Lower,
+            Op::NoTrans,
+            Diag::Unit,
+            1.0,
+            t.as_ref(),
+            x.as_mut(),
+        );
         let mut t_unit = t.clone();
         for i in 0..8 {
             t_unit[(i, i)] = 1.0;
@@ -306,7 +318,14 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let b = Mat::<f64>::random(6, 2, &mut rng);
         let mut x = b.clone();
-        trsm_left(Tri::Upper, Op::NoTrans, Diag::NonUnit, 3.0, t.as_ref(), x.as_mut());
+        trsm_left(
+            Tri::Upper,
+            Op::NoTrans,
+            Diag::NonUnit,
+            3.0,
+            t.as_ref(),
+            x.as_mut(),
+        );
         let back = gemm_into(t.as_ref(), Op::NoTrans, x.as_ref(), Op::NoTrans);
         let mut want = b.clone();
         want.scale(3.0);
@@ -324,7 +343,12 @@ mod tests {
                 let b = Mat::<f64>::random(5, 9, &mut rng);
                 let mut x = b.clone();
                 trsm_right(tri, op, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut());
-                let back = gemm_into(x.as_ref(), Op::NoTrans, op_mat(&t, op).as_ref(), Op::NoTrans);
+                let back = gemm_into(
+                    x.as_ref(),
+                    Op::NoTrans,
+                    op_mat(&t, op).as_ref(),
+                    Op::NoTrans,
+                );
                 let mut d = back;
                 d.axpy(-1.0, &b);
                 assert!(d.norm_max() < 1e-10, "{tri:?} {op:?}: {:.3e}", d.norm_max());
@@ -344,7 +368,14 @@ mod tests {
         }
         let b = Mat::<C64>::random(7, 4, &mut rng);
         let mut x = b.clone();
-        trsm_left(Tri::Lower, Op::ConjTrans, Diag::NonUnit, C64::ONE, t.as_ref(), x.as_mut());
+        trsm_left(
+            Tri::Lower,
+            Op::ConjTrans,
+            Diag::NonUnit,
+            C64::ONE,
+            t.as_ref(),
+            x.as_mut(),
+        );
         // Check T^H X == B.
         let back = gemm_into(t.as_ref(), Op::ConjTrans, x.as_ref(), Op::NoTrans);
         let mut d = back;
@@ -358,7 +389,14 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(14);
         let b = Mat::<f64>::random(30, 64, &mut rng);
         let mut x = b.clone();
-        trsm_left(Tri::Lower, Op::NoTrans, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut());
+        trsm_left(
+            Tri::Lower,
+            Op::NoTrans,
+            Diag::NonUnit,
+            1.0,
+            t.as_ref(),
+            x.as_mut(),
+        );
         let back = gemm_into(t.as_ref(), Op::NoTrans, x.as_ref(), Op::NoTrans);
         let mut d = back;
         d.axpy(-1.0, &b);

@@ -161,7 +161,14 @@ mod tests {
         op.matvec_acc(1.0, &x, &mut y);
         let d = op.assemble_block(0..15, 0..15);
         let mut want = vec![0.0; 15];
-        csolve_dense::matvec(1.0, d.as_ref(), csolve_dense::Op::NoTrans, &x, 0.0, &mut want);
+        csolve_dense::matvec(
+            1.0,
+            d.as_ref(),
+            csolve_dense::Op::NoTrans,
+            &x,
+            0.0,
+            &mut want,
+        );
         for (g, w) in y.iter().zip(&want) {
             assert!((g - w).abs() < 1e-12);
         }

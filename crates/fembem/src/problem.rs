@@ -399,7 +399,11 @@ mod tests {
             assert!(rel < 0.25, "target {n}: got {total} ({d:?})");
             let (want_bem, _) = bem_fem_split(n);
             let rel_bem = (d.n_shell() as f64 - want_bem as f64).abs() / want_bem as f64;
-            assert!(rel_bem < 0.3, "target {n}: bem {} vs {want_bem}", d.n_shell());
+            assert!(
+                rel_bem < 0.3,
+                "target {n}: bem {} vs {want_bem}",
+                d.n_shell()
+            );
         }
     }
 

@@ -14,22 +14,28 @@ pub type ClusterNodeId = usize;
 /// One cluster: a contiguous range `begin..end` of the permuted index array.
 #[derive(Debug, Clone)]
 pub struct ClusterNode {
+    /// Start of the cluster's range in the permuted index array.
     pub begin: usize,
+    /// End (exclusive) of the cluster's range.
     pub end: usize,
+    /// Bounding box of the cluster's points.
     pub bbox: Aabb,
     /// `(left, right)` child node ids, `None` for leaves.
     pub children: Option<(ClusterNodeId, ClusterNodeId)>,
 }
 
 impl ClusterNode {
+    /// Number of points in the cluster.
     pub fn len(&self) -> usize {
         self.end - self.begin
     }
 
+    /// Whether the cluster holds no points.
     pub fn is_empty(&self) -> bool {
         self.begin == self.end
     }
 
+    /// Whether the cluster has no children.
     pub fn is_leaf(&self) -> bool {
         self.children.is_none()
     }
@@ -42,6 +48,7 @@ pub struct ClusterTree {
     pub perm: Vec<usize>,
     /// `inv_perm[original] = pos` — original order to cluster order.
     pub inv_perm: Vec<usize>,
+    /// All nodes; the root is index 0, children always follow parents.
     pub nodes: Vec<ClusterNode>,
     /// Leaf capacity used at construction.
     pub leaf_size: usize,
@@ -49,6 +56,19 @@ pub struct ClusterTree {
 
 impl ClusterTree {
     /// Build a tree over `points` with leaves of at most `leaf_size` points.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use csolve_hmat::{ClusterTree, Point3};
+    ///
+    /// let pts: Vec<Point3> = (0..16).map(|i| Point3::new(i as f64, 0.0, 0.0)).collect();
+    /// let tree = ClusterTree::build(&pts, 4);
+    /// assert_eq!(tree.len(), 16);
+    /// assert_eq!(tree.node(tree.root()).len(), 16);
+    /// // Every leaf respects the capacity.
+    /// assert!(tree.leaf_ranges().iter().all(|r| r.len() <= 4));
+    /// ```
     pub fn build(points: &[Point3], leaf_size: usize) -> Self {
         assert!(leaf_size >= 1);
         let n = points.len();
@@ -76,18 +96,22 @@ impl ClusterTree {
         }
     }
 
+    /// Id of the root cluster (the full index range).
     pub fn root(&self) -> ClusterNodeId {
         0
     }
 
+    /// Node by id.
     pub fn node(&self, id: ClusterNodeId) -> &ClusterNode {
         &self.nodes[id]
     }
 
+    /// Number of points the tree was built over.
     pub fn len(&self) -> usize {
         self.perm.len()
     }
 
+    /// Whether the tree covers no points.
     pub fn is_empty(&self) -> bool {
         self.perm.is_empty()
     }
@@ -255,7 +279,10 @@ mod tests {
         let pts = grid_points(8, 8);
         let t = ClusterTree::build(&pts, 4);
         let root = t.node(t.root());
-        assert!(!admissible(root, root, 100.0), "self block never admissible");
+        assert!(
+            !admissible(root, root, 100.0),
+            "self block never admissible"
+        );
     }
 
     #[test]

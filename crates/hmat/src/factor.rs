@@ -82,7 +82,14 @@ fn solve_lower_h<T: Scalar>(l: &HMatrix<T>, b: &mut HMatrix<T>, eps: T::Real) {
     match (&l.kind, &mut b.kind) {
         (HKind::DenseLu(f), HKind::Dense(bm)) => {
             apply_row_swaps_fwd(&f.ipiv, bm.as_mut());
-            trsm_left(Tri::Lower, Op::NoTrans, Diag::Unit, T::ONE, f.lu.as_ref(), bm.as_mut());
+            trsm_left(
+                Tri::Lower,
+                Op::NoTrans,
+                Diag::Unit,
+                T::ONE,
+                f.lu.as_ref(),
+                bm.as_mut(),
+            );
         }
         (HKind::DenseLu(f), HKind::LowRank(lr)) => {
             apply_row_swaps_fwd(&f.ipiv, lr.u.as_mut());
@@ -164,7 +171,14 @@ pub(crate) fn solve_lower_dense<T: Scalar>(l: &HMatrix<T>, mut panel: MatMut<'_,
     match &l.kind {
         HKind::DenseLu(f) => {
             apply_row_swaps_fwd(&f.ipiv, panel.rb_mut());
-            trsm_left(Tri::Lower, Op::NoTrans, Diag::Unit, T::ONE, f.lu.as_ref(), panel);
+            trsm_left(
+                Tri::Lower,
+                Op::NoTrans,
+                Diag::Unit,
+                T::ONE,
+                f.lu.as_ref(),
+                panel,
+            );
         }
         HKind::Hier(ch) => {
             let [l11, l21, _l12, l22] = &**ch;
@@ -182,7 +196,14 @@ pub(crate) fn solve_lower_dense<T: Scalar>(l: &HMatrix<T>, mut panel: MatMut<'_,
 pub(crate) fn solve_upper_dense<T: Scalar>(u: &HMatrix<T>, panel: MatMut<'_, T>) {
     match &u.kind {
         HKind::DenseLu(f) => {
-            trsm_left(Tri::Upper, Op::NoTrans, Diag::NonUnit, T::ONE, f.lu.as_ref(), panel);
+            trsm_left(
+                Tri::Upper,
+                Op::NoTrans,
+                Diag::NonUnit,
+                T::ONE,
+                f.lu.as_ref(),
+                panel,
+            );
         }
         HKind::Hier(ch) => {
             let [u11, _u21, u12, u22] = &**ch;
@@ -200,7 +221,14 @@ pub(crate) fn solve_upper_dense<T: Scalar>(u: &HMatrix<T>, panel: MatMut<'_, T>)
 fn solve_upper_t_dense<T: Scalar>(u: &HMatrix<T>, panel: MatMut<'_, T>) {
     match &u.kind {
         HKind::DenseLu(f) => {
-            trsm_left(Tri::Upper, Op::Trans, Diag::NonUnit, T::ONE, f.lu.as_ref(), panel);
+            trsm_left(
+                Tri::Upper,
+                Op::Trans,
+                Diag::NonUnit,
+                T::ONE,
+                f.lu.as_ref(),
+                panel,
+            );
         }
         HKind::Hier(ch) => {
             let [u11, _u21, u12, u22] = &**ch;
@@ -218,7 +246,14 @@ fn solve_upper_t_dense<T: Scalar>(u: &HMatrix<T>, panel: MatMut<'_, T>) {
 fn solve_upper_right_dense<T: Scalar>(u: &HMatrix<T>, panel: MatMut<'_, T>) {
     match &u.kind {
         HKind::DenseLu(f) => {
-            trsm_right(Tri::Upper, Op::NoTrans, Diag::NonUnit, T::ONE, f.lu.as_ref(), panel);
+            trsm_right(
+                Tri::Upper,
+                Op::NoTrans,
+                Diag::NonUnit,
+                T::ONE,
+                f.lu.as_ref(),
+                panel,
+            );
         }
         HKind::Hier(ch) => {
             let [u11, _u21, u12, u22] = &**ch;

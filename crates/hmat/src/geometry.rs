@@ -4,16 +4,21 @@
 /// A point in 3-D space (the BEM collocation points / mesh vertices).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point3 {
+    /// X coordinate.
     pub x: f64,
+    /// Y coordinate.
     pub y: f64,
+    /// Z coordinate.
     pub z: f64,
 }
 
 impl Point3 {
+    /// Point from its three coordinates.
     pub fn new(x: f64, y: f64, z: f64) -> Self {
         Self { x, y, z }
     }
 
+    /// Coordinate by axis index (0 = x, 1 = y, otherwise z).
     pub fn coord(&self, axis: usize) -> f64 {
         match axis {
             0 => self.x,
@@ -22,6 +27,7 @@ impl Point3 {
         }
     }
 
+    /// Euclidean distance to another point.
     pub fn dist(&self, o: &Point3) -> f64 {
         let dx = self.x - o.x;
         let dy = self.y - o.y;
@@ -33,7 +39,9 @@ impl Point3 {
 /// Axis-aligned bounding box.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
+    /// Componentwise minimum corner.
     pub min: Point3,
+    /// Componentwise maximum corner.
     pub max: Point3,
 }
 
@@ -46,6 +54,7 @@ impl Aabb {
         }
     }
 
+    /// Smallest box containing all of `pts`.
     pub fn from_points<'a>(pts: impl IntoIterator<Item = &'a Point3>) -> Self {
         let mut b = Self::empty();
         for p in pts {
@@ -54,6 +63,7 @@ impl Aabb {
         b
     }
 
+    /// Extend the box to contain `p`.
     pub fn grow(&mut self, p: &Point3) {
         self.min.x = self.min.x.min(p.x);
         self.min.y = self.min.y.min(p.y);

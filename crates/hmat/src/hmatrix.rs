@@ -38,6 +38,7 @@ pub struct HOptions {
     pub eta: f64,
     /// Rank cap for ACA before falling back to splitting/dense.
     pub max_rank: usize,
+    /// How admissible blocks are compressed during assembly.
     pub method: AssembleMethod,
 }
 
@@ -71,9 +72,13 @@ pub struct HMatrix<T: Scalar> {
 /// Structure statistics (for the memory studies of the paper).
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct HStats {
+    /// Number of dense leaf blocks.
     pub dense_leaves: usize,
+    /// Number of low-rank leaf blocks.
     pub lowrank_leaves: usize,
+    /// Largest rank among the low-rank leaves.
     pub max_rank: usize,
+    /// Bytes held by the whole structure.
     pub bytes: usize,
     /// Bytes a dense representation of the same matrix would need.
     pub dense_bytes: usize,
@@ -91,10 +96,12 @@ impl<T: Scalar> ByteSized for HMatrix<T> {
 }
 
 impl<T: Scalar> HMatrix<T> {
+    /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.nrows
     }
 
+    /// Number of columns.
     pub fn ncols(&self) -> usize {
         self.ncols
     }
@@ -496,10 +503,8 @@ impl<T: Scalar> HMatrix<T> {
                 let mut off = 0;
                 for (p, roff, coff) in &parts {
                     for k in 0..p.rank() {
-                        u.col_mut(off + k)[*roff..*roff + p.nrows()]
-                            .copy_from_slice(p.u.col(k));
-                        v.col_mut(off + k)[*coff..*coff + p.ncols()]
-                            .copy_from_slice(p.v.col(k));
+                        u.col_mut(off + k)[*roff..*roff + p.nrows()].copy_from_slice(p.u.col(k));
+                        v.col_mut(off + k)[*coff..*coff + p.ncols()].copy_from_slice(p.v.col(k));
                     }
                     off += p.rank();
                 }
@@ -563,7 +568,13 @@ pub(crate) fn scale_panel<T: Scalar>(beta: T, mut c: MatMut<'_, T>) {
 /// `C ← C + α·A·B` on hierarchical operands, with recompression at relative
 /// tolerance `eps`. All three must come from the same pair of cluster trees
 /// (aligned splits).
-pub fn h_gemm<T: Scalar>(alpha: T, a: &HMatrix<T>, b: &HMatrix<T>, c: &mut HMatrix<T>, eps: T::Real) {
+pub fn h_gemm<T: Scalar>(
+    alpha: T,
+    a: &HMatrix<T>,
+    b: &HMatrix<T>,
+    c: &mut HMatrix<T>,
+    eps: T::Real,
+) {
     assert_eq!(a.ncols, b.nrows);
     assert_eq!(c.nrows, a.nrows);
     assert_eq!(c.ncols, b.ncols);
@@ -604,8 +615,12 @@ pub fn h_gemm<T: Scalar>(alpha: T, a: &HMatrix<T>, b: &HMatrix<T>, c: &mut HMatr
         }
         (HKind::Hier(_), HKind::Hier(_)) => match &mut c.kind {
             HKind::Hier(_) => {
-                let HKind::Hier(ca) = &a.kind else { unreachable!() };
-                let HKind::Hier(cb) = &b.kind else { unreachable!() };
+                let HKind::Hier(ca) = &a.kind else {
+                    unreachable!()
+                };
+                let HKind::Hier(cb) = &b.kind else {
+                    unreachable!()
+                };
                 let HKind::Hier(cc) = &mut c.kind else {
                     unreachable!()
                 };

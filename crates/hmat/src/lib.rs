@@ -16,6 +16,7 @@
 
 // Index-based loops mirror the reference algorithms (LAPACK/CSparse style)
 // and are kept for readability of the numeric kernels.
+#![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
 pub mod cluster;

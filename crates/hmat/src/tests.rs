@@ -2,7 +2,7 @@
 //! is validated against its dense counterpart on kernels with genuine
 //! low-rank off-diagonal structure.
 
-use csolve_common::{ByteSized, C64, Scalar};
+use csolve_common::{ByteSized, Scalar, C64};
 use csolve_dense::{gemm_into, Mat, Op};
 use csolve_lowrank::LowRank;
 use rand::SeedableRng;
@@ -59,7 +59,9 @@ fn build_test_h(
         method,
     };
     let h = HMatrix::assemble_root(&tree, &tree, &oracle, &opts);
-    let dense = Mat::from_fn(n, n, |i, j| kernel_entry(&pts, shift, tree.perm[i], tree.perm[j]));
+    let dense = Mat::from_fn(n, n, |i, j| {
+        kernel_entry(&pts, shift, tree.perm[i], tree.perm[j])
+    });
     (tree, h, dense)
 }
 
@@ -280,7 +282,9 @@ fn compress_dense_roundtrip() {
     let pts = surface_points(16);
     let n = pts.len();
     let tree = ClusterTree::build(&pts, 16);
-    let dense = Mat::from_fn(n, n, |i, j| kernel_entry(&pts, n as f64, tree.perm[i], tree.perm[j]));
+    let dense = Mat::from_fn(n, n, |i, j| {
+        kernel_entry(&pts, n as f64, tree.perm[i], tree.perm[j])
+    });
     let opts = HOptions {
         eps: 1e-6,
         ..Default::default()
@@ -288,5 +292,10 @@ fn compress_dense_roundtrip() {
     let h = HMatrix::compress_dense(&tree, &tree, &dense, &opts);
     assert!(rel_err(&h.to_dense(), &dense) < 1e-4);
     let st = h.stats();
-    assert!(st.bytes < st.dense_bytes, "bytes {} vs dense {}", st.bytes, st.dense_bytes);
+    assert!(
+        st.bytes < st.dense_bytes,
+        "bytes {} vs dense {}",
+        st.bytes,
+        st.dense_bytes
+    );
 }

@@ -16,6 +16,7 @@ use crate::lowrank::LowRank;
 /// Entry oracle for a (sub-)block: `eval(i, j)` returns `A[i, j]` for local
 /// indices within the block.
 pub trait KernelFn<T>: Sync {
+    /// `A[i, j]` for local indices within the block.
     fn eval(&self, i: usize, j: usize) -> T;
 }
 

@@ -13,7 +13,9 @@ use crate::svd::jacobi_svd;
 /// Rank-`r` representation `U·Vᵀ` with `U: m×r`, `V: n×r`.
 #[derive(Clone)]
 pub struct LowRank<T> {
+    /// Left factor `U` (`m × r`).
     pub u: Mat<T>,
+    /// Right factor `V` (`n × r`; the matrix is `U·Vᵀ`).
     pub v: Mat<T>,
 }
 
@@ -36,6 +38,7 @@ impl<T> ByteSized for LowRank<T> {
 }
 
 impl<T: Scalar> LowRank<T> {
+    /// Wrap existing factors (ranks must agree).
     pub fn new(u: Mat<T>, v: Mat<T>) -> Self {
         assert_eq!(u.ncols(), v.ncols(), "LowRank: factor ranks must agree");
         Self { u, v }
@@ -49,14 +52,17 @@ impl<T: Scalar> LowRank<T> {
         }
     }
 
+    /// Number of rows of the represented matrix.
     pub fn nrows(&self) -> usize {
         self.u.nrows()
     }
 
+    /// Number of columns of the represented matrix.
     pub fn ncols(&self) -> usize {
         self.v.nrows()
     }
 
+    /// Current rank `r` (number of columns of each factor).
     pub fn rank(&self) -> usize {
         self.u.ncols()
     }
@@ -64,6 +70,19 @@ impl<T: Scalar> LowRank<T> {
     /// Compress a dense block at *absolute* Frobenius tolerance `tol`
     /// (pass `eps · ‖A‖_F` for the paper's relative ε). Rank-revealing QR
     /// followed by an SVD cleanup of the core.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use csolve_dense::Mat;
+    /// use csolve_lowrank::LowRank;
+    ///
+    /// // An outer product has rank 1, and the compression finds it.
+    /// let a = Mat::from_fn(6, 5, |i, j| (i as f64 + 1.0) * (j as f64 + 1.0));
+    /// let lr = LowRank::from_dense(&a, 1e-10, 5);
+    /// assert_eq!(lr.rank(), 1);
+    /// assert!((lr.to_dense().as_ref().get(2, 3) - a.as_ref().get(2, 3)).abs() < 1e-9);
+    /// ```
     pub fn from_dense(a: &Mat<T>, tol: T::Real, max_rank: usize) -> Self {
         let f = col_piv_qr(a.clone(), tol * T::Real::from_f64_real(0.5), max_rank);
         let (u, v) = f.factors();
@@ -348,7 +367,11 @@ mod tests {
         assert!(rc.rank() < 12);
         let mut d = rc.to_dense();
         d.axpy(-1.0, &dense);
-        assert!(d.norm_fro() <= 2.0 * tol, "err {:.3e} vs tol {tol:.3e}", d.norm_fro());
+        assert!(
+            d.norm_fro() <= 2.0 * tol,
+            "err {:.3e} vs tol {tol:.3e}",
+            d.norm_fro()
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub fn apply_householder<T: Scalar>(v_tail: &[T], tau: T::Real, y: &mut [T]) {
 /// Packed Householder QR factors: `R` in the upper triangle, reflector tails
 /// below the diagonal.
 pub struct Qr<T: Scalar> {
+    /// Packed storage: `R` above the diagonal, reflector tails below.
     pub a: Mat<T>,
+    /// Householder coefficients, one per reflector.
     pub taus: Vec<T::Real>,
 }
 
@@ -158,9 +160,11 @@ impl<T: Scalar> Qr<T> {
 /// the neglected part is below `tol` (absolute, measured on the pivot column
 /// norms) — pass `tol = eps · ‖A‖` for a relative criterion.
 pub struct ColPivQr<T: Scalar> {
+    /// The underlying (permuted) Householder factorization.
     pub qr: Qr<T>,
     /// `perm[j]` = original column index now in position `j`.
     pub perm: Vec<usize>,
+    /// Numerical rank `r` detected at the tolerance.
     pub rank: usize,
 }
 

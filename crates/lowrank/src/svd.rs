@@ -92,13 +92,12 @@ pub fn jacobi_svd<T: Scalar>(a: &Mat<T>) -> Svd<T> {
                 let (cs, ss) = (T::from_real(c), T::from_real(s));
                 let sp = ss * phase; //  s·e^{iφ}
                 let spc = ss * phase.conj(); // s·e^{-iφ}
-                // Column update: a_p' = c·a_p − s·e^{-iφ}·a_q,
-                //                a_q' = s·e^{iφ}·a_p + c·a_q.
+                                             // Column update: a_p' = c·a_p − s·e^{-iφ}·a_q,
+                                             //                a_q' = s·e^{iφ}·a_p + c·a_q.
                 let rotate = |mat: &mut Mat<T>| {
                     let rows = mat.nrows();
-                    let (pp, qq): (*mut T, *mut T) = {
-                        (mat.col_mut(p).as_mut_ptr(), mat.col_mut(q).as_mut_ptr())
-                    };
+                    let (pp, qq): (*mut T, *mut T) =
+                        { (mat.col_mut(p).as_mut_ptr(), mat.col_mut(q).as_mut_ptr()) };
                     // Disjoint columns p != q.
                     let cp = unsafe { std::slice::from_raw_parts_mut(pp, rows) };
                     let cq = unsafe { std::slice::from_raw_parts_mut(qq, rows) };
@@ -121,7 +120,13 @@ pub fn jacobi_svd<T: Scalar>(a: &Mat<T>) -> Svd<T> {
     // Column norms = singular values; normalize U.
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<T::Real> = (0..n)
-        .map(|j| w.col(j).iter().map(|x| x.abs2()).sum::<T::Real>().rsqrt_val())
+        .map(|j| {
+            w.col(j)
+                .iter()
+                .map(|x| x.abs2())
+                .sum::<T::Real>()
+                .rsqrt_val()
+        })
         .collect();
     order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
 

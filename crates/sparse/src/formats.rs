@@ -13,6 +13,7 @@ pub struct Coo<T> {
 }
 
 impl<T: Scalar> Coo<T> {
+    /// Empty builder for an `nrows × ncols` matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
         Self {
             nrows,
@@ -21,6 +22,7 @@ impl<T: Scalar> Coo<T> {
         }
     }
 
+    /// Empty builder with room for `cap` entries.
     pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
         Self {
             nrows,
@@ -29,11 +31,13 @@ impl<T: Scalar> Coo<T> {
         }
     }
 
+    /// Append the entry `A[i, j] += v`.
     pub fn push(&mut self, i: usize, j: usize, v: T) {
         debug_assert!(i < self.nrows && j < self.ncols);
         self.entries.push((i, j, v));
     }
 
+    /// Number of entries pushed so far (duplicates counted separately).
     pub fn nnz(&self) -> usize {
         self.entries.len()
     }
@@ -94,10 +98,15 @@ impl<T: Scalar> Coo<T> {
 /// Compressed sparse column matrix with sorted row indices per column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Csc<T> {
+    /// Number of rows.
     pub nrows: usize,
+    /// Number of columns.
     pub ncols: usize,
+    /// Column pointers (`ncols + 1` entries, monotone, starting at 0).
     pub colptr: Vec<usize>,
+    /// Row index of each stored entry, sorted within each column.
     pub rowidx: Vec<usize>,
+    /// Value of each stored entry, parallel to `rowidx`.
     pub values: Vec<T>,
 }
 
@@ -121,6 +130,7 @@ impl<T: Scalar> Csc<T> {
         }
     }
 
+    /// Number of stored (structurally nonzero) entries.
     pub fn nnz(&self) -> usize {
         self.rowidx.len()
     }

@@ -18,12 +18,13 @@
 //!   low-rank compression the paper toggles in its experiments);
 //! * multi-RHS forward/backward solves with sparse-RHS tree pruning
 //!   (the equivalent of MUMPS `ICNTL(20)`, always on in the paper) —
-//!   [`solve`];
+//!   [`SparseFactorization::solve_in_place`];
 //! * byte-accurate accounting of factor storage and active-memory peak,
 //!   with enforcement against a [`csolve_common::MemTracker`] budget.
 
 // Index-based loops mirror the reference algorithms (LAPACK/CSparse style)
 // and are kept for readability of the numeric kernels.
+#![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
 pub mod etree;

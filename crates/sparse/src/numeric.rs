@@ -17,9 +17,7 @@
 use std::sync::Arc;
 
 use csolve_common::{ByteSized, Error, MemCharge, MemTracker, RealScalar, Result, Scalar};
-use csolve_dense::{
-    gemm, partial_ldlt, partial_lu, trsm_left, Diag, Mat, MatMut, Op, Tri,
-};
+use csolve_dense::{gemm, partial_ldlt, partial_lu, trsm_left, Diag, Mat, MatMut, Op, Tri};
 use csolve_lowrank::LowRank;
 
 use crate::formats::Csc;
@@ -39,7 +37,9 @@ pub enum Symmetry {
 /// Options for the numeric factorization.
 #[derive(Clone)]
 pub struct SparseOptions {
+    /// Fill-reducing ordering applied before the symbolic analysis.
     pub ordering: OrderingKind,
+    /// LDLᵀ or LU (see [`Symmetry`]).
     pub symmetry: Symmetry,
     /// BLR panel compression tolerance (relative); `None` disables
     /// compression.
@@ -144,8 +144,11 @@ pub struct FactorStats {
     /// Peak transient bytes during factorization (fronts + CB stack +
     /// factors accumulated so far + Schur output).
     pub peak_bytes: usize,
+    /// Number of supernodes in the assembly tree.
     pub n_supernodes: usize,
+    /// Order of the largest frontal matrix.
     pub max_front: usize,
+    /// Factor panels stored in BLR-compressed form.
     pub compressed_panels: usize,
     /// Approximate factorization flops.
     pub flops: f64,
@@ -153,6 +156,7 @@ pub struct FactorStats {
 
 /// A completed multifrontal factorization.
 pub struct SparseFactorization<T: Scalar> {
+    /// The symbolic analysis the numeric factors follow.
     pub symbolic: SymbolicFactorization,
     symmetry: Symmetry,
     sns: Vec<SupernodeFactor<T>>,
@@ -181,6 +185,27 @@ impl LocalPeak {
 }
 
 /// Factor `a` completely (no Schur variables).
+///
+/// # Examples
+///
+/// ```
+/// use csolve_dense::Mat;
+/// use csolve_sparse::{factorize, Coo, SparseOptions};
+///
+/// // Symmetric positive definite 2×2 system [[4, 1], [1, 3]].
+/// let mut coo = Coo::new(2, 2);
+/// coo.push(0, 0, 4.0f64);
+/// coo.push(0, 1, 1.0);
+/// coo.push(1, 0, 1.0);
+/// coo.push(1, 1, 3.0);
+/// let f = factorize(&coo.to_csc(), &SparseOptions::default()).unwrap();
+///
+/// // Solve A·x = [1, 2]ᵀ in place; exact solution is [1/11, 7/11]ᵀ.
+/// let mut b = Mat::from_col_major(2, 1, vec![1.0, 2.0]);
+/// f.solve_in_place(&mut b).unwrap();
+/// assert!((b.as_ref().get(0, 0) - 1.0 / 11.0).abs() < 1e-12);
+/// assert!((b.as_ref().get(1, 0) - 7.0 / 11.0).abs() < 1e-12);
+/// ```
 pub fn factorize<T: Scalar>(a: &Csc<T>, opts: &SparseOptions) -> Result<SparseFactorization<T>> {
     let (f, s) = factorize_impl(a, &[], opts)?;
     debug_assert_eq!(s.nrows(), 0);
@@ -212,10 +237,7 @@ fn factorize_impl<T: Scalar>(
     let n = symbolic.n;
     let ne = symbolic.n_elim;
     let ns = symbolic.n_schur;
-    let tracker = opts
-        .tracker
-        .clone()
-        .unwrap_or_else(MemTracker::unbounded);
+    let tracker = opts.tracker.clone().unwrap_or_else(MemTracker::unbounded);
     let mut local = LocalPeak::default();
 
     let a1 = a.permute_sym(&symbolic.perm);
@@ -434,10 +456,12 @@ fn compress_panel<T: Scalar>(panel: &mut Panel<T>, eps: T::Real, stats: &mut Fac
 }
 
 impl<T: Scalar> SparseFactorization<T> {
+    /// Order of the factored matrix.
     pub fn n(&self) -> usize {
         self.symbolic.n
     }
 
+    /// Statistics gathered during the numeric factorization.
     pub fn stats(&self) -> &FactorStats {
         &self.stats
     }
@@ -597,7 +621,14 @@ impl<T: Scalar> SparseFactorization<T> {
             }
             {
                 let x1 = bp.view_mut(c0..c1, 0..nrhs);
-                trsm_left(Tri::Lower, Op::NoTrans, Diag::Unit, T::ONE, sn.diag.as_ref(), x1);
+                trsm_left(
+                    Tri::Lower,
+                    Op::NoTrans,
+                    Diag::Unit,
+                    T::ONE,
+                    sn.diag.as_ref(),
+                    x1,
+                );
             }
             if info.front_size() > k {
                 let t = info.front_size() - k;
@@ -666,7 +697,14 @@ impl<T: Scalar> SparseFactorization<T> {
             let x1 = bp.view_mut(c0..c1, 0..nrhs);
             match self.symmetry {
                 Symmetry::SymmetricLdlt => {
-                    trsm_left(Tri::Lower, Op::Trans, Diag::Unit, T::ONE, sn.diag.as_ref(), x1);
+                    trsm_left(
+                        Tri::Lower,
+                        Op::Trans,
+                        Diag::Unit,
+                        T::ONE,
+                        sn.diag.as_ref(),
+                        x1,
+                    );
                 }
                 Symmetry::UnsymmetricLu => {
                     trsm_left(

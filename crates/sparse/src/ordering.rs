@@ -314,7 +314,8 @@ mod tests {
             .enumerate()
             .flat_map(|(u, nb)| {
                 let inv = &inv;
-                nb.iter().map(move |&v| (inv[u] as i64 - inv[v] as i64).abs())
+                nb.iter()
+                    .map(move |&v| (inv[u] as i64 - inv[v] as i64).abs())
             })
             .max()
             .unwrap();
@@ -350,7 +351,10 @@ mod tests {
 
     #[test]
     fn singleton_and_empty() {
-        assert_eq!(compute_ordering(&[], OrderingKind::NestedDissection), vec![]);
+        assert_eq!(
+            compute_ordering(&[], OrderingKind::NestedDissection),
+            vec![]
+        );
         let adj = vec![vec![]];
         assert_eq!(compute_ordering(&adj, OrderingKind::Rcm), vec![0]);
     }

@@ -18,8 +18,9 @@ use crate::ordering::{compute_ordering, OrderingKind};
 /// relaxation) a row structure.
 #[derive(Debug, Clone)]
 pub struct SupernodeInfo {
-    /// Column range `c0..c1` (in the final permuted index space).
+    /// Start of the column range `c0..c1` (final permuted index space).
     pub c0: usize,
+    /// End (exclusive) of the column range.
     pub c1: usize,
     /// Full sorted row set of the front; the first `c1 − c0` entries are
     /// exactly `c0..c1`.
@@ -30,14 +31,17 @@ pub struct SupernodeInfo {
 }
 
 impl SupernodeInfo {
+    /// Number of columns (pivot block order).
     pub fn width(&self) -> usize {
         self.c1 - self.c0
     }
 
+    /// Order of the frontal matrix.
     pub fn front_size(&self) -> usize {
         self.rows.len()
     }
 
+    /// Order of the contribution block passed to the parent.
     pub fn cb_size(&self) -> usize {
         self.rows.len() - self.width()
     }
@@ -55,6 +59,7 @@ pub struct SymbolicFactorization {
     /// Final permutation: `perm[new] = old` over all `n` indices (Schur
     /// variables keep their relative order at the tail).
     pub perm: Vec<usize>,
+    /// Inverse permutation: `iperm[old] = new`.
     pub iperm: Vec<usize>,
     /// Supernodes in postorder (children before parents).
     pub supernodes: Vec<SupernodeInfo>,
@@ -266,10 +271,7 @@ impl SymbolicFactorization {
         // Relaxed amalgamation: bottom-up merge of narrow chains.
         amalgamate(&mut supernodes, &mut sn_of_col, ne);
 
-        let factor_entries = supernodes
-            .iter()
-            .map(|s| s.width() * s.front_size())
-            .sum();
+        let factor_entries = supernodes.iter().map(|s| s.width() * s.front_size()).sum();
 
         Ok(Self {
             n,
@@ -451,8 +453,7 @@ mod tests {
     fn nested_dissection_beats_natural_on_fill() {
         let a = grid_matrix(24, 24);
         let nat = SymbolicFactorization::analyze(&a, &[], OrderingKind::Natural).unwrap();
-        let nd =
-            SymbolicFactorization::analyze(&a, &[], OrderingKind::NestedDissection).unwrap();
+        let nd = SymbolicFactorization::analyze(&a, &[], OrderingKind::NestedDissection).unwrap();
         assert!(
             nd.factor_entries < nat.factor_entries,
             "ND fill {} should beat natural band fill {}",

@@ -1,6 +1,6 @@
 //! End-to-end tests of the multifrontal solver against dense references.
 
-use csolve_common::{C64, MemTracker, RealScalar, Scalar};
+use csolve_common::{MemTracker, RealScalar, Scalar, C64};
 use csolve_dense::{gemm, gemm_into, lu_in_place, lu_solve_in_place, Mat, Op};
 use rand::SeedableRng;
 

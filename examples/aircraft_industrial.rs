@@ -19,10 +19,30 @@ fn main() {
     );
 
     let runs = [
-        ("multi-solve,  no compression", Algorithm::MultiSolve, DenseBackend::Spido, false),
-        ("multi-solve,  full compression", Algorithm::MultiSolve, DenseBackend::Hmat, true),
-        ("multi-facto,  no compression", Algorithm::MultiFactorization, DenseBackend::Spido, false),
-        ("multi-facto,  full compression", Algorithm::MultiFactorization, DenseBackend::Hmat, true),
+        (
+            "multi-solve,  no compression",
+            Algorithm::MultiSolve,
+            DenseBackend::Spido,
+            false,
+        ),
+        (
+            "multi-solve,  full compression",
+            Algorithm::MultiSolve,
+            DenseBackend::Hmat,
+            true,
+        ),
+        (
+            "multi-facto,  no compression",
+            Algorithm::MultiFactorization,
+            DenseBackend::Spido,
+            false,
+        ),
+        (
+            "multi-facto,  full compression",
+            Algorithm::MultiFactorization,
+            DenseBackend::Hmat,
+            true,
+        ),
     ];
 
     println!(

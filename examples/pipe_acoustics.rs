@@ -39,7 +39,10 @@ fn main() {
     // 2. Tight memory: the standard couplings die, the paper's blockwise
     //    algorithms survive — the whole point of the paper.
     let budget = 120 << 20; // 120 MiB
-    println!("\n--- {} MiB budget ---------------------------------------------------", budget >> 20);
+    println!(
+        "\n--- {} MiB budget ---------------------------------------------------",
+        budget >> 20
+    );
     for algo in Algorithm::ALL {
         let cfg = SolverConfig {
             eps: 1e-4,

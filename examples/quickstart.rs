@@ -25,11 +25,11 @@ fn main() {
     // dense Schur panel coming back from the sparse solver is folded in
     // through a compressed AXPY.
     let cfg = SolverConfig {
-        eps: 1e-4,                          // the paper's precision parameter
-        dense_backend: DenseBackend::Hmat,  // compressed dense solver
-        sparse_compression: true,           // BLR inside the sparse solver
-        n_c: 256,                           // sparse-solve panel width
-        n_s: 1024,                          // Schur panel width
+        eps: 1e-4,                         // the paper's precision parameter
+        dense_backend: DenseBackend::Hmat, // compressed dense solver
+        sparse_compression: true,          // BLR inside the sparse solver
+        n_c: 256,                          // sparse-solve panel width
+        n_s: 1024,                         // Schur panel width
         ..Default::default()
     };
 

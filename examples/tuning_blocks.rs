@@ -36,7 +36,10 @@ fn main() {
 
     println!("\nmulti-factorization: the n_b knob (more blocks = less memory, more");
     println!("superfluous re-factorizations of A_vv)");
-    println!("{:>8} {:>10} {:>12} {:>18}", "n_b", "time (s)", "peak (MiB)", "schur-fact calls");
+    println!(
+        "{:>8} {:>10} {:>12} {:>18}",
+        "n_b", "time (s)", "peak (MiB)", "schur-fact calls"
+    );
     for n_b in [1, 2, 4] {
         let cfg = SolverConfig {
             eps: 1e-4,

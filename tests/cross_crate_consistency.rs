@@ -170,12 +170,7 @@ fn byte_accounting_is_consistent_across_crates() {
     // H-matrix accounting equals its stats.
     let tree = ClusterTree::build(&p.bem.points, 32);
     let bem = p.bem.permuted(&tree.perm);
-    let h = HMatrix::assemble_root(
-        &tree,
-        &tree,
-        &|i, j| bem.eval(i, j),
-        &HOptions::default(),
-    );
+    let h = HMatrix::assemble_root(&tree, &tree, &|i, j| bem.eval(i, j), &HOptions::default());
     assert_eq!(h.byte_size(), h.stats().bytes);
     // Sparse factorization accounting matches its stats.
     let f = csolve_sparse::factorize(&p.a_vv, &SparseOptions::default()).unwrap();

@@ -89,7 +89,12 @@ fn budget_feasibility_is_monotone() {
 #[test]
 fn complex_industrial_end_to_end() {
     let p = industrial_problem::<C64>(2_500);
-    let out = solve(&p, Algorithm::MultiFactorization, &tight(DenseBackend::Hmat)).unwrap();
+    let out = solve(
+        &p,
+        Algorithm::MultiFactorization,
+        &tight(DenseBackend::Hmat),
+    )
+    .unwrap();
     let err = p.relative_error(&out.xv, &out.xs);
     assert!(err < 1e-5, "industrial err {err:.3e}");
     // The uncompressed dense run is more accurate (Fig. 11's observation).
@@ -97,7 +102,10 @@ fn complex_industrial_end_to_end() {
     nc.sparse_compression = false;
     let out2 = solve(&p, Algorithm::MultiSolve, &nc).unwrap();
     let err2 = p.relative_error(&out2.xv, &out2.xs);
-    assert!(err2 <= err * 10.0, "uncompressed err {err2:.3e} vs {err:.3e}");
+    assert!(
+        err2 <= err * 10.0,
+        "uncompressed err {err2:.3e} vs {err:.3e}"
+    );
 }
 
 #[test]

@@ -1,0 +1,158 @@
+//! Guarantees of the task-parallel blockwise Schur pipeline: bitwise
+//! reproducibility across thread counts, and budget-respecting admission
+//! when blocks run concurrently.
+
+use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
+use csolve_fembem::pipe_problem;
+
+fn cfg(threads: usize) -> SolverConfig {
+    SolverConfig {
+        eps: 1e-4,
+        dense_backend: DenseBackend::Hmat,
+        n_c: 32,
+        n_s: 128,
+        n_b: 3,
+        num_threads: threads,
+        ..Default::default()
+    }
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The pipeline commits block contributions in a fixed order, so the
+/// (non-associative) compressed AXPYs fold identically for every thread
+/// count: the solutions must match bit for bit, not just to tolerance.
+#[test]
+fn multi_solve_is_bitwise_identical_for_1_2_4_threads() {
+    let p = pipe_problem::<f64>(2_000);
+    let reference = solve(&p, Algorithm::MultiSolve, &cfg(1)).unwrap();
+    for threads in [2usize, 4] {
+        let out = solve(&p, Algorithm::MultiSolve, &cfg(threads)).unwrap();
+        assert_eq!(out.metrics.threads, threads);
+        assert_eq!(
+            bits(&out.xv),
+            bits(&reference.xv),
+            "x_v diverged with {threads} threads"
+        );
+        assert_eq!(
+            bits(&out.xs),
+            bits(&reference.xs),
+            "x_s diverged with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn multi_factorization_is_bitwise_identical_for_1_2_4_threads() {
+    let p = pipe_problem::<f64>(1_500);
+    let reference = solve(&p, Algorithm::MultiFactorization, &cfg(1)).unwrap();
+    for threads in [2usize, 4] {
+        let out = solve(&p, Algorithm::MultiFactorization, &cfg(threads)).unwrap();
+        assert_eq!(
+            bits(&out.xv),
+            bits(&reference.xv),
+            "x_v diverged with {threads} threads"
+        );
+        assert_eq!(
+            bits(&out.xs),
+            bits(&reference.xs),
+            "x_s diverged with {threads} threads"
+        );
+    }
+}
+
+/// With several blocks in flight, the admission scheduler must keep the
+/// tracked peak under the budget — concurrency degrades instead of
+/// overshooting. The budget is chosen as the smallest power of two the
+/// sequential run fits in, so there is genuine pressure.
+#[test]
+fn scheduler_respects_budget_with_concurrency() {
+    let p = pipe_problem::<f64>(2_500);
+    let mut sequential = cfg(1);
+    let budget = (18..34)
+        .map(|shift| 1usize << shift)
+        .find(|&b| {
+            sequential.mem_budget = Some(b);
+            match solve(&p, Algorithm::MultiSolve, &sequential) {
+                Ok(_) => true,
+                Err(e) if e.is_oom() => false,
+                Err(e) => panic!("unexpected error at budget {b}: {e}"),
+            }
+        })
+        .expect("some budget fits the sequential run");
+
+    for threads in [2usize, 4] {
+        let mut parallel = cfg(threads);
+        parallel.mem_budget = Some(budget);
+        match solve(&p, Algorithm::MultiSolve, &parallel) {
+            Ok(out) => {
+                assert!(
+                    out.metrics.peak_bytes <= budget,
+                    "{threads} threads: peak {} exceeds budget {budget}",
+                    out.metrics.peak_bytes
+                );
+            }
+            Err(e) => {
+                panic!("{threads} threads must degrade to fit the sequential budget, got: {e}")
+            }
+        }
+    }
+}
+
+/// Same property for multi-factorization, whose sparse solver charges
+/// memory mid-compute (exercising the release-and-retry path).
+#[test]
+fn multi_factorization_respects_budget_with_concurrency() {
+    let p = pipe_problem::<f64>(1_500);
+    let mut sequential = cfg(1);
+    let budget = (18..34)
+        .map(|shift| 1usize << shift)
+        .find(|&b| {
+            sequential.mem_budget = Some(b);
+            match solve(&p, Algorithm::MultiFactorization, &sequential) {
+                Ok(_) => true,
+                Err(e) if e.is_oom() => false,
+                Err(e) => panic!("unexpected error at budget {b}: {e}"),
+            }
+        })
+        .expect("some budget fits the sequential run");
+
+    let mut parallel = cfg(4);
+    parallel.mem_budget = Some(budget);
+    match solve(&p, Algorithm::MultiFactorization, &parallel) {
+        Ok(out) => assert!(
+            out.metrics.peak_bytes <= budget,
+            "peak {} exceeds budget {budget}",
+            out.metrics.peak_bytes
+        ),
+        Err(e) => panic!("4 threads must degrade to fit the sequential budget, got: {e}"),
+    }
+}
+
+/// An impossible budget must still fail fast and clean in parallel mode.
+#[test]
+fn parallel_oom_is_clean() {
+    let p = pipe_problem::<f64>(2_000);
+    let mut c = cfg(4);
+    c.mem_budget = Some(100_000);
+    let err = solve(&p, Algorithm::MultiSolve, &c).unwrap_err();
+    assert!(err.is_oom(), "expected OOM, got {err}");
+}
+
+/// Per-phase byte counters are exported alongside the wall-clock phases.
+#[test]
+fn phase_bytes_are_recorded() {
+    let p = pipe_problem::<f64>(1_500);
+    let out = solve(&p, Algorithm::MultiSolve, &cfg(2)).unwrap();
+    let m = &out.metrics;
+    for phase in [
+        "sparse solve (Y)",
+        "SpMM",
+        "Schur assembly",
+        "dense factorization",
+    ] {
+        assert!(m.bytes_of(phase) > 0, "no bytes recorded for {phase}");
+    }
+}

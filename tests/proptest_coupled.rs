@@ -9,12 +9,7 @@ use csolve_sparse::{Coo, Csc};
 use proptest::prelude::*;
 
 /// Build a random well-conditioned coupled system (small, for proptest).
-fn random_problem(
-    nv: usize,
-    ns: usize,
-    extra_edges: usize,
-    seed: u64,
-) -> CoupledProblem<f64> {
+fn random_problem(nv: usize, ns: usize, extra_edges: usize, seed: u64) -> CoupledProblem<f64> {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 

@@ -1,0 +1,86 @@
+//! Parallel iterator traits: the `into_par_iter().for_each(..)` subset.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator: items may be consumed concurrently.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Consume every item, potentially in parallel. Item order of execution
+    /// is unspecified; each item is processed exactly once.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync;
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecParIter<T>(Vec<T>);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter(self)
+    }
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Send + Sync,
+    {
+        let items = self.0;
+        if crate::current_num_threads() <= 1 || items.len() <= 1 {
+            items.into_iter().for_each(f);
+            return;
+        }
+        let limit = crate::current_num_threads();
+        let f = &f;
+        // One scoped helper thread per item while permits last; the calling
+        // thread works through the remainder inline. Panics are funneled to
+        // the caller after every item finished (no detached work).
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for item in items {
+                match crate::try_spawn_permit() {
+                    Some(permit) => {
+                        handles.push(s.spawn(move || {
+                            let _permit = permit;
+                            crate::with_limit(limit, || f(item))
+                        }));
+                    }
+                    None => {
+                        // Inline execution must not poison the scope before
+                        // spawned threads finish; defer the panic.
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            for h in handles {
+                                let _ = h.join();
+                            }
+                            resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    resume_unwind(payload);
+                }
+            }
+        });
+    }
+}
