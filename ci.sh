@@ -16,4 +16,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> kernels_report smoke run"
+# Tiny sizes, one rep; writes target/BENCH_kernels_smoke.json so the
+# committed BENCH_kernels.json is never clobbered by CI.
+cargo run --release --offline -q --bin kernels_report -- --smoke > /dev/null
+
 echo "CI OK"

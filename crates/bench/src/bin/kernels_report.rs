@@ -1,0 +1,264 @@
+//! Kernel throughput report: sweeps GEMM, TRSM and the blocked
+//! factorizations over a range of sizes, for `f64` and `C64`, serial and
+//! threaded, and prints achieved GF/s next to the naive reference kernel.
+//!
+//! Writes a machine-readable dump (default `BENCH_kernels.json` at the repo
+//! root — see EXPERIMENTS.md for how to read it). Flags:
+//!
+//! - `--sizes 128,256,512` — problem sizes (square, `m = n = k`)
+//! - `--out path.json`     — where to write the JSON dump
+//! - `--smoke`             — tiny sizes, one repetition (CI health check)
+
+use csolve_bench::Args;
+use csolve_common::{Scalar, Stopwatch, C64};
+use csolve_dense::{
+    gemm, gemm_naive, ldlt_in_place_nb, lu_in_place_nb, trsm_left, Diag, Mat, Op, Tri,
+};
+use rand::SeedableRng;
+
+/// One measured (kernel, scalar, size, variant) cell.
+struct Entry {
+    kernel: &'static str,
+    scalar: &'static str,
+    n: usize,
+    variant: &'static str,
+    seconds: f64,
+    gflops: f64,
+}
+
+/// Best (minimum) seconds over `reps` runs of a self-timing closure.
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push(
+    out: &mut Vec<Entry>,
+    kernel: &'static str,
+    scalar: &'static str,
+    n: usize,
+    variant: &'static str,
+    seconds: f64,
+    flops: f64,
+) {
+    out.push(Entry {
+        kernel,
+        scalar,
+        n,
+        variant,
+        seconds,
+        gflops: flops / seconds / 1e9,
+    });
+}
+
+/// Sweep every kernel at the given sizes for one scalar type.
+///
+/// `flop_scale` converts the real-arithmetic formulas to the complex
+/// convention (a complex multiply-add is 8 real flops vs 2: scale 4).
+fn sweep<T: Scalar>(
+    scalar: &'static str,
+    sizes: &[usize],
+    reps: usize,
+    flop_scale: f64,
+    serial: &rayon::ThreadPool,
+    out: &mut Vec<Entry>,
+) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    for &n in sizes {
+        let a = Mat::<T>::random(n, n, &mut rng);
+        let b = Mat::<T>::random(n, n, &mut rng);
+        let nf = n as f64;
+
+        // GEMM (C = A·B): naive reference, blocked serial, blocked threaded.
+        let gemm_flops = flop_scale * 2.0 * nf * nf * nf;
+        let mut c = Mat::<T>::zeros(n, n);
+        let run_naive = || {
+            let sw = Stopwatch::start();
+            gemm_naive(
+                T::ONE,
+                a.as_ref(),
+                Op::NoTrans,
+                b.as_ref(),
+                Op::NoTrans,
+                T::ZERO,
+                c.as_mut(),
+            );
+            sw.elapsed_secs()
+        };
+        let s = best_of(reps, run_naive);
+        push(out, "gemm", scalar, n, "naive-serial", s, gemm_flops);
+        let mut run_blocked = || {
+            let sw = Stopwatch::start();
+            gemm(
+                T::ONE,
+                a.as_ref(),
+                Op::NoTrans,
+                b.as_ref(),
+                Op::NoTrans,
+                T::ZERO,
+                c.as_mut(),
+            );
+            sw.elapsed_secs()
+        };
+        let s = serial.install(|| best_of(reps, &mut run_blocked));
+        push(out, "gemm", scalar, n, "blocked-serial", s, gemm_flops);
+        let s = best_of(reps, &mut run_blocked);
+        push(out, "gemm", scalar, n, "blocked-threaded", s, gemm_flops);
+
+        // TRSM (lower, n RHS columns): diagonally dominant triangle.
+        let mut t = a.clone();
+        for i in 0..n {
+            t[(i, i)] += T::from_f64(2.0 * nf);
+        }
+        let trsm_flops = flop_scale * nf * nf * nf;
+        let mut run_trsm = || {
+            let mut x = b.clone();
+            let sw = Stopwatch::start();
+            trsm_left(
+                Tri::Lower,
+                Op::NoTrans,
+                Diag::NonUnit,
+                T::ONE,
+                t.as_ref(),
+                x.as_mut(),
+            );
+            sw.elapsed_secs()
+        };
+        let s = serial.install(|| best_of(reps, &mut run_trsm));
+        push(out, "trsm", scalar, n, "blocked-serial", s, trsm_flops);
+        let s = best_of(reps, &mut run_trsm);
+        push(out, "trsm", scalar, n, "blocked-threaded", s, trsm_flops);
+
+        // LU (partial pivoting).
+        let lu_flops = flop_scale * 2.0 / 3.0 * nf * nf * nf;
+        let mut run_lu = || {
+            let m = t.clone();
+            let sw = Stopwatch::start();
+            lu_in_place_nb(m, 0).expect("LU of dominant matrix");
+            sw.elapsed_secs()
+        };
+        let s = serial.install(|| best_of(reps, &mut run_lu));
+        push(out, "lu", scalar, n, "blocked-serial", s, lu_flops);
+        let s = best_of(reps, &mut run_lu);
+        push(out, "lu", scalar, n, "blocked-threaded", s, lu_flops);
+
+        // LDLT on a symmetric dominant matrix.
+        let sym = Mat::<T>::from_fn(n, n, |i, j| {
+            let v = a[(i.min(j), i.max(j))];
+            if i == j {
+                v + T::from_f64(2.0 * nf)
+            } else {
+                v
+            }
+        });
+        let ldlt_flops = flop_scale / 3.0 * nf * nf * nf;
+        let mut run_ldlt = || {
+            let m = sym.clone();
+            let sw = Stopwatch::start();
+            ldlt_in_place_nb(m, 0).expect("LDLT of dominant matrix");
+            sw.elapsed_secs()
+        };
+        let s = serial.install(|| best_of(reps, &mut run_ldlt));
+        push(out, "ldlt", scalar, n, "blocked-serial", s, ldlt_flops);
+        let s = best_of(reps, &mut run_ldlt);
+        push(out, "ldlt", scalar, n, "blocked-threaded", s, ldlt_flops);
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All strings we emit are static identifiers without quotes/backslashes.
+    debug_assert!(!s.contains('"') && !s.contains('\\'));
+    s
+}
+
+fn write_json(path: &str, threads: usize, entries: &[Entry]) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"tool\": \"kernels_report\",\n");
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"scalar\": \"{}\", \"n\": {}, \"variant\": \"{}\", \"seconds\": {:.6}, \"gflops\": {:.4}}}{}\n",
+            json_escape_free(e.kernel),
+            json_escape_free(e.scalar),
+            e.n,
+            json_escape_free(e.variant),
+            e.seconds,
+            e.gflops,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("--smoke");
+    let sizes: Vec<usize> = match args.get_str("--sizes") {
+        Some(v) => v
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .collect(),
+        None if smoke => vec![64],
+        None => vec![128, 256, 512],
+    };
+    let default_out = if smoke {
+        "target/BENCH_kernels_smoke.json"
+    } else {
+        "BENCH_kernels.json"
+    };
+    let out_path = args.get_str("--out").unwrap_or(default_out).to_string();
+    let reps = if smoke { 1 } else { 3 };
+    let threads = rayon::current_num_threads();
+
+    let serial = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("serial pool");
+
+    let mut entries = Vec::new();
+    sweep::<f64>("f64", &sizes, reps, 1.0, &serial, &mut entries);
+    sweep::<C64>("c64", &sizes, reps, 4.0, &serial, &mut entries);
+
+    println!(
+        "kernel throughput ({} ambient threads; complex counted as 4x real flops)",
+        threads
+    );
+    println!(
+        "{:<6} {:<4} {:>5} {:<17} {:>10} {:>8}",
+        "kernel", "type", "n", "variant", "time (s)", "GF/s"
+    );
+    for e in &entries {
+        println!(
+            "{:<6} {:<4} {:>5} {:<17} {:>10.4} {:>8.2}",
+            e.kernel, e.scalar, e.n, e.variant, e.seconds, e.gflops
+        );
+    }
+
+    // Headline number of the blocked-GEMM rewrite: packed vs naive, serial.
+    let gf = |variant: &str, n: usize| {
+        entries
+            .iter()
+            .find(|e| e.kernel == "gemm" && e.scalar == "f64" && e.n == n && e.variant == variant)
+            .map(|e| e.gflops)
+    };
+    if let Some(&n) = sizes.last() {
+        if let (Some(naive), Some(blocked)) = (gf("naive-serial", n), gf("blocked-serial", n)) {
+            println!(
+                "\nf64 GEMM n={n}: blocked/naive serial speedup {:.2}x",
+                blocked / naive
+            );
+        }
+    }
+
+    match write_json(&out_path, threads, &entries) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -76,20 +76,30 @@ pub fn attempt<T: Scalar>(
 }
 
 /// Multi-line per-phase breakdown of a run: wall time (summed over worker
-/// threads for parallel phases) and bytes processed where recorded.
+/// threads for parallel phases), bytes processed, and achieved GF/s where an
+/// analytic flop count was recorded (see `Metrics::phase_flops`).
 pub fn phase_report(metrics: &Metrics) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "  {:<28} {:>10} {:>12}\n",
-        "phase", "time (s)", "MiB"
+        "  {:<28} {:>10} {:>12} {:>8}\n",
+        "phase", "time (s)", "MiB", "GF/s"
     ));
     for (name, secs) in &metrics.phases {
         let bytes = metrics.bytes_of(name);
-        if bytes > 0 {
-            out.push_str(&format!("  {name:<28} {secs:>10.3} {:>12.1}\n", mib(bytes)));
+        let flops = metrics.flops_of(name);
+        let mib_cell = if bytes > 0 {
+            format!("{:>12.1}", mib(bytes))
         } else {
-            out.push_str(&format!("  {name:<28} {secs:>10.3} {:>12}\n", "-"));
-        }
+            format!("{:>12}", "-")
+        };
+        let gfs_cell = if flops > 0 && *secs > 0.0 {
+            format!("{:>8.2}", flops as f64 / secs / 1e9)
+        } else {
+            format!("{:>8}", "-")
+        };
+        out.push_str(&format!(
+            "  {name:<28} {secs:>10.3} {mib_cell} {gfs_cell}\n"
+        ));
     }
     out
 }
@@ -170,6 +180,11 @@ impl Args {
 
     pub fn has(&self, key: &str) -> bool {
         self.raw.iter().any(|a| a == key)
+    }
+
+    /// Raw string value of `--key value`, if present.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key)
     }
 
     fn get(&self, key: &str) -> Option<&str> {

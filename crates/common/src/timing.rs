@@ -46,6 +46,7 @@ impl Stopwatch {
 pub struct PhaseTimer {
     phases: Mutex<Vec<(String, Duration)>>,
     bytes: Mutex<Vec<(String, usize)>>,
+    flops: Mutex<Vec<(String, u64)>>,
 }
 
 impl PhaseTimer {
@@ -82,6 +83,36 @@ impl PhaseTimer {
         } else {
             bytes.push((name.to_string(), n));
         }
+    }
+
+    /// Add `n` floating-point operations to the flop counter of phase
+    /// `name`, creating it on first use. Counts are *analytic* — derived from
+    /// the problem shapes at the call site (e.g. `2·nnz·w` for an SpMM,
+    /// `n³/3` for an LDLᵀ) — so they are exactly thread-count invariant, and
+    /// independent of which kernel path executed the work. Like byte
+    /// counters, flop counters are independent of the duration entries.
+    pub fn add_flops(&self, name: &str, n: u64) {
+        let mut flops = self.flops.lock();
+        if let Some(entry) = flops.iter_mut().find(|(f, _)| f == name) {
+            entry.1 += n;
+        } else {
+            flops.push((name.to_string(), n));
+        }
+    }
+
+    /// Snapshot of (phase, flops) pairs in first-use order.
+    pub fn flops(&self) -> Vec<(String, u64)> {
+        self.flops.lock().clone()
+    }
+
+    /// Flop counter of one phase, zero if absent.
+    pub fn get_flops(&self, name: &str) -> u64 {
+        self.flops
+            .lock()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| *f)
+            .unwrap_or_default()
     }
 
     /// Snapshot of (phase, duration) pairs in first-use order.
@@ -162,6 +193,20 @@ mod tests {
         assert_eq!(t.bytes().len(), 2);
         // No durations were recorded for these phases.
         assert_eq!(t.phases().len(), 0);
+    }
+
+    #[test]
+    fn accumulates_flops_independently() {
+        let t = PhaseTimer::new();
+        t.add_flops("gemm", 1_000);
+        t.add_flops("factor", 500);
+        t.add_flops("gemm", 24);
+        assert_eq!(t.get_flops("gemm"), 1_024);
+        assert_eq!(t.get_flops("factor"), 500);
+        assert_eq!(t.get_flops("missing"), 0);
+        assert_eq!(t.flops().len(), 2);
+        assert_eq!(t.phases().len(), 0);
+        assert_eq!(t.bytes().len(), 0);
     }
 
     #[test]

@@ -96,6 +96,12 @@ pub struct SolverConfig {
     /// transient memory overhead of parallelism; under budget pressure the
     /// scheduler lowers it on its own, down to one block at a time.
     pub max_inflight_blocks: usize,
+    /// Panel width of the blocked dense LU/LDLᵀ factorizations (sparse
+    /// fronts and the Schur factorization). `0` keeps the dense layer's
+    /// default (`csolve_dense::DEFAULT_PANEL_NB`). Changing it regroups the
+    /// trailing BLAS-3 updates, so results differ (within rounding) between
+    /// widths but stay bitwise reproducible for a fixed width.
+    pub dense_panel_nb: usize,
 }
 
 impl Default for SolverConfig {
@@ -113,6 +119,7 @@ impl Default for SolverConfig {
             hmat_eta: 6.0,
             num_threads: 0,
             max_inflight_blocks: 0,
+            dense_panel_nb: 0,
         }
     }
 }
@@ -134,6 +141,11 @@ pub struct Metrics {
     /// (phase name, bytes produced/processed) in first-use order — e.g. the
     /// total size of all `Y` panels under `"sparse solve (Y)"`.
     pub phase_bytes: Vec<(String, usize)>,
+    /// (phase name, analytic flop count) in first-use order. Counts are
+    /// derived from problem shapes (not instrumented in the kernels), so the
+    /// same problem yields the same counts at any thread count; phases
+    /// without a cheap analytic model simply have no entry.
+    pub phase_flops: Vec<(String, u64)>,
     /// Worker threads the solve ran with.
     pub threads: usize,
     /// Total number of unknowns `N = n_FEM + n_BEM`.
@@ -160,6 +172,15 @@ impl Metrics {
             .iter()
             .filter(|(n, _)| n == name)
             .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Analytic flops recorded for one phase, zero if absent.
+    pub fn flops_of(&self, name: &str) -> u64 {
+        self.phase_flops
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, f)| *f)
             .sum()
     }
 
@@ -205,6 +226,7 @@ mod tests {
             peak_bytes: 1 << 20,
             schur_bytes: 1 << 19,
             phase_bytes: vec![("a".into(), 4096)],
+            phase_flops: vec![("a".into(), 2_000_000)],
             threads: 2,
             n_total: 100,
             n_bem: 20,
@@ -214,6 +236,8 @@ mod tests {
         assert_eq!(m.phase_seconds("missing"), 0.0);
         assert_eq!(m.bytes_of("a"), 4096);
         assert_eq!(m.bytes_of("missing"), 0);
+        assert_eq!(m.flops_of("a"), 2_000_000);
+        assert_eq!(m.flops_of("missing"), 0);
         assert!(m.summary().contains("N=100"));
         assert!(m.summary().contains("2 threads"));
     }

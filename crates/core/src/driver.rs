@@ -66,7 +66,32 @@ impl<T: Scalar> Ws<'_, T> {
             },
             blr_eps: cfg.sparse_compression.then_some(cfg.eps),
             tracker: Some(Arc::clone(tracker)),
+            panel_nb: cfg.dense_panel_nb,
         }
+    }
+}
+
+/// Analytic flop count of factoring the dense `n_s × n_s` Schur complement
+/// (zero for the H-matrix backend, whose compressed cost has no closed form).
+fn dense_factor_flops(cfg: &SolverConfig, symmetric: bool, ns: usize) -> u64 {
+    match cfg.dense_backend {
+        DenseBackend::Spido => {
+            let n = ns as u64;
+            if symmetric {
+                n * n * n / 3
+            } else {
+                2 * n * n * n / 3
+            }
+        }
+        DenseBackend::Hmat => 0,
+    }
+}
+
+/// Record the dense-factorization flops when a closed form exists.
+fn add_dense_factor_flops(timer: &PhaseTimer, cfg: &SolverConfig, symmetric: bool, ns: usize) {
+    let f = dense_factor_flops(cfg, symmetric, ns);
+    if f > 0 {
+        timer.add_flops("dense factorization", f);
     }
 }
 
@@ -184,6 +209,7 @@ fn solve_inner<T: Scalar>(
         peak_bytes: tracker.peak(),
         schur_bytes,
         phase_bytes: timer.bytes(),
+        phase_flops: timer.flops(),
         threads,
         n_total: problem.n_total(),
         n_bem: problem.n_bem(),
@@ -198,6 +224,7 @@ fn finish_solution<T: Scalar>(
     ws: &Ws<'_, T>,
     fact: &SparseFactorization<T>,
     sf: &SchurFactor<T>,
+    cfg: &SolverConfig,
     timer: &PhaseTimer,
 ) -> Result<(Vec<T>, Vec<T>)> {
     let nv = ws.nv();
@@ -211,6 +238,11 @@ fn finish_solution<T: Scalar>(
     // x_s = S⁻¹ rhs_s
     let mut xs = Mat::from_col_major(ns, 1, rhs_s);
     timer.time("dense solve", || sf.solve_in_place(xs.as_mut()));
+    // Two triangular solves on the n_s × n_s factor (dense backend only —
+    // the compressed backend has no closed-form count).
+    if cfg.dense_backend == DenseBackend::Spido {
+        timer.add_flops("dense solve", 2 * (ns as u64) * (ns as u64));
+    }
     // x_v = A_vv⁻¹ (b_v − A_vs x_s)
     let mut bv2 = Mat::from_col_major(nv, 1, ws.b_v.to_vec());
     {
@@ -260,6 +292,7 @@ fn baseline_coupling<T: Scalar>(
                 .mul_dense(T::ONE, y.view(0..nv, c0..c1), T::ZERO, z.as_mut())
         });
         timer.add_bytes("SpMM", z.byte_size());
+        timer.add_flops("SpMM", 2 * ws.a_sv.nnz() as u64 * (c1 - c0) as u64);
         timer.time("Schur assembly", || {
             schur.axpy_block(-T::ONE, 0, c0, z.as_ref(), cfg.eps)
         })?;
@@ -270,10 +303,11 @@ fn baseline_coupling<T: Scalar>(
     drop(y_charge);
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
+    add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
     let sf = timer.time("dense factorization", || {
-        schur.factor(ws.symmetric, cfg.eps)
+        schur.factor(ws.symmetric, cfg.eps, cfg.dense_panel_nb)
     })?;
-    let (xv, xs) = finish_solution(ws, &fact, &sf, timer)?;
+    let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
     Ok((xv, xs, schur_bytes))
 }
 
@@ -317,8 +351,9 @@ fn advanced_coupling<T: Scalar>(
     drop(x_charge);
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
+    add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
     let sf = timer.time("dense factorization", || {
-        schur.factor(ws.symmetric, cfg.eps)
+        schur.factor(ws.symmetric, cfg.eps, cfg.dense_panel_nb)
     })?;
 
     // One condensation solve through the partial factorization.
@@ -409,6 +444,7 @@ fn multi_solve<T: Scalar>(
                         zpanel.view_mut(0..ns, (c0 - p0)..(c1 - p0)),
                     )
                 });
+                timer.add_flops("SpMM", 2 * ws.a_sv.nnz() as u64 * (c1 - c0) as u64);
                 c0 = c1;
             }
             timer.add_bytes("SpMM", zpanel.byte_size());
@@ -437,10 +473,11 @@ fn multi_solve<T: Scalar>(
     let schur = commit.into_result()?;
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
+    add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
     let sf = timer.time("dense factorization", || {
-        schur.factor(ws.symmetric, cfg.eps)
+        schur.factor(ws.symmetric, cfg.eps, cfg.dense_panel_nb)
     })?;
-    let (xv, xs) = finish_solution(ws, &fact, &sf, timer)?;
+    let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
     Ok((xv, xs, schur_bytes))
 }
 
@@ -485,6 +522,7 @@ fn multi_factorization<T: Scalar>(
         symmetry: Symmetry::UnsymmetricLu,
         blr_eps: cfg.sparse_compression.then_some(cfg.eps),
         tracker: Some(Arc::clone(tracker)),
+        panel_nb: cfg.dense_panel_nb,
     };
 
     let tiles: Vec<(usize, std::ops::Range<usize>, std::ops::Range<usize>)> = ranges
@@ -588,15 +626,16 @@ fn multi_factorization<T: Scalar>(
     let schur = commit.into_result()?;
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
+    add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
     let sf = timer.time("dense factorization", || {
-        schur.factor(ws.symmetric, cfg.eps)
+        schur.factor(ws.symmetric, cfg.eps, cfg.dense_panel_nb)
     })?;
     // A final plain factorization of A_vv for the solution phase (the W
     // factorizations are not reusable through the solver API).
     let fact = timer.time("sparse factorization", || {
         factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
     })?;
-    let (xv, xs) = finish_solution(ws, &fact, &sf, timer)?;
+    let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
     Ok((xv, xs, schur_bytes))
 }
 

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use csolve_common::{ByteSized, MemCharge, MemTracker, RealScalar, Result, Scalar};
-use csolve_dense::{ldlt_in_place, lu_in_place, Mat, MatMut, MatRef};
+use csolve_dense::{ldlt_in_place_nb, lu_in_place_nb, Mat, MatMut, MatRef};
 use csolve_fembem::BemOperator;
 use csolve_hmat::{ClusterTree, HLu, HMatrix, HOptions};
 
@@ -107,15 +107,17 @@ impl<T: Scalar> SchurAcc<T> {
         }
     }
 
-    /// Factor `S` (consuming the accumulator).
-    pub fn factor(self, symmetric: bool, eps: f64) -> Result<SchurFactor<T>> {
+    /// Factor `S` (consuming the accumulator). `panel_nb` is the blocked
+    /// factorization's panel width for the dense backend (`0`: the dense
+    /// layer's default); the compressed backend ignores it.
+    pub fn factor(self, symmetric: bool, eps: f64, panel_nb: usize) -> Result<SchurFactor<T>> {
         match self {
             SchurAcc::Dense { mat, charge } => {
                 if symmetric {
-                    let f = ldlt_in_place(mat)?;
+                    let f = ldlt_in_place_nb(mat, panel_nb)?;
                     Ok(SchurFactor::DenseLdlt { f, _charge: charge })
                 } else {
-                    let f = lu_in_place(mat)?;
+                    let f = lu_in_place_nb(mat, panel_nb)?;
                     Ok(SchurFactor::DenseLu { f, _charge: charge })
                 }
             }

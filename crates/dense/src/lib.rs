@@ -2,9 +2,11 @@
 //!
 //! This crate plays the role of the proprietary ScaLAPACK-like dense direct
 //! solver (SPIDO) used in the reproduced paper: a column-major matrix type
-//! ([`Mat`]) together with blocked, rayon-parallel BLAS-3 style kernels
-//! ([`gemm()`], [`trsm_left`]), full and *partial* LU / LDLᵀ factorizations and
-//! the corresponding triangular solves.
+//! ([`Mat`]) together with cache-blocked, packed, rayon-parallel BLAS-3
+//! kernels ([`gemm()`] with a register-tiled microkernel, blocked
+//! [`trsm_left`]/[`trsm_right`]), full and *partial* LU / LDLᵀ factorizations
+//! and the corresponding triangular solves. All kernels produce bitwise
+//! identical results for any thread count (see `gemm`'s module docs).
 //!
 //! The *partial* factorizations ([`partial_ldlt`], [`partial_lu`]) eliminate
 //! only the leading `k` variables of a matrix and leave the trailing block
@@ -23,14 +25,15 @@
 pub mod factor;
 pub mod gemm;
 pub mod mat;
+mod pack;
 pub mod solve;
 pub mod trsm;
 
 pub use factor::{
-    ldlt_in_place, lu_in_place, partial_ldlt, partial_lu, symmetrize_from_lower, LdltFactors,
-    LuFactors,
+    ldlt_in_place, ldlt_in_place_nb, lu_in_place, lu_in_place_nb, partial_ldlt, partial_ldlt_nb,
+    partial_lu, partial_lu_nb, symmetrize_from_lower, LdltFactors, LuFactors, DEFAULT_PANEL_NB,
 };
-pub use gemm::{gemm, gemm_into, matvec, Op};
+pub use gemm::{gemm, gemm_into, gemm_naive, matvec, Op, PAR_FLOP_THRESHOLD};
 pub use mat::{Mat, MatMut, MatRef};
 pub use solve::{
     apply_row_swaps_fwd, ldlt_solve_in_place, lu_solve_in_place, lu_solve_transpose_in_place,

@@ -1,0 +1,293 @@
+//! Packing buffers and the register-tiled microkernel behind the cache-blocked
+//! GEMM (see [`crate::gemm::gemm`]).
+//!
+//! The design follows the BLIS decomposition: the operand blocks selected by
+//! the MC/KC/NC loop nest are copied once into *packed* buffers whose layout
+//! matches exactly the access pattern of the innermost kernel, and the
+//! microkernel then streams through contiguous memory with zero index
+//! arithmetic or `Op` dispatch:
+//!
+//! * `pack_a` stores an `mc × kc` block of `op(A)` as `⌈mc/MR⌉` row
+//!   micro-panels; panel `ip` holds, for `k = 0..kc`, the `MR` consecutive
+//!   elements `op(A)[ip·MR .. ip·MR+MR, k]`. Transposition and conjugation are
+//!   resolved *here*, at pack time, so the hot loop never branches on `Op`.
+//! * `pack_b` stores a `kc × nc` block of `op(B)` as `⌈nc/NR⌉` column
+//!   micro-panels, panel `jp` holding `op(B)[k, jp·NR .. jp·NR+NR]` for each
+//!   `k`.
+//! * Edge panels (when `mc % MR != 0` or `nc % NR != 0`) are zero-padded, so
+//!   the microkernel always runs full `MR × NR` tiles; the store step simply
+//!   writes back only the `mr_eff × nr_eff` valid prefix.
+//!
+//! The microkernel itself keeps an `MR × NR` accumulator entirely in
+//! registers and performs `kc` rank-1 updates on it — with `MR`/`NR` as const
+//! generics the loops fully unroll and compile to FMA-friendly straight-line
+//! code for both `f64` and complex scalars.
+
+use csolve_common::Scalar;
+
+use crate::gemm::Op;
+use crate::mat::{MatMut, MatRef};
+
+/// Register tile height for 8-byte scalars (`f32`/`f64`).
+pub(crate) const MR_REAL: usize = 8;
+/// Register tile width for 8-byte scalars.
+pub(crate) const NR_REAL: usize = 4;
+/// Register tile height for 16-byte scalars (`C64`): complex arithmetic uses
+/// twice the registers per element, so the tile is half as tall.
+pub(crate) const MR_CPLX: usize = 4;
+/// Register tile width for 16-byte scalars.
+pub(crate) const NR_CPLX: usize = 4;
+
+/// Cache blocking parameters of the MC/KC/NC loop nest, in *elements*.
+pub(crate) struct Blocking {
+    /// Rows of the `op(A)` block packed at once (L2-resident panel height).
+    pub mc: usize,
+    /// Inner (`k`) depth of one packed slab (keeps `A`-panel ≈ L1/L2 sized).
+    pub kc: usize,
+    /// Columns of the `op(B)` block packed at once (L3-resident panel width).
+    pub nc: usize,
+}
+
+/// Blocking constants per scalar width. These are *fixed per type* — never
+/// derived from the runtime thread count — which is what makes the macro-tile
+/// grid, and therefore the result, identical for any number of threads.
+pub(crate) fn blocking<T>() -> Blocking {
+    if std::mem::size_of::<T>() <= 8 {
+        Blocking {
+            mc: 128,
+            kc: 256,
+            nc: 512,
+        }
+    } else {
+        Blocking {
+            mc: 64,
+            kc: 192,
+            nc: 256,
+        }
+    }
+}
+
+/// Pack the `mc × kc` block of `op(A)` starting at logical row `i0`, logical
+/// column (inner index) `p0` into `MR`-row micro-panels, zero-padding the last
+/// panel. `dst` is resized to exactly `⌈mc/MR⌉ · kc · MR` elements.
+pub(crate) fn pack_a<T: Scalar, const MR: usize>(
+    a: MatRef<'_, T>,
+    opa: Op,
+    i0: usize,
+    p0: usize,
+    mc: usize,
+    kc: usize,
+    dst: &mut Vec<T>,
+) {
+    let npanels = mc.div_ceil(MR);
+    dst.clear();
+    dst.resize(npanels * kc * MR, T::ZERO);
+    match opa {
+        Op::NoTrans => {
+            for ip in 0..npanels {
+                let r0 = ip * MR;
+                let mr_eff = MR.min(mc - r0);
+                let panel = &mut dst[ip * kc * MR..(ip + 1) * kc * MR];
+                for kk in 0..kc {
+                    let src = &a.col(p0 + kk)[i0 + r0..i0 + r0 + mr_eff];
+                    panel[kk * MR..kk * MR + mr_eff].copy_from_slice(src);
+                }
+            }
+        }
+        Op::Trans | Op::ConjTrans => {
+            // Logical row `i` of op(A) is stored column `i` of A, contiguous
+            // over the inner index.
+            let conj = opa == Op::ConjTrans;
+            for ip in 0..npanels {
+                let r0 = ip * MR;
+                let mr_eff = MR.min(mc - r0);
+                let panel = &mut dst[ip * kc * MR..(ip + 1) * kc * MR];
+                for r in 0..mr_eff {
+                    let src = &a.col(i0 + r0 + r)[p0..p0 + kc];
+                    if conj {
+                        for (kk, &v) in src.iter().enumerate() {
+                            panel[kk * MR + r] = v.conj();
+                        }
+                    } else {
+                        for (kk, &v) in src.iter().enumerate() {
+                            panel[kk * MR + r] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack the `kc × nc` block of `op(B)` starting at inner index `p0`, logical
+/// column `j0` into `NR`-column micro-panels, zero-padding the last panel.
+/// `dst` is resized to exactly `⌈nc/NR⌉ · kc · NR` elements.
+pub(crate) fn pack_b<T: Scalar, const NR: usize>(
+    b: MatRef<'_, T>,
+    opb: Op,
+    p0: usize,
+    j0: usize,
+    kc: usize,
+    nc: usize,
+    dst: &mut Vec<T>,
+) {
+    let npanels = nc.div_ceil(NR);
+    dst.clear();
+    dst.resize(npanels * kc * NR, T::ZERO);
+    match opb {
+        Op::NoTrans => {
+            for jp in 0..npanels {
+                let c0 = jp * NR;
+                let nr_eff = NR.min(nc - c0);
+                let panel = &mut dst[jp * kc * NR..(jp + 1) * kc * NR];
+                for c in 0..nr_eff {
+                    let src = &b.col(j0 + c0 + c)[p0..p0 + kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        panel[kk * NR + c] = v;
+                    }
+                }
+            }
+        }
+        Op::Trans | Op::ConjTrans => {
+            // Logical row `k` of op(B) is stored column `k` of B, contiguous
+            // over the logical columns — packed writes are contiguous too.
+            let conj = opb == Op::ConjTrans;
+            for jp in 0..npanels {
+                let c0 = jp * NR;
+                let nr_eff = NR.min(nc - c0);
+                let panel = &mut dst[jp * kc * NR..(jp + 1) * kc * NR];
+                for kk in 0..kc {
+                    let src = &b.col(p0 + kk)[j0 + c0..j0 + c0 + nr_eff];
+                    let out = &mut panel[kk * NR..kk * NR + nr_eff];
+                    if conj {
+                        for (o, &v) in out.iter_mut().zip(src) {
+                            *o = v.conj();
+                        }
+                    } else {
+                        out.copy_from_slice(src);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Register-tiled microkernel: `kc` rank-1 updates of an `MR × NR`
+/// accumulator from one A micro-panel and one B micro-panel. The fixed-size
+/// slice conversions eliminate bounds checks and let the const-generic loops
+/// unroll completely.
+#[inline(always)]
+fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
+    ap: &[T],
+    bp: &[T],
+    kc: usize,
+) -> [[T; MR]; NR] {
+    let mut acc = [[T::ZERO; MR]; NR];
+    for kk in 0..kc {
+        let a: &[T; MR] = ap[kk * MR..kk * MR + MR].try_into().unwrap();
+        let b: &[T; NR] = bp[kk * NR..kk * NR + NR].try_into().unwrap();
+        for j in 0..NR {
+            let bj = b[j];
+            for i in 0..MR {
+                acc[j][i] += a[i] * bj;
+            }
+        }
+    }
+    acc
+}
+
+/// Macro-kernel: multiply the packed `mc × kc` A block by the packed
+/// `kc × nc` B block, accumulating `C += α · Apack · Bpack` micro-tile by
+/// micro-tile. `c` is the `mc × nc` destination block (β has already been
+/// applied by the caller, once per macro-tile).
+///
+/// Dispatches once per call on the CPU's SIMD level: the *same* generic body
+/// is compiled additionally under `avx512f` and `avx2+fma` target features,
+/// so LLVM vectorizes the fully-unrolled microkernel with the widest units
+/// available instead of the portable baseline (SSE2 on x86-64). The selected
+/// path depends only on the host CPU — never on data or thread count — so
+/// results remain bitwise reproducible on a given machine.
+pub(crate) fn macro_kernel<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    apack: &[T],
+    bpack: &[T],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    c: &mut MatMut<'_, T>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature presence just checked.
+            return unsafe { macro_kernel_avx512::<T, MR, NR>(alpha, apack, bpack, mc, nc, kc, c) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: feature presence just checked.
+            return unsafe { macro_kernel_avx2::<T, MR, NR>(alpha, apack, bpack, mc, nc, kc, c) };
+        }
+    }
+    macro_kernel_impl::<T, MR, NR>(alpha, apack, bpack, mc, nc, kc, c)
+}
+
+/// `macro_kernel_impl` recompiled with 512-bit vectors + FMA available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn macro_kernel_avx512<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    apack: &[T],
+    bpack: &[T],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    c: &mut MatMut<'_, T>,
+) {
+    macro_kernel_impl::<T, MR, NR>(alpha, apack, bpack, mc, nc, kc, c)
+}
+
+/// `macro_kernel_impl` recompiled with 256-bit vectors + FMA available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn macro_kernel_avx2<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    apack: &[T],
+    bpack: &[T],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    c: &mut MatMut<'_, T>,
+) {
+    macro_kernel_impl::<T, MR, NR>(alpha, apack, bpack, mc, nc, kc, c)
+}
+
+#[inline(always)]
+fn macro_kernel_impl<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    apack: &[T],
+    bpack: &[T],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    c: &mut MatMut<'_, T>,
+) {
+    let mpanels = mc.div_ceil(MR);
+    let npanels = nc.div_ceil(NR);
+    for jp in 0..npanels {
+        let c0 = jp * NR;
+        let nr_eff = NR.min(nc - c0);
+        let bp = &bpack[jp * kc * NR..(jp + 1) * kc * NR];
+        for ip in 0..mpanels {
+            let r0 = ip * MR;
+            let mr_eff = MR.min(mc - r0);
+            let ap = &apack[ip * kc * MR..(ip + 1) * kc * MR];
+            let acc = microkernel::<T, MR, NR>(ap, bp, kc);
+            for (j, accj) in acc.iter().enumerate().take(nr_eff) {
+                let col = &mut c.col_mut(c0 + j)[r0..r0 + mr_eff];
+                for (ci, &v) in col.iter_mut().zip(&accj[..mr_eff]) {
+                    *ci += alpha * v;
+                }
+            }
+        }
+    }
+}

@@ -1,13 +1,18 @@
 //! Triangular solves with multiple right-hand sides (BLAS `trsm`).
 //!
-//! Left solves `op(T)·X = α·B` run independently per column of `B` and
-//! parallelize over column chunks; right solves `X·op(T) = α·B` sweep the
-//! columns of `X` in dependency order. Both overwrite `B` with `X`.
+//! Left solves `op(T)·X = α·B` and right solves `X·op(T) = α·B` both
+//! overwrite `B` with `X`. Above a small cutoff the triangle is split
+//! recursively: the diagonal blocks are solved by the unblocked per-column
+//! kernels and the off-diagonal coupling is applied as a GEMM rank update, so
+//! almost all the work runs through the cache-blocked [`gemm`] engine (and
+//! inherits its parallelism and thread-count-invariant results). The diagonal
+//! base case of the left solve additionally parallelizes over independent
+//! right-hand-side column chunks.
 
 use csolve_common::Scalar;
 use rayon::prelude::*;
 
-use crate::gemm::Op;
+use crate::gemm::{gemm, scale_block, Op, PAR_FLOP_THRESHOLD};
 use crate::mat::{MatMut, MatRef};
 
 /// Which triangle of the operand carries the data.
@@ -24,6 +29,10 @@ pub enum Diag {
     NonUnit,
 }
 
+/// Triangle order below which the recursion bottoms out into the unblocked
+/// per-column kernels.
+const TRSM_BLOCK: usize = 64;
+
 #[inline]
 fn t_elem<T: Scalar>(t: MatRef<'_, T>, conj: bool, i: usize, j: usize) -> T {
     let v = t.get(i, j);
@@ -34,16 +43,20 @@ fn t_elem<T: Scalar>(t: MatRef<'_, T>, conj: bool, i: usize, j: usize) -> T {
     }
 }
 
+/// `op(T)` viewed as a lower triangle after transposition?
+#[inline]
+fn eff_lower(tri: Tri, op: Op) -> bool {
+    match (tri, op) {
+        (Tri::Lower, Op::NoTrans) | (Tri::Upper, Op::Trans) | (Tri::Upper, Op::ConjTrans) => true,
+        (Tri::Upper, Op::NoTrans) | (Tri::Lower, Op::Trans) | (Tri::Lower, Op::ConjTrans) => false,
+    }
+}
+
 /// Solve `op(T)·x = x` in place for one column.
 fn solve_col<T: Scalar>(tri: Tri, op: Op, diag: Diag, t: MatRef<'_, T>, x: &mut [T]) {
     let n = t.nrows();
     let conj = op == Op::ConjTrans;
-    // Effective triangle after transposition.
-    let eff_lower = match (tri, op) {
-        (Tri::Lower, Op::NoTrans) | (Tri::Upper, Op::Trans) | (Tri::Upper, Op::ConjTrans) => true,
-        (Tri::Upper, Op::NoTrans) | (Tri::Lower, Op::Trans) | (Tri::Lower, Op::ConjTrans) => false,
-    };
-    match (eff_lower, op) {
+    match (eff_lower(tri, op), op) {
         (true, Op::NoTrans) => {
             // Forward substitution, axpy form on contiguous columns of T.
             for k in 0..n {
@@ -108,28 +121,12 @@ fn solve_col<T: Scalar>(tri: Tri, op: Op, diag: Diag, t: MatRef<'_, T>, x: &mut 
     }
 }
 
-/// Solve `op(T)·X = α·B` in place (`B` becomes `X`). `T` must be square and
-/// match `B`'s row count.
-pub fn trsm_left<T: Scalar>(
-    tri: Tri,
-    op: Op,
-    diag: Diag,
-    alpha: T,
-    t: MatRef<'_, T>,
-    mut b: MatMut<'_, T>,
-) {
-    assert_eq!(t.nrows(), t.ncols(), "trsm_left: T square");
-    assert_eq!(t.nrows(), b.nrows(), "trsm_left: dims");
+/// Unblocked base case of the left solve: independent per-column solves,
+/// parallel over column chunks when the work amortizes the fork.
+fn trsm_left_base<T: Scalar>(tri: Tri, op: Op, diag: Diag, t: MatRef<'_, T>, mut b: MatMut<'_, T>) {
     let n = b.ncols();
-    if alpha != T::ONE {
-        for j in 0..n {
-            for x in b.col_mut(j) {
-                *x *= alpha;
-            }
-        }
-    }
     let work = t.nrows() as f64 * t.nrows() as f64 * n as f64;
-    if work < 2e5 || rayon::current_num_threads() == 1 || n == 1 {
+    if work < PAR_FLOP_THRESHOLD || rayon::current_num_threads() == 1 || n == 1 {
         for j in 0..n {
             solve_col(tri, op, diag, t, b.col_mut(j));
         }
@@ -143,9 +140,41 @@ pub fn trsm_left<T: Scalar>(
     }
 }
 
-/// Solve `X·op(T) = α·B` in place (`B` becomes `X`). `T` must be square and
-/// match `B`'s column count.
-pub fn trsm_right<T: Scalar>(
+fn trsm_left_rec<T: Scalar>(tri: Tri, op: Op, diag: Diag, t: MatRef<'_, T>, b: MatMut<'_, T>) {
+    let n = t.nrows();
+    if n <= TRSM_BLOCK {
+        trsm_left_base(tri, op, diag, t, b);
+        return;
+    }
+    let h = n / 2;
+    let t11 = t.submatrix(0..h, 0..h);
+    let t22 = t.submatrix(h..n, h..n);
+    let (mut b1, mut b2) = b.split_at_row(h);
+    if eff_lower(tri, op) {
+        // [L11 0; E21 L22]·[X1; X2] = [B1; B2]: solve X1, eliminate, solve X2.
+        trsm_left_rec(tri, op, diag, t11, b1.rb_mut());
+        let (e, eop) = match op {
+            Op::NoTrans => (t.submatrix(h..n, 0..h), Op::NoTrans),
+            _ => (t.submatrix(0..h, h..n), op),
+        };
+        gemm(-T::ONE, e, eop, b1.rb(), Op::NoTrans, T::ONE, b2.rb_mut());
+        trsm_left_rec(tri, op, diag, t22, b2);
+    } else {
+        // [U11 E12; 0 U22]: solve X2 first, then eliminate upward.
+        trsm_left_rec(tri, op, diag, t22, b2.rb_mut());
+        let (e, eop) = match op {
+            Op::NoTrans => (t.submatrix(0..h, h..n), Op::NoTrans),
+            _ => (t.submatrix(h..n, 0..h), op),
+        };
+        gemm(-T::ONE, e, eop, b2.rb(), Op::NoTrans, T::ONE, b1.rb_mut());
+        trsm_left_rec(tri, op, diag, t11, b1);
+    }
+}
+
+/// Solve `op(T)·X = α·B` in place (`B` becomes `X`). `T` must be square and
+/// match `B`'s row count. `α == 0` overwrites `B` with zeros (the shared
+/// β-preamble semantics of the GEMM layer).
+pub fn trsm_left<T: Scalar>(
     tri: Tri,
     op: Op,
     diag: Diag,
@@ -153,17 +182,26 @@ pub fn trsm_right<T: Scalar>(
     t: MatRef<'_, T>,
     mut b: MatMut<'_, T>,
 ) {
-    assert_eq!(t.nrows(), t.ncols(), "trsm_right: T square");
-    assert_eq!(t.ncols(), b.ncols(), "trsm_right: dims");
+    assert_eq!(t.nrows(), t.ncols(), "trsm_left: T square");
+    assert_eq!(t.nrows(), b.nrows(), "trsm_left: dims");
+    scale_block(alpha, &mut b);
+    if t.nrows() == 0 || b.ncols() == 0 {
+        return;
+    }
+    trsm_left_rec(tri, op, diag, t, b);
+}
+
+/// Unblocked base case of the right solve: a dependency-ordered sweep over
+/// the columns of `X`.
+fn trsm_right_base<T: Scalar>(
+    tri: Tri,
+    op: Op,
+    diag: Diag,
+    t: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
     let n = b.ncols();
     let m = b.nrows();
-    if alpha != T::ONE {
-        for j in 0..n {
-            for x in b.col_mut(j) {
-                *x *= alpha;
-            }
-        }
-    }
     let conj = op == Op::ConjTrans;
     // u(k, j): element (k, j) of the effective (post-op) matrix U := op(T).
     let u = |k: usize, j: usize| -> T {
@@ -174,11 +212,7 @@ pub fn trsm_right<T: Scalar>(
     };
     // Effective upper triangular ⇒ forward sweep over columns of X;
     // effective lower ⇒ backward sweep.
-    let eff_upper = match (tri, op) {
-        (Tri::Upper, Op::NoTrans) | (Tri::Lower, Op::Trans) | (Tri::Lower, Op::ConjTrans) => true,
-        (Tri::Lower, Op::NoTrans) | (Tri::Upper, Op::Trans) | (Tri::Upper, Op::ConjTrans) => false,
-    };
-    if eff_upper {
+    if !eff_lower(tri, op) {
         for j in 0..n {
             // X[:, j] = (B[:, j] − Σ_{k<j} X[:, k]·u(k, j)) / u(j, j)
             for k in 0..j {
@@ -227,6 +261,57 @@ pub fn trsm_right<T: Scalar>(
             }
         }
     }
+}
+
+fn trsm_right_rec<T: Scalar>(tri: Tri, op: Op, diag: Diag, t: MatRef<'_, T>, b: MatMut<'_, T>) {
+    let n = t.nrows();
+    if n <= TRSM_BLOCK {
+        trsm_right_base(tri, op, diag, t, b);
+        return;
+    }
+    let h = n / 2;
+    let t11 = t.submatrix(0..h, 0..h);
+    let t22 = t.submatrix(h..n, h..n);
+    let (mut b1, mut b2) = b.split_at_col(h);
+    if !eff_lower(tri, op) {
+        // [X1 X2]·[U11 U12; 0 U22] = [B1 B2]: X1·U11 = B1, B2 −= X1·U12.
+        trsm_right_rec(tri, op, diag, t11, b1.rb_mut());
+        let (e, eop) = match op {
+            Op::NoTrans => (t.submatrix(0..h, h..n), Op::NoTrans),
+            _ => (t.submatrix(h..n, 0..h), op),
+        };
+        gemm(-T::ONE, b1.rb(), Op::NoTrans, e, eop, T::ONE, b2.rb_mut());
+        trsm_right_rec(tri, op, diag, t22, b2);
+    } else {
+        // [X1 X2]·[L11 0; L21 L22]: X2·L22 = B2 first, then B1 −= X2·L21.
+        trsm_right_rec(tri, op, diag, t22, b2.rb_mut());
+        let (e, eop) = match op {
+            Op::NoTrans => (t.submatrix(h..n, 0..h), Op::NoTrans),
+            _ => (t.submatrix(0..h, h..n), op),
+        };
+        gemm(-T::ONE, b2.rb(), Op::NoTrans, e, eop, T::ONE, b1.rb_mut());
+        trsm_right_rec(tri, op, diag, t11, b1);
+    }
+}
+
+/// Solve `X·op(T) = α·B` in place (`B` becomes `X`). `T` must be square and
+/// match `B`'s column count. `α == 0` overwrites `B` with zeros (the shared
+/// β-preamble semantics of the GEMM layer).
+pub fn trsm_right<T: Scalar>(
+    tri: Tri,
+    op: Op,
+    diag: Diag,
+    alpha: T,
+    t: MatRef<'_, T>,
+    mut b: MatMut<'_, T>,
+) {
+    assert_eq!(t.nrows(), t.ncols(), "trsm_right: T square");
+    assert_eq!(t.ncols(), b.ncols(), "trsm_right: dims");
+    scale_block(alpha, &mut b);
+    if t.nrows() == 0 || b.nrows() == 0 {
+        return;
+    }
+    trsm_right_rec(tri, op, diag, t, b);
 }
 
 #[cfg(test)]
@@ -280,6 +365,51 @@ mod tests {
                 let mut d = back.clone();
                 d.axpy(-1.0, &b);
                 assert!(d.norm_max() < 1e-10, "{tri:?} {op:?}: {:.3e}", d.norm_max());
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_left_blocked_all_variants() {
+        // Larger than TRSM_BLOCK so the recursive GEMM-coupled path runs.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        for &tri in &[Tri::Lower, Tri::Upper] {
+            for &op in &[Op::NoTrans, Op::Trans] {
+                let t = rand_tri(150, tri, 45);
+                let b = Mat::<f64>::random(150, 17, &mut rng);
+                let mut x = b.clone();
+                trsm_left(tri, op, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut());
+                let back = gemm_into(
+                    op_mat(&t, op).as_ref(),
+                    Op::NoTrans,
+                    x.as_ref(),
+                    Op::NoTrans,
+                );
+                let mut d = back.clone();
+                d.axpy(-1.0, &b);
+                assert!(d.norm_max() < 1e-9, "{tri:?} {op:?}: {:.3e}", d.norm_max());
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_right_blocked_all_variants() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        for &tri in &[Tri::Lower, Tri::Upper] {
+            for &op in &[Op::NoTrans, Op::Trans] {
+                let t = rand_tri(140, tri, 46);
+                let b = Mat::<f64>::random(9, 140, &mut rng);
+                let mut x = b.clone();
+                trsm_right(tri, op, Diag::NonUnit, 1.0, t.as_ref(), x.as_mut());
+                let back = gemm_into(
+                    x.as_ref(),
+                    Op::NoTrans,
+                    op_mat(&t, op).as_ref(),
+                    Op::NoTrans,
+                );
+                let mut d = back;
+                d.axpy(-1.0, &b);
+                assert!(d.norm_max() < 1e-9, "{tri:?} {op:?}: {:.3e}", d.norm_max());
             }
         }
     }

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use csolve_common::{ByteSized, Error, MemCharge, MemTracker, RealScalar, Result, Scalar};
-use csolve_dense::{gemm, partial_ldlt, partial_lu, trsm_left, Diag, Mat, MatMut, Op, Tri};
+use csolve_dense::{gemm, partial_ldlt_nb, partial_lu_nb, trsm_left, Diag, Mat, MatMut, Op, Tri};
 use csolve_lowrank::LowRank;
 
 use crate::formats::Csc;
@@ -46,6 +46,10 @@ pub struct SparseOptions {
     pub blr_eps: Option<f64>,
     /// Memory tracker/budget all large allocations are charged to.
     pub tracker: Option<Arc<MemTracker>>,
+    /// Panel width of the blocked dense partial factorizations applied to
+    /// each front (`0`: the dense layer's default,
+    /// [`csolve_dense::DEFAULT_PANEL_NB`]).
+    pub panel_nb: usize,
 }
 
 impl Default for SparseOptions {
@@ -55,6 +59,7 @@ impl Default for SparseOptions {
             symmetry: Symmetry::SymmetricLdlt,
             blr_eps: None,
             tracker: None,
+            panel_nb: 0,
         }
     }
 }
@@ -352,10 +357,10 @@ fn factorize_impl<T: Scalar>(
         // Partial factorization of the front.
         let ipiv = match opts.symmetry {
             Symmetry::SymmetricLdlt => {
-                partial_ldlt(&mut front, k)?;
+                partial_ldlt_nb(&mut front, k, opts.panel_nb)?;
                 Vec::new()
             }
-            Symmetry::UnsymmetricLu => partial_lu(&mut front, k)?,
+            Symmetry::UnsymmetricLu => partial_lu_nb(&mut front, k, opts.panel_nb)?,
         };
 
         // Contribution block → parent or Schur.

@@ -1,0 +1,253 @@
+//! Property tests of the cache-blocked packed GEMM: for every operand
+//! transposition, scalar type, stride pattern and degenerate shape, `gemm`
+//! must agree with the retained naive reference kernel (`gemm_naive`) — and
+//! its results must be bitwise identical for any rayon thread count.
+
+use csolve_common::{RealScalar, Scalar, C64};
+use csolve_dense::{gemm, gemm_naive, Mat, Op};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn op_of(i: usize) -> Op {
+    match i % 3 {
+        0 => Op::NoTrans,
+        1 => Op::Trans,
+        _ => Op::ConjTrans,
+    }
+}
+
+/// Storage shape of an operand whose `op`-applied shape is `rows × cols`.
+fn stored(op: Op, rows: usize, cols: usize) -> (usize, usize) {
+    match op {
+        Op::NoTrans => (rows, cols),
+        Op::Trans | Op::ConjTrans => (cols, rows),
+    }
+}
+
+/// Max elementwise |gemm − gemm_naive| for one random instance. `pad > 0`
+/// embeds every operand in a larger parent matrix so all views are strided
+/// (column stride ≠ row count).
+#[allow(clippy::too_many_arguments)]
+fn max_err<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    opa: Op,
+    opb: Op,
+    alpha: T,
+    beta: T,
+    pad: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (ar, ac) = stored(opa, m, k);
+    let (br, bc) = stored(opb, k, n);
+    let a = Mat::<T>::random(ar + pad, ac + pad, &mut rng);
+    let b = Mat::<T>::random(br + pad, bc + pad, &mut rng);
+    let c0 = Mat::<T>::random(m + pad, n + pad, &mut rng);
+
+    let av = a.view(pad..pad + ar, 0..ac);
+    let bv = b.view(0..br, pad..pad + bc);
+
+    let mut c_ref = c0.clone();
+    let mut c_new = c0.clone();
+    gemm_naive(
+        alpha,
+        av,
+        opa,
+        bv,
+        opb,
+        beta,
+        c_ref.view_mut(pad..pad + m, 0..n),
+    );
+    gemm(
+        alpha,
+        av,
+        opa,
+        bv,
+        opb,
+        beta,
+        c_new.view_mut(pad..pad + m, 0..n),
+    );
+
+    let mut err = 0.0f64;
+    for j in 0..n {
+        for i in 0..m {
+            let d = c_ref[(pad + i, j)] - c_new[(pad + i, j)];
+            let e = d.abs().to_f64();
+            err = err.max(e);
+        }
+    }
+    err
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn gemm_matches_naive_f64(
+        mnk in (1usize..96, 1usize..96, 1usize..96),
+        ops in (0usize..3, 0usize..3),
+        coeffs in (-2.0f64..2.0, -2.0f64..2.0),
+        ps in (0usize..5, 0u64..1_000),
+    ) {
+        let ((m, n, k), (ia, ib), (alpha, beta), (pad, seed)) = (mnk, ops, coeffs, ps);
+        let err = max_err::<f64>(m, n, k, op_of(ia), op_of(ib), alpha, beta, pad, seed);
+        prop_assert!(err < 1e-11, "f64 err {err:.3e} at m={m} n={n} k={k}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn gemm_matches_naive_c64(
+        mnk in (1usize..72, 1usize..72, 1usize..72),
+        ops in (0usize..3, 0usize..3),
+        reim in (-2.0f64..2.0, -2.0f64..2.0),
+        ps in (0usize..5, 0u64..1_000),
+    ) {
+        let ((m, n, k), (ia, ib), (re, im), (pad, seed)) = (mnk, ops, reim, ps);
+        let alpha = C64::new(re, im);
+        let beta = C64::new(im, -re);
+        let err = max_err::<C64>(m, n, k, op_of(ia), op_of(ib), alpha, beta, pad, seed);
+        prop_assert!(err < 1e-10, "C64 err {err:.3e} at m={m} n={n} k={k}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn gemm_matches_naive_at_blocked_sizes(
+        mnk in (100usize..180, 100usize..180, 100usize..260),
+        ops in (0usize..3, 0usize..3),
+        seed in 0u64..1_000,
+    ) {
+        let ((m, n, k), (ia, ib)) = (mnk, ops);
+        // Large enough that the packed macro-tile path (not the small-size
+        // naive fallback) is exercised for both scalar types.
+        let err = max_err::<f64>(m, n, k, op_of(ia), op_of(ib), 1.5, -0.5, 0, seed);
+        prop_assert!(err < 1e-11, "f64 err {err:.3e} at m={m} n={n} k={k}");
+        let err = max_err::<C64>(
+            m / 2, n / 2, k / 2,
+            op_of(ia), op_of(ib),
+            C64::new(1.0, 0.5), C64::new(-0.5, 0.25),
+            0, seed,
+        );
+        prop_assert!(err < 1e-10, "C64 err {err:.3e} at m={m} n={n} k={k}");
+    }
+}
+
+/// Degenerate shapes: any of m/n/k zero must not touch memory it should not,
+/// and `k == 0` must still apply β (including the β = 0 NaN-clearing rule).
+#[test]
+fn degenerate_dims_match_naive() {
+    for &(m, n, k) in &[(0usize, 7usize, 5usize), (7, 0, 5), (7, 5, 0), (0, 0, 0)] {
+        let err = max_err::<f64>(m, n, k, Op::NoTrans, Op::Trans, 2.0, 0.5, 1, 7);
+        assert_eq!(err, 0.0, "degenerate ({m},{n},{k})");
+    }
+    // k == 0 with β == 0 overwrites: NaN garbage in C must not survive.
+    let a = Mat::<f64>::zeros(4, 0);
+    let b = Mat::<f64>::zeros(0, 3);
+    let mut c = Mat::<f64>::from_fn(4, 3, |_, _| f64::NAN);
+    gemm(
+        1.0,
+        a.as_ref(),
+        Op::NoTrans,
+        b.as_ref(),
+        Op::NoTrans,
+        0.0,
+        c.as_mut(),
+    );
+    for j in 0..3 {
+        for i in 0..4 {
+            assert_eq!(c[(i, j)], 0.0);
+        }
+    }
+}
+
+fn bits<T: Scalar>(c: &Mat<T>) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for j in 0..c.ncols() {
+        for i in 0..c.nrows() {
+            let v = c[(i, j)];
+            out.push((v.real().to_f64().to_bits(), v.imag().to_f64().to_bits()));
+        }
+    }
+    out
+}
+
+fn gemm_bits_at<T: Scalar>(threads: usize, m: usize, n: usize, k: usize) -> Vec<(u64, u64)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let a = Mat::<T>::random(m, k, &mut rng);
+    let b = Mat::<T>::random(k, n, &mut rng);
+    let mut c = Mat::<T>::zeros(m, n);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        gemm(
+            T::ONE,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            T::ZERO,
+            c.as_mut(),
+        )
+    });
+    bits(&c)
+}
+
+/// The macro-tile grid is fixed by shape alone and each tile accumulates its
+/// KC slabs in a fixed order, so the parallel GEMM must be *bitwise*
+/// reproducible across thread counts — well above the parallel flop
+/// threshold here.
+#[test]
+fn gemm_is_bitwise_identical_for_1_2_4_threads() {
+    let (m, n, k) = (300, 280, 150);
+    let ref_f64 = gemm_bits_at::<f64>(1, m, n, k);
+    let ref_c64 = gemm_bits_at::<C64>(1, m, n, k);
+    for threads in [2usize, 4] {
+        assert_eq!(
+            gemm_bits_at::<f64>(threads, m, n, k),
+            ref_f64,
+            "f64 gemm diverged with {threads} threads"
+        );
+        assert_eq!(
+            gemm_bits_at::<C64>(threads, m, n, k),
+            ref_c64,
+            "C64 gemm diverged with {threads} threads"
+        );
+    }
+}
+
+/// Matvec (the single-column GEMM route) is chunking-invariant too.
+#[test]
+fn single_column_gemm_is_bitwise_identical_across_threads() {
+    let (m, k) = (600, 400);
+    let run = |threads: usize| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Mat::<f64>::random(m, k, &mut rng);
+        let b = Mat::<f64>::random(k, 1, &mut rng);
+        let mut c = Mat::<f64>::zeros(m, 1);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            gemm(
+                1.0,
+                a.as_ref(),
+                Op::NoTrans,
+                b.as_ref(),
+                Op::NoTrans,
+                0.0,
+                c.as_mut(),
+            )
+        });
+        bits(&c)
+    };
+    let reference = run(1);
+    assert_eq!(run(2), reference, "2 threads");
+    assert_eq!(run(4), reference, "4 threads");
+}

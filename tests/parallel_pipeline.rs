@@ -156,3 +156,41 @@ fn phase_bytes_are_recorded() {
         assert!(m.bytes_of(phase) > 0, "no bytes recorded for {phase}");
     }
 }
+
+/// Analytic flop counters are derived from problem shapes only, so they
+/// must be exactly equal (not just close) for every thread count. First-use
+/// order can differ under concurrency, hence the sort before comparing.
+#[test]
+fn phase_flops_are_thread_count_invariant() {
+    let p = pipe_problem::<f64>(1_500);
+    let mut spido = cfg(1);
+    spido.dense_backend = DenseBackend::Spido;
+    let sorted_flops = |threads: usize| {
+        let mut c = spido.clone();
+        c.num_threads = threads;
+        let mut f = solve(&p, Algorithm::MultiSolve, &c)
+            .unwrap()
+            .metrics
+            .phase_flops;
+        f.sort();
+        f
+    };
+    let reference = sorted_flops(1);
+    assert!(
+        reference.iter().any(|(n, f)| n == "SpMM" && *f > 0),
+        "no SpMM flops recorded"
+    );
+    assert!(
+        reference
+            .iter()
+            .any(|(n, f)| n == "dense factorization" && *f > 0),
+        "no dense factorization flops recorded"
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(
+            sorted_flops(threads),
+            reference,
+            "flop counts diverged with {threads} threads"
+        );
+    }
+}
