@@ -10,11 +10,22 @@ cargo fmt --all --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo clippy --features fault-inject (hooks must not bit-rot)"
+cargo clippy --workspace --all-targets --offline \
+  --features csolve-integration/fault-inject -- -D warnings
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
-echo "==> cargo test"
-cargo test --workspace --offline -q
+echo "==> cargo test (conformance suite in smoke profile)"
+# The conformance grid runs its reduced sweep under CSOLVE_CONFORMANCE=smoke;
+# unset the variable (or run `cargo test --test conformance`) for the full
+# {algorithm x backend x threads x symmetry x conditioning} matrix.
+CSOLVE_CONFORMANCE=smoke cargo test --workspace --offline -q
+
+echo "==> cargo test --features fault-inject (fault-injection suite)"
+CSOLVE_CONFORMANCE=smoke cargo test -p csolve-integration --offline -q \
+  --features fault-inject
 
 echo "==> kernels_report smoke run"
 # Tiny sizes, one rep; writes target/BENCH_kernels_smoke.json so the

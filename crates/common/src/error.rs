@@ -45,6 +45,22 @@ pub enum Error {
     /// A compression routine failed to reach the requested tolerance within
     /// its rank limit.
     CompressionFailure { wanted_tol: f64, achieved: f64 },
+    /// A non-finite value (NaN or ±∞) was detected in a numeric block.
+    ///
+    /// Surfaced instead of letting the poison propagate into the factors,
+    /// where it would silently corrupt the solution (NaN compares false
+    /// against every pivot threshold).
+    NonFinite {
+        /// A short label of the block being checked (e.g. "Schur panel").
+        context: &'static str,
+    },
+    /// An internal invariant was violated. Always a bug in this library, but
+    /// surfaced as a structured error so pipelines drain cleanly instead of
+    /// poisoning worker threads with a panic.
+    Internal {
+        /// The invariant that failed.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -86,6 +102,12 @@ impl fmt::Display for Error {
                 f,
                 "low-rank compression failed: wanted tolerance {wanted_tol:.3e}, achieved {achieved:.3e}"
             ),
+            Error::NonFinite { context } => {
+                write!(f, "non-finite value (NaN/Inf) detected in {context}")
+            }
+            Error::Internal { context } => {
+                write!(f, "internal invariant violated: {context}")
+            }
         }
     }
 }
@@ -121,5 +143,18 @@ mod tests {
             magnitude: 0.0
         }
         .is_oom());
+    }
+
+    #[test]
+    fn non_finite_and_internal_display() {
+        let e = Error::NonFinite {
+            context: "Schur panel",
+        };
+        assert!(e.to_string().contains("Schur panel"));
+        assert!(!e.is_oom());
+        let e = Error::Internal {
+            context: "accumulator missing",
+        };
+        assert!(e.to_string().contains("accumulator missing"));
     }
 }

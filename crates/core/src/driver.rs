@@ -154,6 +154,12 @@ pub fn solve<T: Scalar>(
     algo: Algorithm,
     cfg: &SolverConfig,
 ) -> Result<Outcome<T>> {
+    if !(cfg.eps.is_finite() && cfg.eps > 0.0) {
+        return Err(Error::InvalidConfig(format!(
+            "eps must be finite and > 0, got {}",
+            cfg.eps
+        )));
+    }
     let threads = effective_threads(cfg);
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
@@ -448,6 +454,8 @@ fn multi_solve<T: Scalar>(
                 c0 = c1;
             }
             timer.add_bytes("SpMM", zpanel.byte_size());
+            #[cfg(feature = "fault-inject")]
+            crate::fault::maybe_poison_panel(&mut zpanel);
             Ok(zpanel)
         };
         let zpanel = match compute() {
@@ -573,6 +581,12 @@ fn multi_factorization<T: Scalar>(
             })?;
             drop(fact_w);
             timer.add_bytes("sparse factorization+Schur", x.byte_size());
+            #[cfg(feature = "fault-inject")]
+            let x = {
+                let mut x = x;
+                crate::fault::maybe_poison_panel(&mut x);
+                x
+            };
             Ok(x)
         };
 
@@ -600,7 +614,15 @@ fn multi_factorization<T: Scalar>(
             }
         };
 
-        let adm = adm.as_mut().expect("admission held");
+        let Some(adm) = adm.as_mut() else {
+            // Unreachable by construction (every loop exit either breaks
+            // with an admission held or returns), but a worker thread must
+            // never panic: drain the pipeline with a structured error.
+            let e = Error::Internal {
+                context: "multi-factorization retry lost its admission",
+            };
+            return fail(sched_r, commit_r, &e);
+        };
         // W is freed; park with only the Schur block reserved.
         if let Err(e) = adm.resize(x.byte_size(), "dense Schur block X_ij") {
             return fail(sched_r, commit_r, &e);

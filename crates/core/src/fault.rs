@@ -1,0 +1,75 @@
+//! Fault-injection hooks for the coupled-solver pipelines (feature
+//! `fault-inject`).
+//!
+//! Compiled only under the `fault-inject` feature. The hooks let the test
+//! harness (`csolve-testkit`) force failure modes at precise pipeline points
+//! — a budget exhaustion at a chosen block admission, a NaN/Inf poisoned
+//! Schur panel — and assert that each surfaces as a structured `Err` with
+//! intact metrics, never a panic or a silently wrong answer. Production
+//! builds carry none of this.
+//!
+//! All switches are process-global atomics: tests that arm them must be
+//! serialized (the testkit's `FaultGuard` holds a global lock for exactly
+//! this reason) and disarmed afterwards.
+
+use std::sync::atomic::{AtomicIsize, AtomicU8, Ordering};
+
+use csolve_common::Scalar;
+use csolve_dense::Mat;
+
+/// Block sequence number whose admission should fail with a synthetic
+/// out-of-memory error. `-1` means "no fault armed"; consumed on trigger.
+static ADMIT_OOM_AT: AtomicIsize = AtomicIsize::new(-1);
+
+/// Panel poison: 0 = disarmed, 1 = NaN, 2 = +∞. Consumed on trigger.
+static PANEL_POISON: AtomicU8 = AtomicU8::new(0);
+
+/// The kind of non-finite value to inject into a Schur panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonKind {
+    /// Inject a quiet NaN.
+    Nan,
+    /// Inject +∞.
+    Inf,
+}
+
+/// Arm a one-shot synthetic out-of-memory failure for the admission of
+/// pipeline block `seq`.
+pub fn arm_admit_oom_at(seq: usize) {
+    ADMIT_OOM_AT.store(seq as isize, Ordering::SeqCst);
+}
+
+/// Arm a one-shot NaN/Inf injection into the next computed Schur panel.
+pub fn arm_panel_poison(kind: PoisonKind) {
+    let v = match kind {
+        PoisonKind::Nan => 1,
+        PoisonKind::Inf => 2,
+    };
+    PANEL_POISON.store(v, Ordering::SeqCst);
+}
+
+/// Disarm all coupled-solver faults.
+pub fn disarm() {
+    ADMIT_OOM_AT.store(-1, Ordering::SeqCst);
+    PANEL_POISON.store(0, Ordering::SeqCst);
+}
+
+/// Consume the admit-OOM fault if it is armed for block `seq`.
+pub(crate) fn take_admit_oom(seq: usize) -> bool {
+    ADMIT_OOM_AT
+        .compare_exchange(seq as isize, -1, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+}
+
+/// If a panel poison is armed, consume it and overwrite the first entry of
+/// `m` with the armed non-finite value.
+pub(crate) fn maybe_poison_panel<T: Scalar>(m: &mut Mat<T>) {
+    if m.nrows() == 0 || m.ncols() == 0 {
+        return;
+    }
+    match PANEL_POISON.swap(0, Ordering::SeqCst) {
+        1 => m[(0, 0)] = T::from_f64(f64::NAN),
+        2 => m[(0, 0)] = T::from_f64(f64::INFINITY),
+        _ => {}
+    }
+}

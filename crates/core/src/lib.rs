@@ -39,6 +39,8 @@
 
 pub mod config;
 pub mod driver;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod pipeline;
 pub mod schur;
 

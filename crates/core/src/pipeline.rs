@@ -104,6 +104,15 @@ impl BudgetScheduler {
     /// reservation cannot fit with no other block in flight (the sequential
     /// algorithm would fail too) or after the scheduler was poisoned.
     pub fn admit(&self, seq: usize, bytes: usize, what: &'static str) -> Result<Admission<'_>> {
+        #[cfg(feature = "fault-inject")]
+        if crate::fault::take_admit_oom(seq) {
+            return Err(Error::OutOfMemory {
+                requested: bytes,
+                live: 0,
+                budget: 0,
+                what,
+            });
+        }
         let mut st = self.state.lock();
         loop {
             if let Some(e) = &st.poisoned {
@@ -233,10 +242,15 @@ impl Admission<'_> {
     /// down to the computed block's actual size once the working set is
     /// freed, so commit-parked blocks hold as little as possible.
     pub fn resize(&mut self, bytes: usize, what: &'static str) -> Result<()> {
-        self.charge
-            .as_mut()
-            .expect("admission charge present")
-            .resize(bytes, what)?;
+        let Some(charge) = self.charge.as_mut() else {
+            // Unreachable by construction (the charge is only cleared on
+            // drop), but a worker thread must never panic: the pipeline
+            // drains on a structured error instead.
+            return Err(Error::Internal {
+                context: "admission charge missing in resize",
+            });
+        };
+        charge.resize(bytes, what)?;
         self.sched.bump();
         Ok(())
     }
@@ -305,7 +319,17 @@ impl<S> OrderedCommit<S> {
         if let Some(e) = &st.error {
             return Err(e.clone());
         }
-        let out = f(st.value.as_mut().expect("accumulator present"));
+        let Some(value) = st.value.as_mut() else {
+            // Unreachable by construction (`into_result` consumes `self`),
+            // but commit runs on worker threads: poison instead of panic.
+            let e = Error::Internal {
+                context: "ordered-commit accumulator missing",
+            };
+            st.error = Some(e.clone());
+            self.cv.notify_all();
+            return Err(e);
+        };
+        let out = f(value);
         st.next += 1;
         if let Err(e) = &out {
             if st.error.is_none() {
@@ -330,9 +354,12 @@ impl<S> OrderedCommit<S> {
     /// error otherwise.
     pub fn into_result(self) -> Result<S> {
         let mut st = self.state.into_inner();
-        match st.error.take() {
-            Some(e) => Err(e),
-            None => Ok(st.value.take().expect("accumulator present")),
+        match (st.error.take(), st.value.take()) {
+            (Some(e), _) => Err(e),
+            (None, Some(v)) => Ok(v),
+            (None, None) => Err(Error::Internal {
+                context: "ordered-commit accumulator missing",
+            }),
         }
     }
 }

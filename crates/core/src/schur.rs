@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use csolve_common::{ByteSized, MemCharge, MemTracker, RealScalar, Result, Scalar};
+use csolve_common::{ByteSized, Error, MemCharge, MemTracker, RealScalar, Result, Scalar};
 use csolve_dense::{ldlt_in_place_nb, lu_in_place_nb, Mat, MatMut, MatRef};
 use csolve_fembem::BemOperator;
 use csolve_hmat::{ClusterTree, HLu, HMatrix, HOptions};
@@ -78,6 +78,13 @@ impl<T: Scalar> SchurAcc<T> {
 
     /// `S[r0.., c0..] += α·panel` — direct write for the dense backend, the
     /// paper's *compressed AXPY* (compress + truncated add) for HMAT.
+    ///
+    /// Zero-sized panels are a no-op. The panel is screened for NaN/Inf
+    /// before it is folded in: a poisoned contribution would otherwise
+    /// corrupt the factorization silently (NaN compares false against every
+    /// pivot threshold), so it surfaces as [`Error::NonFinite`] here, at the
+    /// block where it appeared. `eps` must be finite and positive;
+    /// out-of-range blocks are a [`Error::DimensionMismatch`].
     pub fn axpy_block(
         &mut self,
         alpha: T,
@@ -86,14 +93,35 @@ impl<T: Scalar> SchurAcc<T> {
         panel: MatRef<'_, T>,
         eps: f64,
     ) -> Result<()> {
+        let (pm, pn) = (panel.nrows(), panel.ncols());
+        if pm == 0 || pn == 0 {
+            return Ok(());
+        }
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(Error::InvalidConfig(format!(
+                "axpy_block: eps must be finite and > 0, got {eps}"
+            )));
+        }
+        if panel.has_non_finite() {
+            return Err(Error::NonFinite {
+                context: "Schur block contribution",
+            });
+        }
         match self {
             SchurAcc::Dense { mat, .. } => {
-                let mut dst = mat.view_mut(r0..r0 + panel.nrows(), c0..c0 + panel.ncols());
+                if r0 + pm > mat.nrows() || c0 + pn > mat.ncols() {
+                    return Err(Error::DimensionMismatch {
+                        context: "SchurAcc::axpy_block",
+                        expected: (mat.nrows(), mat.ncols()),
+                        got: (r0 + pm, c0 + pn),
+                    });
+                }
+                let mut dst = mat.view_mut(r0..r0 + pm, c0..c0 + pn);
                 dst.axpy(alpha, panel);
                 Ok(())
             }
             SchurAcc::Hmat { h, charge } => {
-                h.axpy_dense_block(alpha, r0, c0, panel, T::Real::from_f64_real(eps));
+                h.try_axpy_dense_block(alpha, r0, c0, panel, T::Real::from_f64_real(eps))?;
                 charge.resize(h.byte_size(), "compressed Schur/A_ss")
             }
         }
@@ -108,9 +136,16 @@ impl<T: Scalar> SchurAcc<T> {
     }
 
     /// Factor `S` (consuming the accumulator). `panel_nb` is the blocked
-    /// factorization's panel width for the dense backend (`0`: the dense
-    /// layer's default); the compressed backend ignores it.
+    /// factorization's panel width for the dense backend (`0` is *clamped*
+    /// to the dense layer's default, [`csolve_dense::DEFAULT_PANEL_NB`]);
+    /// the compressed backend ignores it. `eps` (the compressed backend's
+    /// recompression tolerance) must be finite and positive.
     pub fn factor(self, symmetric: bool, eps: f64, panel_nb: usize) -> Result<SchurFactor<T>> {
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(Error::InvalidConfig(format!(
+                "SchurAcc::factor: eps must be finite and > 0, got {eps}"
+            )));
+        }
         match self {
             SchurAcc::Dense { mat, charge } => {
                 if symmetric {

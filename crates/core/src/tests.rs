@@ -195,3 +195,213 @@ fn hmat_schur_uses_less_memory_than_dense_schur() {
         dense.metrics.schur_bytes
     );
 }
+
+// ---------------------------------------------------------------------------
+// Golden snapshot: the set of phase names each algorithm emits is part of the
+// reporting contract (EXPERIMENTS.md tables key on them) and must not drift.
+// ---------------------------------------------------------------------------
+
+/// Sorted, deduplicated phase names of one run.
+fn phase_name_set(algo: Algorithm, backend: DenseBackend) -> Vec<String> {
+    let p = pipe_problem::<f64>(800);
+    let out = solve(&p, algo, &cfg(backend)).unwrap();
+    let mut names: Vec<String> = out.metrics.phases.iter().map(|(n, _)| n.clone()).collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+#[test]
+fn phase_names_per_algorithm_are_stable() {
+    let solve_phases = [
+        "Schur assembly",
+        "Schur init (A_ss)",
+        "SpMM",
+        "dense factorization",
+        "dense solve",
+        "sparse factorization",
+        "sparse solve (Y)",
+        "sparse solve (back)",
+        "sparse solve (rhs)",
+    ];
+    let advanced_phases = [
+        "Schur assembly",
+        "Schur init (A_ss)",
+        "assemble W",
+        "coupled solve",
+        "dense factorization",
+        "sparse factorization+Schur",
+    ];
+    let multifact_phases = [
+        "Schur assembly",
+        "Schur init (A_ss)",
+        "assemble W",
+        "dense factorization",
+        "dense solve",
+        "sparse factorization",
+        "sparse factorization+Schur",
+        "sparse solve (back)",
+        "sparse solve (rhs)",
+    ];
+    let golden: [(Algorithm, &[&str]); 4] = [
+        (Algorithm::BaselineCoupling, &solve_phases),
+        (Algorithm::AdvancedCoupling, &advanced_phases),
+        (Algorithm::MultiSolve, &solve_phases),
+        (Algorithm::MultiFactorization, &multifact_phases),
+    ];
+    for (algo, want) in golden {
+        for backend in [DenseBackend::Spido, DenseBackend::Hmat] {
+            let got = phase_name_set(algo, backend);
+            assert_eq!(
+                got,
+                want.to_vec(),
+                "phase-name set of {} / {} drifted",
+                algo.name(),
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_accessors_are_zero_for_unknown_phases() {
+    let p = pipe_problem::<f64>(800);
+    let out = solve(&p, Algorithm::MultiSolve, &cfg(DenseBackend::Spido)).unwrap();
+    let m = &out.metrics;
+    for unknown in ["", "no such phase", "SPMM", "Dense Factorization"] {
+        assert_eq!(m.phase_seconds(unknown), 0.0, "{unknown:?}");
+        assert_eq!(m.bytes_of(unknown), 0, "{unknown:?}");
+        assert_eq!(m.flops_of(unknown), 0, "{unknown:?}");
+    }
+    // And a known phase really is accounted.
+    assert!(m.phases.iter().any(|(n, _)| n == "SpMM"));
+}
+
+// ---------------------------------------------------------------------------
+// SchurAcc negative tests: zero-sized blocks, invalid eps, poisoned panels,
+// out-of-range blocks, and the panel_nb == 0 clamp.
+// ---------------------------------------------------------------------------
+
+mod schur_acc_negative {
+    use csolve_common::{Error, MemTracker};
+    use csolve_dense::{Mat, DEFAULT_PANEL_NB};
+    use csolve_fembem::BemOperator;
+    use csolve_hmat::{ClusterTree, Point3};
+
+    use crate::config::{DenseBackend, SolverConfig};
+    use crate::schur::SchurAcc;
+
+    const N: usize = 24;
+
+    fn acc(backend: DenseBackend) -> SchurAcc<f64> {
+        let points: Vec<Point3> = (0..N)
+            .map(|i| {
+                let t = i as f64 / N as f64 * std::f64::consts::TAU;
+                Point3::new(t.cos(), t.sin(), 0.1 * i as f64)
+            })
+            .collect();
+        let bem = BemOperator::<f64> {
+            points: points.clone(),
+            kappa: 0.0,
+            delta: 0.5,
+            diag: 4.0,
+            scale: 0.1,
+        };
+        let tree = ClusterTree::build(&points, 8);
+        let cfg = SolverConfig {
+            eps: 1e-8,
+            dense_backend: backend,
+            ..Default::default()
+        };
+        SchurAcc::init(&bem, &tree, &cfg, &MemTracker::unbounded()).unwrap()
+    }
+
+    #[test]
+    fn zero_sized_blocks_are_a_no_op() {
+        for backend in [DenseBackend::Spido, DenseBackend::Hmat] {
+            let mut a = acc(backend);
+            let before = a.bytes();
+            let empty_rows = Mat::<f64>::zeros(0, 5);
+            let empty_cols = Mat::<f64>::zeros(5, 0);
+            a.axpy_block(1.0, 0, 0, empty_rows.as_ref(), 1e-8).unwrap();
+            a.axpy_block(1.0, 0, 0, empty_cols.as_ref(), 1e-8).unwrap();
+            // Even with out-of-range offsets: an empty update touches nothing.
+            a.axpy_block(1.0, N + 7, N + 7, empty_rows.as_ref(), 1e-8)
+                .unwrap();
+            assert_eq!(a.bytes(), before);
+        }
+    }
+
+    #[test]
+    fn non_positive_eps_is_rejected_everywhere() {
+        let panel = Mat::<f64>::zeros(4, 4);
+        for backend in [DenseBackend::Spido, DenseBackend::Hmat] {
+            for bad in [0.0, -1e-6, f64::NAN, f64::INFINITY] {
+                let mut a = acc(backend);
+                let err = a.axpy_block(1.0, 0, 0, panel.as_ref(), bad).unwrap_err();
+                assert!(
+                    matches!(err, Error::InvalidConfig(_)),
+                    "axpy_block(eps={bad}): got {err}"
+                );
+                let err = match acc(backend).factor(true, bad, 0) {
+                    Err(e) => e,
+                    Ok(_) => panic!("factor(eps={bad}) unexpectedly succeeded"),
+                };
+                assert!(
+                    matches!(err, Error::InvalidConfig(_)),
+                    "factor(eps={bad}): got {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_panels_are_rejected_with_context() {
+        for backend in [DenseBackend::Spido, DenseBackend::Hmat] {
+            for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                let mut a = acc(backend);
+                let mut panel = Mat::<f64>::zeros(4, 4);
+                panel[(2, 3)] = poison;
+                let err = a.axpy_block(1.0, 0, 0, panel.as_ref(), 1e-8).unwrap_err();
+                assert!(
+                    matches!(err, Error::NonFinite { .. }),
+                    "poison {poison}: got {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_blocks_are_a_dimension_mismatch() {
+        for backend in [DenseBackend::Spido, DenseBackend::Hmat] {
+            let mut a = acc(backend);
+            let panel = Mat::<f64>::zeros(4, 4);
+            let err = a
+                .axpy_block(1.0, N - 2, 0, panel.as_ref(), 1e-8)
+                .unwrap_err();
+            assert!(
+                matches!(err, Error::DimensionMismatch { .. }),
+                "{backend:?}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn panel_nb_zero_clamps_to_the_dense_default() {
+        // Documented behaviour: 0 means "dense layer's default width", so the
+        // factors must be bitwise-identical to an explicit DEFAULT_PANEL_NB.
+        let rhs: Vec<f64> = (0..N).map(|i| (i as f64 * 0.37).sin()).collect();
+        let solve_with = |panel_nb: usize| -> Vec<f64> {
+            let f = acc(DenseBackend::Spido)
+                .factor(true, 1e-8, panel_nb)
+                .unwrap();
+            let mut b = Mat::<f64>::zeros(N, 1);
+            for (i, v) in rhs.iter().enumerate() {
+                b[(i, 0)] = *v;
+            }
+            f.solve_in_place(b.view_mut(0..N, 0..1));
+            (0..N).map(|i| b[(i, 0)]).collect()
+        };
+        assert_eq!(solve_with(0), solve_with(DEFAULT_PANEL_NB));
+    }
+}

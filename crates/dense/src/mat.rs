@@ -177,6 +177,11 @@ impl<T: Scalar> Mat<T> {
             .fold(T::Real::RZERO, |a, b| a.rmax(b))
     }
 
+    /// `true` when any entry is NaN or ±∞.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
     /// `self += alpha * other` (same shape).
     pub fn axpy(&mut self, alpha: T, other: &Mat<T>) {
         assert_eq!(self.nrows, other.nrows);
@@ -310,6 +315,11 @@ impl<'a, T: Scalar> MatRef<'a, T> {
             }
         }
         s.rsqrt_val()
+    }
+
+    /// `true` when any entry is NaN or ±∞.
+    pub fn has_non_finite(&self) -> bool {
+        (0..self.ncols).any(|j| self.col(j).iter().any(|x| !x.is_finite()))
     }
 }
 

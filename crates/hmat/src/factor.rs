@@ -34,6 +34,13 @@ impl<T: Scalar> ByteSized for HLu<T> {
 impl<T: Scalar> HLu<T> {
     /// Factor `h` in place at relative recompression tolerance `eps`.
     pub fn factor(mut h: HMatrix<T>, eps: T::Real) -> Result<Self> {
+        #[cfg(feature = "fault-inject")]
+        if crate::fault::take_factor_failure() {
+            return Err(Error::CompressionFailure {
+                wanted_tol: 0.0,
+                achieved: f64::NAN,
+            });
+        }
         h_lu_rec(&mut h, eps)?;
         Ok(Self { h })
     }

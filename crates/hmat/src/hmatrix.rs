@@ -437,6 +437,120 @@ impl<T: Scalar> HMatrix<T> {
         }
     }
 
+    /// Fallible variant of [`HMatrix::axpy_dense_block`] used by the coupled
+    /// solver's Schur accumulator: identical arithmetic, but compression of
+    /// the panel into low-rank leaves reports a binding rank cap as
+    /// [`csolve_common::Error::CompressionFailure`] instead of silently
+    /// keeping a truncated (inaccurate) approximation, and an AXPY into an
+    /// already-factored leaf is a structured error rather than a panic.
+    pub fn try_axpy_dense_block(
+        &mut self,
+        alpha: T,
+        r0: usize,
+        c0: usize,
+        panel: MatRef<'_, T>,
+        eps: T::Real,
+    ) -> csolve_common::Result<()> {
+        let (pm, pn) = (panel.nrows(), panel.ncols());
+        if pm == 0 || pn == 0 {
+            return Ok(());
+        }
+        if r0 + pm > self.nrows || c0 + pn > self.ncols {
+            return Err(csolve_common::Error::DimensionMismatch {
+                context: "HMatrix::try_axpy_dense_block",
+                expected: (self.nrows, self.ncols),
+                got: (r0 + pm, c0 + pn),
+            });
+        }
+        match &mut self.kind {
+            HKind::Dense(m) => {
+                let mut dst = m.view_mut(r0..r0 + pm, c0..c0 + pn);
+                dst.axpy(alpha, panel);
+                Ok(())
+            }
+            HKind::DenseLu(_) => Err(csolve_common::Error::Internal {
+                context: "compressed AXPY into an already-factored leaf",
+            }),
+            HKind::LowRank(lr) => {
+                let d = panel.to_owned();
+                let tol = eps * d.norm_fro();
+                #[allow(unused_mut)]
+                let mut max_rank = pm.min(pn);
+                #[cfg(feature = "fault-inject")]
+                {
+                    max_rank = max_rank.min(crate::fault::rank_cap());
+                }
+                let sub = LowRank::from_dense_checked(&d, tol, max_rank)?;
+                let mut u = Mat::zeros(self.nrows, sub.rank());
+                let mut v = Mat::zeros(self.ncols, sub.rank());
+                for k in 0..sub.rank() {
+                    u.col_mut(k)[r0..r0 + pm].copy_from_slice(sub.u.col(k));
+                    v.col_mut(k)[c0..c0 + pn].copy_from_slice(sub.v.col(k));
+                }
+                let padded = LowRank::new(u, v);
+                let total = lr.add(alpha, &padded);
+                let tol2 = eps * total.norm_fro();
+                *lr = {
+                    let mut t = total;
+                    t.recompress(tol2);
+                    t
+                };
+                Ok(())
+            }
+            HKind::Hier(_) => {
+                let (rs, cs) = self.splits();
+                let HKind::Hier(ch) = &mut self.kind else {
+                    unreachable!()
+                };
+                let top = r0 < rs;
+                let bot = r0 + pm > rs;
+                let left = c0 < cs;
+                let right = c0 + pn > cs;
+                let rmid = rs.saturating_sub(r0).min(pm);
+                let cmid = cs.saturating_sub(c0).min(pn);
+                let rb = r0.saturating_sub(rs);
+                let cr = c0.saturating_sub(cs);
+                if top && left {
+                    ch[0].try_axpy_dense_block(
+                        alpha,
+                        r0,
+                        c0,
+                        panel.submatrix(0..rmid, 0..cmid),
+                        eps,
+                    )?;
+                }
+                if bot && left {
+                    ch[1].try_axpy_dense_block(
+                        alpha,
+                        rb,
+                        c0,
+                        panel.submatrix(rmid..pm, 0..cmid),
+                        eps,
+                    )?;
+                }
+                if top && right {
+                    ch[2].try_axpy_dense_block(
+                        alpha,
+                        r0,
+                        cr,
+                        panel.submatrix(0..rmid, cmid..pn),
+                        eps,
+                    )?;
+                }
+                if bot && right {
+                    ch[3].try_axpy_dense_block(
+                        alpha,
+                        rb,
+                        cr,
+                        panel.submatrix(rmid..pm, cmid..pn),
+                        eps,
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Compressed AXPY of a low-rank term covering the whole block:
     /// `H += α·L` with recompression at relative tolerance `eps`.
     pub fn axpy_lowrank(&mut self, alpha: T, lr_in: &LowRank<T>, eps: T::Real) {

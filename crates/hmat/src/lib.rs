@@ -21,6 +21,8 @@
 
 pub mod cluster;
 pub mod factor;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod geometry;
 pub mod hmatrix;
 

@@ -4,7 +4,7 @@
 //! transposition of a low-rank matrix is a pure factor swap even in the
 //! complex symmetric setting of the paper.
 
-use csolve_common::{ByteSized, RealScalar, Scalar};
+use csolve_common::{ByteSized, Error, RealScalar, Result, Scalar};
 use csolve_dense::{gemm, gemm_into, Mat, MatMut, MatRef, Op};
 
 use crate::qr::{col_piv_qr, qr_in_place};
@@ -89,6 +89,33 @@ impl<T: Scalar> LowRank<T> {
         let mut lr = Self::new(u, v);
         lr.recompress(tol);
         lr
+    }
+
+    /// Like [`LowRank::from_dense`], but verifies the tolerance was actually
+    /// reached when the rank cap was binding, returning
+    /// [`Error::CompressionFailure`] instead of a silently inaccurate
+    /// approximation. The verification (an explicit residual) only runs when
+    /// the rank-revealing QR stopped at `max_rank` with mass left over, so
+    /// the common uncapped path costs the same as `from_dense`.
+    pub fn from_dense_checked(a: &Mat<T>, tol: T::Real, max_rank: usize) -> Result<Self> {
+        let kfull = a.nrows().min(a.ncols());
+        let f = col_piv_qr(a.clone(), tol * T::Real::from_f64_real(0.5), max_rank);
+        let capped = f.rank == max_rank && max_rank < kfull;
+        let (u, v) = f.factors();
+        let mut lr = Self::new(u, v);
+        lr.recompress(tol);
+        if capped {
+            let mut resid = lr.to_dense();
+            resid.axpy(-T::ONE, a);
+            let achieved = resid.norm_fro();
+            if achieved > tol {
+                return Err(Error::CompressionFailure {
+                    wanted_tol: tol.to_f64(),
+                    achieved: achieved.to_f64(),
+                });
+            }
+        }
+        Ok(lr)
     }
 
     /// Materialize as dense.
@@ -314,6 +341,26 @@ mod tests {
         let mut d = lr.to_dense();
         d.axpy(-1.0, &a);
         assert!(d.norm_fro() < 1e-8 * a.norm_fro());
+    }
+
+    #[test]
+    fn from_dense_checked_reports_rank_overflow() {
+        // Full-rank random matrix: a rank cap of 2 at a tight tolerance
+        // cannot succeed and must surface as a structured error.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let a = Mat::<f64>::random(16, 16, &mut rng);
+        let err = LowRank::from_dense_checked(&a, 1e-12 * a.norm_fro(), 2).unwrap_err();
+        assert!(matches!(
+            err,
+            csolve_common::Error::CompressionFailure { .. }
+        ));
+        // An uncapped call on the same input succeeds.
+        let ok = LowRank::from_dense_checked(&a, 1e-12 * a.norm_fro(), usize::MAX).unwrap();
+        assert!(ok.rank() <= 16);
+        // A genuinely low-rank matrix succeeds even under the cap.
+        let (_, lo) = rand_lowrank(16, 16, 2, 22);
+        let ok = LowRank::from_dense_checked(&lo, 1e-9 * lo.norm_fro(), 4).unwrap();
+        assert!(ok.rank() <= 4);
     }
 
     #[test]

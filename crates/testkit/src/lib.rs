@@ -1,0 +1,34 @@
+//! Test infrastructure for the `csolve` workspace.
+//!
+//! Three layers, stacked (see ARCHITECTURE.md §Testkit):
+//!
+//! 1. [`generator`] — a seeded, fully deterministic generator of coupled
+//!    FEM/BEM-like systems with controllable size, symmetry, conditioning
+//!    (via a prescribed spectrum of `A_vv`), coupling density and BEM kernel
+//!    oscillation. Reproducible from a single `u64` seed; no `rand` anywhere.
+//! 2. [`oracle`] — a dense reference solver: assemble the full 2×2 coupled
+//!    system and eliminate it naively with partial pivoting, plus
+//!    residual / forward-error / component-wise comparison helpers with
+//!    problem-scaled tolerances.
+//! 3. `fault` (feature `fault-inject`; links resolve only when the feature
+//!    is on) — orchestration of the solver crates' fault hooks behind an
+//!    RAII `fault::FaultGuard` that serializes fault tests and guarantees
+//!    disarming.
+//!
+//! The conformance suite (`tests/conformance.rs` at the workspace root)
+//! sweeps {algorithm × backend × threads × symmetry × conditioning} on top
+//! of layers 1–2; the fault suite (`tests/fault_injection.rs`) drives
+//! layer 3.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod oracle;
+pub mod rng;
+
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+
+pub use generator::{generate, ProblemSpec};
+pub use oracle::{oracle_solve, OracleSolution};
+pub use rng::SplitMix64;

@@ -1,0 +1,220 @@
+//! Dense reference oracle: assemble the full 2×2 coupled system and solve it
+//! by naive Gaussian elimination with partial pivoting.
+//!
+//! The oracle deliberately shares *no* code with the solver under test — no
+//! Schur complement, no blocking, no compression — so agreement between the
+//! two is evidence, not tautology. Cost is O((n_v+n_s)³); use it on the
+//! small, seeded problems of the conformance suite.
+
+use csolve_common::{Error, RealScalar, Result, Scalar};
+use csolve_dense::Mat;
+use csolve_fembem::CoupledProblem;
+
+/// Reference solution of the full coupled system.
+#[derive(Debug, Clone)]
+pub struct OracleSolution<T> {
+    /// Volume part.
+    pub xv: Vec<T>,
+    /// Surface part.
+    pub xs: Vec<T>,
+}
+
+/// Assemble the full `(n_v+n_s)²` dense coupled matrix
+/// `[A_vv A_vs; A_sv A_ss]`.
+pub fn assemble_full<T: Scalar>(p: &CoupledProblem<T>) -> Mat<T> {
+    let (nv, ns) = (p.n_fem(), p.n_bem());
+    let n = nv + ns;
+    let mut a = Mat::<T>::zeros(n, n);
+    let dvv = p.a_vv.to_dense();
+    let dvs = p.a_vs.to_dense();
+    let dsv = p.a_sv.to_dense();
+    for j in 0..nv {
+        for i in 0..nv {
+            a[(i, j)] = dvv[(i, j)];
+        }
+        for i in 0..ns {
+            a[(nv + i, j)] = dsv[(i, j)];
+        }
+    }
+    for j in 0..ns {
+        for i in 0..nv {
+            a[(i, nv + j)] = dvs[(i, j)];
+        }
+        for i in 0..ns {
+            a[(nv + i, nv + j)] = p.bem.eval(i, j);
+        }
+    }
+    a
+}
+
+/// Solve the full system by Gaussian elimination with partial pivoting.
+/// Returns [`Error::SingularPivot`] when a pivot column is numerically zero.
+pub fn oracle_solve<T: Scalar>(p: &CoupledProblem<T>) -> Result<OracleSolution<T>> {
+    let (nv, ns) = (p.n_fem(), p.n_bem());
+    let n = nv + ns;
+    let mut a = assemble_full(p);
+    let mut b: Vec<T> = p.b_v.iter().chain(p.b_s.iter()).copied().collect();
+
+    for k in 0..n {
+        // Partial pivot: the largest |entry| in column k at or below row k.
+        let (piv, mag) =
+            (k..n)
+                .map(|i| (i, a[(i, k)].abs().to_f64()))
+                .fold(
+                    (k, -1.0),
+                    |best, cur| if cur.1 > best.1 { cur } else { best },
+                );
+        if mag <= f64::MIN_POSITIVE {
+            return Err(Error::SingularPivot {
+                index: k,
+                magnitude: mag.max(0.0),
+            });
+        }
+        if piv != k {
+            for j in 0..n {
+                let t = a[(k, j)];
+                a[(k, j)] = a[(piv, j)];
+                a[(piv, j)] = t;
+            }
+            b.swap(k, piv);
+        }
+        let inv = a[(k, k)].recip();
+        for i in k + 1..n {
+            let l = a[(i, k)] * inv;
+            if l == T::ZERO {
+                continue;
+            }
+            for j in k + 1..n {
+                let akj = a[(k, j)];
+                a[(i, j)] -= l * akj;
+            }
+            let bk = b[k];
+            b[i] -= l * bk;
+        }
+    }
+    for k in (0..n).rev() {
+        let mut acc = b[k];
+        for j in k + 1..n {
+            acc -= a[(k, j)] * b[j];
+        }
+        b[k] = acc * a[(k, k)].recip();
+    }
+
+    Ok(OracleSolution {
+        xv: b[..nv].to_vec(),
+        xs: b[nv..].to_vec(),
+    })
+}
+
+/// Relative ℓ² error `‖got − want‖₂ / ‖want‖₂` over the concatenation of the
+/// two solution parts.
+pub fn rel_err_l2<T: Scalar>(got_v: &[T], got_s: &[T], want_v: &[T], want_s: &[T]) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (g, w) in got_v.iter().zip(want_v).chain(got_s.iter().zip(want_s)) {
+        num += (*g - *w).abs2().to_f64();
+        den += w.abs2().to_f64();
+    }
+    (num / den.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+/// Component-wise comparison: the largest `|got_i − want_i|` relative to the
+/// max-norm of `want` (a scale-invariant ∞-norm criterion that catches a
+/// single corrupted entry an ℓ² average would dilute).
+pub fn max_componentwise_err<T: Scalar>(got: &[T], want: &[T]) -> f64 {
+    assert_eq!(got.len(), want.len());
+    let scale = want
+        .iter()
+        .map(|w| w.abs().to_f64())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    got.iter()
+        .zip(want)
+        .map(|(g, w)| (*g - *w).abs().to_f64())
+        .fold(0.0, f64::max)
+        / scale
+}
+
+/// Relative residual `‖A·x − b‖₂ / ‖b‖₂` of a candidate solution on the full
+/// coupled system (computed from the sparse blocks and the BEM oracle — the
+/// full matrix is never formed).
+pub fn relative_residual<T: Scalar>(p: &CoupledProblem<T>, xv: &[T], xs: &[T]) -> f64 {
+    let (nv, ns) = (p.n_fem(), p.n_bem());
+    let mut rv = vec![T::ZERO; nv];
+    p.a_vv.matvec(T::ONE, xv, T::ZERO, &mut rv);
+    p.a_vs.matvec(T::ONE, xs, T::ONE, &mut rv);
+    let mut rs = vec![T::ZERO; ns];
+    p.a_sv.matvec(T::ONE, xv, T::ZERO, &mut rs);
+    p.bem.matvec_acc(T::ONE, xs, &mut rs);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (r, b) in rv.iter().zip(&p.b_v).chain(rs.iter().zip(&p.b_s)) {
+        num += (*r - *b).abs2().to_f64();
+        den += b.abs2().to_f64();
+    }
+    (num / den.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+/// Problem-scaled forward-error tolerance for comparing a solver run at
+/// compression tolerance `solver_eps` against the oracle: the achievable
+/// accuracy degrades with both the compression tolerance and the prescribed
+/// conditioning of the sparse block.
+pub fn problem_tol(cond: f64, solver_eps: f64) -> f64 {
+    100.0 * solver_eps.max(f64::EPSILON) * cond.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, ProblemSpec};
+    use csolve_common::C64;
+
+    #[test]
+    fn oracle_recovers_the_manufactured_solution() {
+        let spec = ProblemSpec::new(77);
+        let p = generate::<f64>(&spec);
+        let sol = oracle_solve(&p).unwrap();
+        let err = rel_err_l2(&sol.xv, &sol.xs, &p.x_exact_v, &p.x_exact_s);
+        assert!(err < 1e-9, "oracle forward error {err:.3e}");
+        assert!(relative_residual(&p, &sol.xv, &sol.xs) < 1e-12);
+        assert!(max_componentwise_err(&sol.xs, &p.x_exact_s) < 1e-9);
+    }
+
+    #[test]
+    fn oracle_handles_complex_unsymmetric_and_ill_conditioned() {
+        let spec = ProblemSpec {
+            symmetric: false,
+            cond: 1e4,
+            kappa: 1.5,
+            ..ProblemSpec::new(78)
+        };
+        let p = generate::<C64>(&spec);
+        let sol = oracle_solve(&p).unwrap();
+        let err = rel_err_l2(&sol.xv, &sol.xs, &p.x_exact_v, &p.x_exact_s);
+        // Forward error amplified by cond(A_vv) = 1e4 at f64 precision.
+        assert!(err < 1e-9, "oracle forward error {err:.3e}");
+    }
+
+    #[test]
+    fn singular_system_is_a_structured_error() {
+        let spec = ProblemSpec::new(79);
+        let mut p = generate::<f64>(&spec);
+        // Zero out one volume row/column entirely (keep symmetry): the full
+        // matrix becomes singular except for the coupling entries — remove
+        // those too by zeroing the row of a_vs and column of a_sv.
+        let nv = p.n_fem();
+        let kill = |m: &mut csolve_sparse::Csc<f64>, row: usize, col: usize| {
+            for v in 0..m.ncols {
+                for q in m.colptr[v]..m.colptr[v + 1] {
+                    if m.rowidx[q] == row || v == col {
+                        m.values[q] = 0.0;
+                    }
+                }
+            }
+        };
+        kill(&mut p.a_vv, nv - 1, nv - 1);
+        kill(&mut p.a_vs, nv - 1, usize::MAX);
+        kill(&mut p.a_sv, usize::MAX, nv - 1);
+        let err = oracle_solve(&p).unwrap_err();
+        assert!(matches!(err, Error::SingularPivot { .. }), "got {err:?}");
+    }
+}

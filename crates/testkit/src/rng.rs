@@ -1,0 +1,93 @@
+//! A tiny deterministic PRNG for the problem generator.
+//!
+//! SplitMix64 (Steele, Lea & Flood, "Fast splittable pseudorandom number
+//! generators"): one 64-bit state word, full period, excellent avalanche —
+//! and no dependency on the `rand` crate, so generated problems are
+//! bit-reproducible from a single `u64` seed forever, independent of any
+//! library version.
+
+/// SplitMix64 generator state.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        2.0 * self.next_f64() - 1.0
+    }
+
+    /// Uniform integer in `[0, n)` (`n > 0`).
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Modulo bias is ~n/2^64 — irrelevant for test-problem generation.
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle of `xs`.
+    pub fn shuffle<X>(&mut self, xs: &mut [X]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn floats_in_range_and_shuffle_is_permutation() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let u = r.next_unit();
+            assert!((-1.0..1.0).contains(&u));
+        }
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,189 @@
+//! Conformance suite: every blockwise algorithm × dense backend × thread
+//! count agrees with the dense reference oracle on seeded generated problems,
+//! and results are bitwise-identical across thread counts.
+//!
+//! The sweep covers {MultiSolve, MultiFactorization} × {Spido, Hmat} ×
+//! {1, 2, 4 threads} × {symmetric f64, unsymmetric C64} × {well-conditioned,
+//! ill-conditioned}. Every assertion message carries the cell's generator
+//! seed: to reproduce a failure in isolation, build the same `ProblemSpec`
+//! from that seed (see EXPERIMENTS.md §Reproducing a conformance failure).
+//!
+//! Setting `CSOLVE_CONFORMANCE=smoke` (as ci.sh does) trims the sweep to the
+//! symmetric well-conditioned column at 1–2 threads; the full grid runs by
+//! default.
+
+use csolve_common::{Scalar, C64};
+use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
+use csolve_testkit::oracle::{problem_tol, rel_err_l2, relative_residual, OracleSolution};
+use csolve_testkit::{generate, oracle_solve, ProblemSpec};
+
+const EPS: f64 = 1e-10;
+const WELL_COND: f64 = 10.0;
+const ILL_COND: f64 = 1e4;
+
+fn smoke() -> bool {
+    std::env::var("CSOLVE_CONFORMANCE").as_deref() == Ok("smoke")
+}
+
+fn thread_counts() -> &'static [usize] {
+    if smoke() {
+        &[1, 2]
+    } else {
+        &[1, 2, 4]
+    }
+}
+
+fn config(backend: DenseBackend, threads: usize) -> SolverConfig {
+    SolverConfig {
+        eps: EPS,
+        dense_backend: backend,
+        // Small panels/blocks so the 160+72 problem genuinely exercises the
+        // blockwise pipelines (several panels, several Schur blocks).
+        n_c: 24,
+        n_s: 48,
+        n_b: 3,
+        num_threads: threads,
+        ..Default::default()
+    }
+}
+
+const GRID: [(Algorithm, DenseBackend); 4] = [
+    (Algorithm::MultiSolve, DenseBackend::Spido),
+    (Algorithm::MultiSolve, DenseBackend::Hmat),
+    (Algorithm::MultiFactorization, DenseBackend::Spido),
+    (Algorithm::MultiFactorization, DenseBackend::Hmat),
+];
+
+/// Run the full {algorithm × backend × threads} grid on one generated
+/// problem and check every cell against the oracle and against the
+/// single-thread run of the same cell (bitwise).
+fn check_grid<T: Scalar>(spec: &ProblemSpec, label: &str) {
+    let p = generate::<T>(spec);
+    let reference: OracleSolution<T> = oracle_solve(&p)
+        .unwrap_or_else(|e| panic!("[seed {}] {label}: oracle failed: {e}", spec.seed));
+    let oracle_err = rel_err_l2(&reference.xv, &reference.xs, &p.x_exact_v, &p.x_exact_s);
+    let tol = problem_tol(spec.cond, EPS).max(100.0 * oracle_err);
+
+    for (algo, backend) in GRID {
+        let mut baseline: Option<(Vec<T>, Vec<T>)> = None;
+        for &threads in thread_counts() {
+            let cell = format!(
+                "[seed {}] {label} / {} / {} / {threads} thr",
+                spec.seed,
+                algo.name(),
+                backend.name()
+            );
+            let out = solve(&p, algo, &config(backend, threads))
+                .unwrap_or_else(|e| panic!("{cell}: solve failed: {e}"));
+
+            let err = rel_err_l2(&out.xv, &out.xs, &reference.xv, &reference.xs);
+            assert!(
+                err < tol,
+                "{cell}: forward error vs oracle {err:.3e} exceeds tol {tol:.3e}"
+            );
+            let resid = relative_residual(&p, &out.xv, &out.xs);
+            assert!(
+                resid < tol,
+                "{cell}: relative residual {resid:.3e} exceeds tol {tol:.3e}"
+            );
+            assert_eq!(
+                out.metrics.threads, threads,
+                "{cell}: metrics report wrong thread count"
+            );
+
+            match &baseline {
+                None => baseline = Some((out.xv, out.xs)),
+                Some((xv1, xs1)) => {
+                    assert!(
+                        *xv1 == out.xv && *xs1 == out.xs,
+                        "{cell}: result is not bitwise-identical to the \
+                         single-thread run of the same cell"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn symmetric_well_conditioned_real() {
+    let spec = ProblemSpec {
+        cond: WELL_COND,
+        ..ProblemSpec::new(0xC0F_001)
+    };
+    check_grid::<f64>(&spec, "sym/well/f64");
+}
+
+#[test]
+fn symmetric_ill_conditioned_real() {
+    if smoke() {
+        return;
+    }
+    let spec = ProblemSpec {
+        cond: ILL_COND,
+        ..ProblemSpec::new(0xC0F_002)
+    };
+    check_grid::<f64>(&spec, "sym/ill/f64");
+}
+
+#[test]
+fn unsymmetric_well_conditioned_complex() {
+    if smoke() {
+        return;
+    }
+    let spec = ProblemSpec {
+        symmetric: false,
+        cond: WELL_COND,
+        kappa: 1.2,
+        ..ProblemSpec::new(0xC0F_003)
+    };
+    check_grid::<C64>(&spec, "unsym/well/C64");
+}
+
+#[test]
+fn unsymmetric_ill_conditioned_complex() {
+    if smoke() {
+        return;
+    }
+    let spec = ProblemSpec {
+        symmetric: false,
+        cond: ILL_COND,
+        kappa: 1.2,
+        ..ProblemSpec::new(0xC0F_004)
+    };
+    check_grid::<C64>(&spec, "unsym/ill/C64");
+}
+
+/// The baseline (non-blockwise) algorithms are not part of the paper's
+/// conformance grid but must agree with the oracle too — they are the
+/// yardstick every speedup in EXPERIMENTS.md is measured against.
+#[test]
+fn baselines_agree_with_the_oracle() {
+    let spec = ProblemSpec {
+        cond: WELL_COND,
+        ..ProblemSpec::new(0xC0F_005)
+    };
+    let p = generate::<f64>(&spec);
+    let reference = oracle_solve(&p).unwrap();
+    let tol = problem_tol(spec.cond, EPS);
+    for algo in [Algorithm::BaselineCoupling, Algorithm::AdvancedCoupling] {
+        for backend in [DenseBackend::Spido, DenseBackend::Hmat] {
+            let out = solve(&p, algo, &config(backend, 2)).unwrap_or_else(|e| {
+                panic!(
+                    "[seed {}] {} / {}: solve failed: {e}",
+                    spec.seed,
+                    algo.name(),
+                    backend.name()
+                )
+            });
+            let err = rel_err_l2(&out.xv, &out.xs, &reference.xv, &reference.xs);
+            assert!(
+                err < tol,
+                "[seed {}] {} / {}: forward error {err:.3e} exceeds {tol:.3e}",
+                spec.seed,
+                algo.name(),
+                backend.name()
+            );
+        }
+    }
+}

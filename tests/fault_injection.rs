@@ -1,0 +1,164 @@
+//! Fault-injection suite (requires `--features fault-inject`).
+//!
+//! Every injected failure — budget exhaustion at a chosen pipeline step, a
+//! NaN/Inf entering a Schur block, a forced rank overflow in compression, a
+//! failed hierarchical factorization — must surface as a structured `Err`,
+//! never as a panic, a hang, or a silently wrong answer; and the process
+//! must stay healthy: the same solve re-run clean immediately afterwards
+//! succeeds with intact metrics. These paths are exactly the pipeline
+//! error-drain code that used to hold `expect()` calls, so this file is also
+//! the regression suite for their replacement with structured errors.
+
+use csolve_common::Error;
+use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
+use csolve_testkit::fault::{FaultGuard, PoisonKind};
+use csolve_testkit::{generate, ProblemSpec};
+
+const SEED: u64 = 0xFA_017;
+
+fn spec() -> ProblemSpec {
+    ProblemSpec::new(SEED)
+}
+
+fn config(backend: DenseBackend) -> SolverConfig {
+    SolverConfig {
+        eps: 1e-8,
+        dense_backend: backend,
+        // Several panels / Schur blocks, several workers: faults land in a
+        // genuinely concurrent pipeline with other blocks in flight.
+        n_c: 24,
+        n_s: 48,
+        n_b: 3,
+        num_threads: 4,
+        ..Default::default()
+    }
+}
+
+/// After a fault, the very same solve must succeed cleanly — no armed hook
+/// left behind, no corrupted process-global state — with metrics intact.
+fn assert_clean_resolve(
+    p: &csolve_fembem::CoupledProblem<f64>,
+    algo: Algorithm,
+    backend: DenseBackend,
+) {
+    let out = solve(p, algo, &config(backend))
+        .unwrap_or_else(|e| panic!("[seed {SEED}] clean re-solve after fault failed: {e}"));
+    assert!(out.metrics.total_seconds > 0.0);
+    assert!(out.metrics.peak_bytes > 0);
+    assert_eq!(out.metrics.threads, 4);
+    assert!(p.relative_error(&out.xv, &out.xs) < 1e-6);
+}
+
+#[test]
+fn budget_exhaustion_at_each_pipeline_step_is_a_structured_oom() {
+    let p = generate::<f64>(&spec());
+    let guard = FaultGuard::acquire();
+    for algo in [Algorithm::MultiSolve, Algorithm::MultiFactorization] {
+        // Step 0 fails before any block commits; a later step fails with
+        // other blocks in flight, exercising the scheduler/commit drain
+        // (the former `expect()` sites in pipeline.rs and driver.rs).
+        for step in [0usize, 2] {
+            guard.admit_oom_at(step);
+            let err = solve(&p, algo, &config(DenseBackend::Spido)).unwrap_err();
+            assert!(
+                err.is_oom(),
+                "[seed {SEED}] {} step {step}: expected OOM, got {err}",
+                algo.name()
+            );
+        }
+        guard.disarm();
+        assert_clean_resolve(&p, algo, DenseBackend::Spido);
+    }
+}
+
+#[test]
+fn nan_in_a_schur_panel_is_rejected_not_propagated() {
+    let p = generate::<f64>(&spec());
+    let guard = FaultGuard::acquire();
+    for algo in [Algorithm::MultiSolve, Algorithm::MultiFactorization] {
+        for kind in [PoisonKind::Nan, PoisonKind::Inf] {
+            guard.poison_panel(kind);
+            let err = solve(&p, algo, &config(DenseBackend::Spido)).unwrap_err();
+            assert!(
+                matches!(err, Error::NonFinite { .. }),
+                "[seed {SEED}] {} {kind:?}: expected NonFinite, got {err}",
+                algo.name()
+            );
+        }
+        guard.disarm();
+        assert_clean_resolve(&p, algo, DenseBackend::Spido);
+    }
+}
+
+#[test]
+fn nan_is_caught_by_the_compressed_backend_too() {
+    let p = generate::<f64>(&spec());
+    let guard = FaultGuard::acquire();
+    guard.poison_panel(PoisonKind::Nan);
+    let err = solve(&p, Algorithm::MultiSolve, &config(DenseBackend::Hmat)).unwrap_err();
+    assert!(
+        matches!(err, Error::NonFinite { .. }),
+        "[seed {SEED}] expected NonFinite, got {err}"
+    );
+    guard.disarm();
+    assert_clean_resolve(&p, Algorithm::MultiSolve, DenseBackend::Hmat);
+}
+
+#[test]
+fn forced_rank_overflow_is_a_compression_failure() {
+    // Oscillatory kernel and small leaves: the compressed Schur assembly has
+    // admissible (low-rank) blocks whose numerical rank at eps exceeds 1.
+    let spec = ProblemSpec {
+        n_bem: 96,
+        kappa: 1.5,
+        ..spec()
+    };
+    let p = generate::<f64>(&spec);
+    let cfg = SolverConfig {
+        hmat_leaf: 8,
+        ..config(DenseBackend::Hmat)
+    };
+    let guard = FaultGuard::acquire();
+    guard.rank_cap(1);
+    let err = solve(&p, Algorithm::MultiSolve, &cfg).unwrap_err();
+    assert!(
+        matches!(err, Error::CompressionFailure { .. }),
+        "[seed {}] expected CompressionFailure, got {err}",
+        spec.seed
+    );
+    guard.disarm();
+    let out = solve(&p, Algorithm::MultiSolve, &cfg)
+        .unwrap_or_else(|e| panic!("[seed {}] clean re-solve failed: {e}", spec.seed));
+    assert!(p.relative_error(&out.xv, &out.xs) < 1e-6);
+}
+
+#[test]
+fn failed_hierarchical_factorization_surfaces_as_err() {
+    let p = generate::<f64>(&spec());
+    let guard = FaultGuard::acquire();
+    guard.hlu_factor_failure();
+    let err = solve(&p, Algorithm::MultiSolve, &config(DenseBackend::Hmat)).unwrap_err();
+    assert!(
+        matches!(err, Error::CompressionFailure { .. }),
+        "[seed {SEED}] expected CompressionFailure, got {err}"
+    );
+    drop(guard);
+    // The guard's Drop disarmed everything; a fresh solve works.
+    assert_clean_resolve(&p, Algorithm::MultiSolve, DenseBackend::Hmat);
+}
+
+#[test]
+fn faults_never_leave_an_armed_hook_behind() {
+    let p = generate::<f64>(&spec());
+    {
+        let guard = FaultGuard::acquire();
+        guard.admit_oom_at(0);
+        guard.poison_panel(PoisonKind::Inf);
+        guard.rank_cap(1);
+        guard.hlu_factor_failure();
+        // Guard dropped with everything still armed.
+    }
+    let _guard = FaultGuard::acquire();
+    assert_clean_resolve(&p, Algorithm::MultiSolve, DenseBackend::Hmat);
+    assert_clean_resolve(&p, Algorithm::MultiFactorization, DenseBackend::Spido);
+}
