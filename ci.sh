@@ -12,7 +12,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> cargo clippy --features fault-inject (hooks must not bit-rot)"
 cargo clippy --workspace --all-targets --offline \
-  --features csolve-integration/fault-inject -- -D warnings
+  --features csolve/fault-inject -- -D warnings
 
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
@@ -24,12 +24,26 @@ echo "==> cargo test (conformance suite in smoke profile)"
 CSOLVE_CONFORMANCE=smoke cargo test --workspace --offline -q
 
 echo "==> cargo test --features fault-inject (fault-injection suite)"
-CSOLVE_CONFORMANCE=smoke cargo test -p csolve-integration --offline -q \
+CSOLVE_CONFORMANCE=smoke cargo test -p csolve --offline -q \
   --features fault-inject
+
+echo "==> csolve façade builds with --no-default-features"
+cargo build --offline -p csolve --no-default-features
 
 echo "==> kernels_report smoke run"
 # Tiny sizes, one rep; writes target/BENCH_kernels_smoke.json so the
 # committed BENCH_kernels.json is never clobbered by CI.
 cargo run --release --offline -q --bin kernels_report -- --smoke > /dev/null
+
+echo "==> trace smoke run"
+# Quickstart through the façade with tracing on (writes + re-parses the
+# JSONL trace and the run report), then the dedicated smoke binary:
+# golden phase names, identical span sequence at 1/2/4 threads, and the
+# <2% tracing-overhead budget.
+CSOLVE_QUICKSTART_N=2000 CSOLVE_TRACE_OUT=target/ci_quickstart \
+  cargo run --release --offline -q -p csolve --example quickstart > /dev/null
+test -s target/ci_quickstart.trace.jsonl
+test -s target/ci_quickstart.report.json
+cargo run --release --offline -q -p csolve-bench --bin trace_smoke
 
 echo "CI OK"

@@ -4,8 +4,7 @@
 //! binaries).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
-use csolve_fembem::pipe_problem;
+use csolve::{pipe_problem, solve, Algorithm, DenseBackend, SolverConfig};
 use std::hint::black_box;
 
 fn bench_algorithms(c: &mut Criterion) {

@@ -4,10 +4,10 @@
 //! stand-in) and the Schur complement building block.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use csolve_dense::{gemm, ldlt_in_place, lu_in_place, Mat, Op};
-use csolve_hmat::{ClusterTree, HLu, HMatrix, HOptions, Point3};
-use csolve_lowrank::{aca_plus, LowRank};
-use csolve_sparse::{factorize, factorize_schur, Coo, SparseOptions};
+use csolve::dense::{gemm, ldlt_in_place, lu_in_place, Mat, Op};
+use csolve::hmat::{ClusterTree, HLu, HMatrix, HOptions, Point3};
+use csolve::lowrank::{aca_plus, LowRank};
+use csolve::sparse::{factorize, factorize_schur, Coo, SparseOptions};
 use rand::SeedableRng;
 use std::hint::black_box;
 
@@ -136,7 +136,7 @@ fn bench_hmat(c: &mut Criterion) {
     g.finish();
 }
 
-fn grid3d(nx: usize, ny: usize, nz: usize) -> csolve_sparse::Csc<f64> {
+fn grid3d(nx: usize, ny: usize, nz: usize) -> csolve::sparse::Csc<f64> {
     let id = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
     let n = nx * ny * nz;
     let mut coo = Coo::new(n, n);

@@ -2,9 +2,8 @@
 //! method/backend series at a few sizes, to pick the budget for the
 //! capacity experiments on a new machine.
 
+use csolve::{pipe_problem, SolverConfig};
 use csolve_bench::{attempt, fig10_variants};
-use csolve_coupled::SolverConfig;
-use csolve_fembem::pipe_problem;
 fn main() {
     for n in [16_000usize, 32_000, 64_000] {
         let p = pipe_problem::<f64>(n);

@@ -15,9 +15,8 @@
 //!
 //! CLI: `--budget-mib 256 --eps 1e-4 --max-n 64000 --large --threads 0` (0 = all cores)
 
+use csolve::{pipe_problem, Algorithm, SolverConfig};
 use csolve_bench::{attempt, fig10_variants, header, Args, Attempt, RunResult, Variant};
-use csolve_coupled::{Algorithm, SolverConfig};
-use csolve_fembem::pipe_problem;
 
 /// The per-method configuration ladder (the paper evaluates several
 /// configurations per algorithm and reports the best): memory-frugal
@@ -57,7 +56,7 @@ fn configs_for(v: &Variant, budget: usize, eps: f64, threads: usize) -> Vec<Solv
 
 /// Best successful attempt across the configuration ladder.
 fn best_attempt(
-    problem: &csolve_fembem::CoupledProblem<f64>,
+    problem: &csolve::CoupledProblem<f64>,
     v: &Variant,
     budget: usize,
     eps: f64,

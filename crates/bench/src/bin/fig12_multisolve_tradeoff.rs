@@ -12,9 +12,8 @@
 //!
 //! CLI: `--n 12000 --eps 1e-4 --threads 0` (0 = all cores)
 
+use csolve::{pipe_problem, Algorithm, DenseBackend, SolverConfig};
 use csolve_bench::{attempt, header, Args};
-use csolve_coupled::{Algorithm, DenseBackend, SolverConfig};
-use csolve_fembem::pipe_problem;
 
 fn main() {
     let args = Args::parse();
@@ -77,7 +76,7 @@ fn main() {
 }
 
 fn run_hmat(
-    problem: &csolve_fembem::CoupledProblem<f64>,
+    problem: &csolve::CoupledProblem<f64>,
     eps: f64,
     n_c: usize,
     n_s: usize,

@@ -8,9 +8,8 @@
 //!
 //! CLI: `--n 8000 --eps 1e-4 --threads 0` (0 = all cores)
 
+use csolve::{pipe_problem, Algorithm, DenseBackend, SolverConfig};
 use csolve_bench::{attempt, header, Args};
-use csolve_coupled::{Algorithm, DenseBackend, SolverConfig};
-use csolve_fembem::pipe_problem;
 
 fn main() {
     let args = Args::parse();

@@ -9,11 +9,12 @@
 //! - `--out path.json`     — where to write the JSON dump
 //! - `--smoke`             — tiny sizes, one repetition (CI health check)
 
-use csolve_bench::Args;
-use csolve_common::{Scalar, Stopwatch, C64};
-use csolve_dense::{
+use csolve::common::Stopwatch;
+use csolve::dense::{
     gemm, gemm_naive, ldlt_in_place_nb, lu_in_place_nb, trsm_left, Diag, Mat, Op, Tri,
 };
+use csolve::{Scalar, C64};
+use csolve_bench::Args;
 use rand::SeedableRng;
 
 /// One measured (kernel, scalar, size, variant) cell.

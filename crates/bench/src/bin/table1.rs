@@ -5,8 +5,8 @@
 //! regenerates the table at the paper's sizes and prints the scaled-down
 //! sizes used by the other experiment binaries on this machine.
 
+use csolve::fembem::{bem_fem_split, PipeDims};
 use csolve_bench::header;
-use csolve_fembem::{bem_fem_split, PipeDims};
 
 fn main() {
     header(

@@ -19,10 +19,8 @@
 //!
 //! CLI: `--n 8000 --eps 1e-4 --budget-mib 215 --threads 0` (0 = all cores)
 
+use csolve::{industrial_problem, Algorithm, DenseBackend, SolverConfig, C64};
 use csolve_bench::{attempt, header, Args, Attempt};
-use csolve_common::C64;
-use csolve_coupled::{Algorithm, DenseBackend, SolverConfig};
-use csolve_fembem::industrial_problem;
 
 struct Row {
     label: &'static str,

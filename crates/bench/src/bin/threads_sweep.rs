@@ -19,9 +19,8 @@
 //!
 //! CLI: `--n 8000 --eps 1e-4 --max-threads 4 --budget-mib 0`
 
+use csolve::{pipe_problem, solve, Algorithm, DenseBackend, SolverConfig};
 use csolve_bench::{header, mib, phase_report, Args};
-use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
-use csolve_fembem::pipe_problem;
 
 fn main() {
     let args = Args::parse();

@@ -1,0 +1,167 @@
+//! Trace smoke check (run by ci.sh): tracing must be cheap, deterministic,
+//! and machine-readable.
+//!
+//! Verifies, on a small coupled solve:
+//!   1. the JSONL trace and the run report parse back with the workspace's
+//!      own JSON parser, with the golden phase names present;
+//!   2. the canonical (scope, kind) span sequence is identical at 1, 2 and
+//!      4 threads (diffable traces);
+//!   3. tracing disabled costs < 2% wall clock vs. a build with no tracer
+//!      (interleaved best-of-5 on both sides; `--slack <pct>` widens the
+//!      bound for noisy machines).
+//!
+//! Flags: `--n <unknowns>` (default 8000), `--slack <pct>` (default 2.0),
+//! `--out <prefix>` (default `target/trace_smoke`).
+
+use csolve::json::{parse_json, parse_jsonl};
+use csolve::{
+    pipe_problem, solve, to_jsonl, Algorithm, DenseBackend, RunReport, SolverConfig, TraceRecord,
+    TraceScope, Tracer,
+};
+use csolve_bench::Args;
+
+fn config(tracer: Tracer, threads: usize) -> SolverConfig {
+    SolverConfig::builder()
+        .eps(1e-4)
+        .dense_backend(DenseBackend::Hmat)
+        .sparse_compression(true)
+        .n_c(64)
+        .n_s(256)
+        .num_threads(threads)
+        .tracer(tracer)
+        .build()
+        .expect("smoke config must validate")
+}
+
+fn signature(records: &[TraceRecord]) -> Vec<(TraceScope, &'static str)> {
+    records
+        .iter()
+        .filter(|r| !matches!(r.payload.kind_name(), "budget_degrade" | "poisoned"))
+        .map(|r| (r.scope, r.payload.kind_name()))
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("n", 8_000);
+    let slack = args.get_f64("slack", 2.0);
+    let prefix = args
+        .get_str("out")
+        .unwrap_or("target/trace_smoke")
+        .to_string();
+
+    let problem = pipe_problem::<f64>(n);
+    println!(
+        "trace smoke: N = {} ({} FEM + {} BEM)",
+        problem.n_total(),
+        problem.n_fem(),
+        problem.n_bem()
+    );
+
+    // --- 1. Capture a trace, write it, parse it back. --------------------
+    let tracer = Tracer::enabled();
+    let out = solve(&problem, Algorithm::MultiSolve, &config(tracer.clone(), 2))
+        .expect("traced solve failed");
+    let records = tracer.drain();
+    assert!(!records.is_empty(), "enabled tracer recorded nothing");
+
+    let trace_text = to_jsonl(&records);
+    let docs = parse_jsonl(&trace_text).expect("trace JSONL must parse back");
+    assert_eq!(
+        docs.len(),
+        records.len() + 1,
+        "header + one line per record"
+    );
+    assert_eq!(
+        docs[0].get("type").and_then(|v| v.as_str()),
+        Some("csolve_trace"),
+        "bad trace header"
+    );
+
+    let report = RunReport::from_parts(
+        Algorithm::MultiSolve,
+        DenseBackend::Hmat,
+        &out.metrics,
+        &records,
+    );
+    let report_text = report.to_json();
+    let doc = parse_json(&report_text).expect("run report must parse back");
+    for phase in [
+        "sparse factorization",
+        "sparse solve (Y)",
+        "SpMM",
+        "Schur assembly",
+        "dense factorization",
+    ] {
+        let found = doc
+            .get("phases")
+            .and_then(|v| v.as_array())
+            .map(|ps| {
+                ps.iter()
+                    .any(|p| p.get("name").and_then(|v| v.as_str()) == Some(phase))
+            })
+            .unwrap_or(false);
+        assert!(found, "golden phase {phase:?} missing from run report");
+    }
+
+    let trace_path = format!("{prefix}.trace.jsonl");
+    let report_path = format!("{prefix}.report.json");
+    std::fs::write(&trace_path, &trace_text).expect("write trace");
+    std::fs::write(&report_path, &report_text).expect("write report");
+    println!(
+        "  [ok] {} records -> {trace_path}, report -> {report_path}",
+        records.len()
+    );
+
+    // --- 2. Determinism across thread counts. ----------------------------
+    let mut first: Option<Vec<(TraceScope, &'static str)>> = None;
+    for threads in [1, 2, 4] {
+        let t = Tracer::enabled();
+        solve(&problem, Algorithm::MultiSolve, &config(t.clone(), threads))
+            .expect("determinism solve failed");
+        let sig = signature(&t.drain());
+        match &first {
+            None => first = Some(sig),
+            Some(s) => assert_eq!(
+                *s, sig,
+                "span sequence differs between 1 and {threads} threads"
+            ),
+        }
+    }
+    println!(
+        "  [ok] span sequence identical at 1/2/4 threads ({} spans/events)",
+        first.as_ref().map_or(0, Vec::len)
+    );
+
+    // --- 3. Disabled-tracing overhead. -----------------------------------
+    let timed = |tracer_on: bool| -> f64 {
+        let t = if tracer_on {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let t0 = std::time::Instant::now();
+        solve(&problem, Algorithm::MultiSolve, &config(t, 2)).expect("overhead solve failed");
+        t0.elapsed().as_secs_f64()
+    };
+    // Warm-up once so neither side pays first-touch costs, then interleave
+    // the two sides (best of 5 each) so machine drift hits both equally.
+    let _ = timed(false);
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        off = off.min(timed(false));
+        on = on.min(timed(true));
+    }
+    // Enabled tracing bounds the disabled cost from above: the disabled
+    // path does strictly less work (one branch per instrumentation point).
+    let delta = (on / off - 1.0) * 100.0;
+    println!("  disabled {off:.3}s, enabled {on:.3}s ({delta:+.2}%)");
+    assert!(
+        delta < slack,
+        "tracing overhead {delta:.2}% exceeds the {slack}% budget \
+         (enabled {on:.3}s vs disabled {off:.3}s, best of 5 each)"
+    );
+    println!("  [ok] tracing overhead {delta:+.2}% < {slack}%");
+
+    println!("trace smoke OK");
+}

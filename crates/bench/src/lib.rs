@@ -7,9 +7,7 @@
 //! comparisons of interest are the *shapes*: which method wins, where the
 //! crossovers sit, and which methods hit the memory wall first.
 
-use csolve_common::Scalar;
-use csolve_coupled::{solve, Algorithm, DenseBackend, Metrics, SolverConfig};
-use csolve_fembem::CoupledProblem;
+use csolve::{solve, Algorithm, CoupledProblem, DenseBackend, Metrics, Scalar, SolverConfig};
 
 /// Result of one measured run.
 #[derive(Debug, Clone)]
@@ -84,21 +82,19 @@ pub fn phase_report(metrics: &Metrics) -> String {
         "  {:<28} {:>10} {:>12} {:>8}\n",
         "phase", "time (s)", "MiB", "GF/s"
     ));
-    for (name, secs) in &metrics.phases {
-        let bytes = metrics.bytes_of(name);
-        let flops = metrics.flops_of(name);
-        let mib_cell = if bytes > 0 {
-            format!("{:>12.1}", mib(bytes))
+    for p in metrics.phase_reports() {
+        let mib_cell = if p.bytes > 0 {
+            format!("{:>12.1}", mib(p.bytes))
         } else {
             format!("{:>12}", "-")
         };
-        let gfs_cell = if flops > 0 && *secs > 0.0 {
-            format!("{:>8.2}", flops as f64 / secs / 1e9)
-        } else {
-            format!("{:>8}", "-")
+        let gfs_cell = match p.gflops() {
+            Some(g) => format!("{g:>8.2}"),
+            None => format!("{:>8}", "-"),
         };
         out.push_str(&format!(
-            "  {name:<28} {secs:>10.3} {mib_cell} {gfs_cell}\n"
+            "  {:<28} {:>10.3} {mib_cell} {gfs_cell}\n",
+            p.name, p.seconds
         ));
     }
     out

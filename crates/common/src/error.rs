@@ -6,6 +6,10 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors produced by the dense, sparse, hierarchical and coupled solvers.
+///
+/// Non-exhaustive: new failure classes may appear as the stack grows (e.g.
+/// I/O for out-of-core variants), so downstream matches need a wildcard arm.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// A tracked allocation would exceed the configured memory budget.

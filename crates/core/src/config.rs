@@ -1,8 +1,15 @@
 //! Solver selection, tuning parameters and per-run metrics.
 
+use std::str::FromStr;
+
+use csolve_common::{Error, Result, Tracer};
 use csolve_sparse::OrderingKind;
 
 /// Which of the paper's algorithms computes the Schur complement.
+///
+/// Non-exhaustive: later PRs may add pipeline variants, so downstream
+/// matches need a wildcard arm.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// §II-E: single sparse solve against all of `A_vs` (dense `Y`), SpMM.
@@ -37,7 +44,30 @@ impl Algorithm {
     }
 }
 
+impl FromStr for Algorithm {
+    type Err = Error;
+
+    /// Parse the kebab-case identifier produced by [`Algorithm::name`]
+    /// (case-insensitive).
+    fn from_str(s: &str) -> Result<Self> {
+        Algorithm::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                Error::InvalidConfig(format!(
+                    "unknown algorithm '{s}' (expected one of: {})",
+                    Algorithm::ALL.map(|a| a.name()).join(", ")
+                ))
+            })
+    }
+}
+
 /// Dense solver used for `A_ss` / `S`.
+///
+/// Non-exhaustive: the paper's solver family has room for further backends
+/// (e.g. an out-of-core variant), so downstream matches need a wildcard arm.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DenseBackend {
     /// Plain blocked dense factorization (the proprietary SPIDO solver of
@@ -55,6 +85,28 @@ impl DenseBackend {
             DenseBackend::Spido => "SPIDO",
             DenseBackend::Hmat => "HMAT",
         }
+    }
+
+    /// Every backend.
+    pub const ALL: [DenseBackend; 2] = [DenseBackend::Spido, DenseBackend::Hmat];
+}
+
+impl FromStr for DenseBackend {
+    type Err = Error;
+
+    /// Parse the identifier produced by [`DenseBackend::name`]
+    /// (case-insensitive, so `"hmat"` works on the command line).
+    fn from_str(s: &str) -> Result<Self> {
+        DenseBackend::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                Error::InvalidConfig(format!(
+                    "unknown dense backend '{s}' (expected one of: {})",
+                    DenseBackend::ALL.map(|b| b.name()).join(", ")
+                ))
+            })
     }
 }
 
@@ -102,6 +154,10 @@ pub struct SolverConfig {
     /// trailing BLAS-3 updates, so results differ (within rounding) between
     /// widths but stay bitwise reproducible for a fixed width.
     pub dense_panel_nb: usize,
+    /// Span tracer for this run. Disabled by default (a no-op handle with
+    /// near-zero overhead); pass a clone of [`Tracer::enabled`] and drain it
+    /// after the solve to get the per-block span trace.
+    pub tracer: Tracer,
 }
 
 impl Default for SolverConfig {
@@ -120,7 +176,165 @@ impl Default for SolverConfig {
             num_threads: 0,
             max_inflight_blocks: 0,
             dense_panel_nb: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+}
+
+impl SolverConfig {
+    /// Start a validating builder from the defaults. Plain struct
+    /// construction (`SolverConfig { .. }`) keeps working; the builder adds
+    /// fail-fast validation at [`SolverConfigBuilder::build`] time so a
+    /// nonsensical parameter set surfaces as [`Error::InvalidConfig`]
+    /// instead of silent misbehavior deep inside a pipeline.
+    pub fn builder() -> SolverConfigBuilder {
+        SolverConfigBuilder {
+            cfg: SolverConfig::default(),
+        }
+    }
+
+    /// Check every tuning parameter for sanity; `solve()` calls this on
+    /// entry, so a hand-constructed config gets the same fail-fast treatment
+    /// as a built one.
+    pub fn validate(&self) -> Result<()> {
+        fn bad(msg: String) -> Result<()> {
+            Err(Error::InvalidConfig(msg))
+        }
+        if !(self.eps.is_finite() && self.eps > 0.0) {
+            return bad(format!(
+                "eps must be finite and > 0, got {} (paper: 1e-3 academic, 1e-4 industrial)",
+                self.eps
+            ));
+        }
+        if self.n_c == 0 {
+            return bad("n_c (columns per sparse-solve panel) must be >= 1".into());
+        }
+        if self.n_s < self.n_c {
+            return bad(format!(
+                "n_s ({}) must be >= n_c ({}): each Schur panel is solved in n_c-column chunks",
+                self.n_s, self.n_c
+            ));
+        }
+        if self.n_b == 0 {
+            return bad("n_b (Schur blocks per row/column) must be >= 1".into());
+        }
+        if self.hmat_leaf == 0 {
+            return bad("hmat_leaf (H-matrix leaf size) must be >= 1".into());
+        }
+        if !(self.hmat_eta.is_finite() && self.hmat_eta > 0.0) {
+            return bad(format!(
+                "hmat_eta (admissibility parameter) must be finite and > 0, got {}",
+                self.hmat_eta
+            ));
+        }
+        if self.mem_budget == Some(0) {
+            return bad(
+                "mem_budget of 0 bytes cannot hold any factor; use None for unlimited".into(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SolverConfig`] with fail-fast validation; see
+/// [`SolverConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct SolverConfigBuilder {
+    cfg: SolverConfig,
+}
+
+impl SolverConfigBuilder {
+    /// Low-rank precision ε (must be finite and > 0).
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.cfg.eps = eps;
+        self
+    }
+
+    /// Dense solver for `A_ss` and the Schur complement.
+    pub fn dense_backend(mut self, backend: DenseBackend) -> Self {
+        self.cfg.dense_backend = backend;
+        self
+    }
+
+    /// Enable BLR compression inside the sparse solver.
+    pub fn sparse_compression(mut self, on: bool) -> Self {
+        self.cfg.sparse_compression = on;
+        self
+    }
+
+    /// Columns per sparse-solve panel (`n_c >= 1`).
+    pub fn n_c(mut self, n_c: usize) -> Self {
+        self.cfg.n_c = n_c;
+        self
+    }
+
+    /// Columns per Schur panel (`n_s >= n_c`).
+    pub fn n_s(mut self, n_s: usize) -> Self {
+        self.cfg.n_s = n_s;
+        self
+    }
+
+    /// Schur blocks per row/column (`n_b >= 1`).
+    pub fn n_b(mut self, n_b: usize) -> Self {
+        self.cfg.n_b = n_b;
+        self
+    }
+
+    /// Fill-reducing ordering of the sparse solver.
+    pub fn ordering(mut self, ordering: OrderingKind) -> Self {
+        self.cfg.ordering = ordering;
+        self
+    }
+
+    /// Hard memory budget in bytes (`None`: unlimited; `Some(0)` is
+    /// rejected).
+    pub fn mem_budget(mut self, budget: Option<usize>) -> Self {
+        self.cfg.mem_budget = budget;
+        self
+    }
+
+    /// H-matrix leaf size (`>= 1`).
+    pub fn hmat_leaf(mut self, leaf: usize) -> Self {
+        self.cfg.hmat_leaf = leaf;
+        self
+    }
+
+    /// H-matrix admissibility parameter η (finite, > 0).
+    pub fn hmat_eta(mut self, eta: f64) -> Self {
+        self.cfg.hmat_eta = eta;
+        self
+    }
+
+    /// Worker threads (0: ambient rayon thread count).
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.cfg.num_threads = threads;
+        self
+    }
+
+    /// Maximum pipeline blocks in flight (0: same as the thread count).
+    pub fn max_inflight_blocks(mut self, blocks: usize) -> Self {
+        self.cfg.max_inflight_blocks = blocks;
+        self
+    }
+
+    /// Panel width of the blocked dense factorizations (0: dense-layer
+    /// default).
+    pub fn dense_panel_nb(mut self, nb: usize) -> Self {
+        self.cfg.dense_panel_nb = nb;
+        self
+    }
+
+    /// Span tracer for the run (see [`Tracer`]).
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.cfg.tracer = tracer;
+        self
+    }
+
+    /// Validate and return the configuration, or [`Error::InvalidConfig`]
+    /// naming the offending parameter.
+    pub fn build(self) -> Result<SolverConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -156,32 +370,98 @@ pub struct Metrics {
     pub n_fem: usize,
 }
 
+/// Aggregated time/bytes/flops of one named phase — the typed replacement
+/// for the stringly `Metrics::phase_seconds`/`bytes_of`/`flops_of` lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Phase name (the `PhaseTimer` label, e.g. `"sparse solve (Y)"`).
+    pub name: String,
+    /// Total seconds over all threads (CPU-time-like for parallel phases).
+    pub seconds: f64,
+    /// Bytes produced/processed, 0 when not tracked for this phase.
+    pub bytes: usize,
+    /// Analytic flop count, 0 when no closed form exists for this phase.
+    pub flops: u64,
+}
+
+impl PhaseReport {
+    /// Achieved gigaflops per second, `None` when flops or time are
+    /// unknown/zero.
+    pub fn gflops(&self) -> Option<f64> {
+        if self.flops > 0 && self.seconds > 0.0 {
+            Some(self.flops as f64 / self.seconds / 1e9)
+        } else {
+            None
+        }
+    }
+}
+
 impl Metrics {
-    /// Total seconds recorded for one phase, zero if absent.
-    pub fn phase_seconds(&self, name: &str) -> f64 {
-        self.phases
+    /// Typed per-phase reports in execution order: one entry per distinct
+    /// phase name (first-occurrence order), with seconds/bytes/flops summed
+    /// over repeated entries.
+    pub fn phase_reports(&self) -> Vec<PhaseReport> {
+        let mut out: Vec<PhaseReport> = Vec::with_capacity(self.phases.len());
+        let find = |out: &mut Vec<PhaseReport>, name: &str| match out
             .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, s)| *s)
-            .sum()
+            .position(|r| r.name == name)
+        {
+            Some(i) => i,
+            None => {
+                out.push(PhaseReport {
+                    name: name.to_string(),
+                    seconds: 0.0,
+                    bytes: 0,
+                    flops: 0,
+                });
+                out.len() - 1
+            }
+        };
+        for (name, s) in &self.phases {
+            let i = find(&mut out, name);
+            out[i].seconds += s;
+        }
+        for (name, b) in &self.phase_bytes {
+            let i = find(&mut out, name);
+            out[i].bytes += b;
+        }
+        for (name, f) in &self.phase_flops {
+            let i = find(&mut out, name);
+            out[i].flops += f;
+        }
+        out
+    }
+
+    /// The report for one phase, `None` if the phase never ran.
+    pub fn phase(&self, name: &str) -> Option<PhaseReport> {
+        self.phase_reports().into_iter().find(|r| r.name == name)
+    }
+
+    /// Total seconds recorded for one phase, zero if absent.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `phase_reports()` / `phase(name)` instead"
+    )]
+    pub fn phase_seconds(&self, name: &str) -> f64 {
+        self.phase(name).map_or(0.0, |r| r.seconds)
     }
 
     /// Bytes recorded for one phase, zero if absent.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `phase_reports()` / `phase(name)` instead"
+    )]
     pub fn bytes_of(&self, name: &str) -> usize {
-        self.phase_bytes
-            .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, b)| *b)
-            .sum()
+        self.phase(name).map_or(0, |r| r.bytes)
     }
 
     /// Analytic flops recorded for one phase, zero if absent.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `phase_reports()` / `phase(name)` instead"
+    )]
     pub fn flops_of(&self, name: &str) -> u64 {
-        self.phase_flops
-            .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, f)| *f)
-            .sum()
+        self.phase(name).map_or(0, |r| r.flops)
     }
 
     /// Compact single-line report.
@@ -232,14 +512,94 @@ mod tests {
             n_bem: 20,
             n_fem: 80,
         };
-        assert_eq!(m.phase_seconds("a"), 1.5);
-        assert_eq!(m.phase_seconds("missing"), 0.0);
-        assert_eq!(m.bytes_of("a"), 4096);
-        assert_eq!(m.bytes_of("missing"), 0);
-        assert_eq!(m.flops_of("a"), 2_000_000);
-        assert_eq!(m.flops_of("missing"), 0);
+        let reports = m.phase_reports();
+        // First-occurrence order, one entry per distinct name.
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].name, "a");
+        assert_eq!(reports[0].seconds, 1.5);
+        assert_eq!(reports[0].bytes, 4096);
+        assert_eq!(reports[0].flops, 2_000_000);
+        assert_eq!(reports[1].name, "b");
+        assert_eq!(reports[1].seconds, 2.0);
+        assert_eq!(m.phase("missing"), None);
+        let g = reports[0].gflops().unwrap();
+        assert!((g - 2e6 / 1.5 / 1e9).abs() < 1e-12);
+        assert_eq!(reports[1].gflops(), None, "no flops recorded for b");
+        // The deprecated wrappers stay as thin views over the same data.
+        #[allow(deprecated)]
+        {
+            assert_eq!(m.phase_seconds("a"), 1.5);
+            assert_eq!(m.phase_seconds("missing"), 0.0);
+            assert_eq!(m.bytes_of("a"), 4096);
+            assert_eq!(m.bytes_of("missing"), 0);
+            assert_eq!(m.flops_of("a"), 2_000_000);
+            assert_eq!(m.flops_of("missing"), 0);
+        }
         assert!(m.summary().contains("N=100"));
         assert!(m.summary().contains("2 threads"));
+    }
+
+    #[test]
+    fn builder_validates_fail_fast() {
+        // Happy path mirrors plain struct construction.
+        let c = SolverConfig::builder()
+            .eps(1e-4)
+            .n_c(32)
+            .n_s(64)
+            .n_b(3)
+            .dense_backend(DenseBackend::Spido)
+            .build()
+            .unwrap();
+        assert_eq!(c.eps, 1e-4);
+        assert_eq!(c.n_b, 3);
+
+        let expect_invalid = |b: SolverConfigBuilder, what: &str| {
+            let err = b.build().unwrap_err();
+            assert!(
+                matches!(&err, Error::InvalidConfig(msg) if msg.contains(what)),
+                "expected InvalidConfig mentioning '{what}', got: {err}"
+            );
+        };
+        expect_invalid(SolverConfig::builder().eps(0.0), "eps");
+        expect_invalid(SolverConfig::builder().eps(f64::NAN), "eps");
+        expect_invalid(SolverConfig::builder().eps(-1e-3), "eps");
+        expect_invalid(SolverConfig::builder().n_c(0), "n_c");
+        expect_invalid(SolverConfig::builder().n_c(64).n_s(32), "n_s");
+        expect_invalid(SolverConfig::builder().n_b(0), "n_b");
+        expect_invalid(SolverConfig::builder().hmat_leaf(0), "hmat_leaf");
+        expect_invalid(SolverConfig::builder().hmat_eta(0.0), "hmat_eta");
+        expect_invalid(SolverConfig::builder().mem_budget(Some(0)), "mem_budget");
+    }
+
+    #[test]
+    fn plain_struct_construction_still_validates_the_same_way() {
+        let cfg = SolverConfig {
+            eps: -1.0,
+            ..Default::default()
+        };
+        assert!(matches!(cfg.validate(), Err(Error::InvalidConfig(_))));
+        assert!(SolverConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn from_str_round_trips_names() {
+        for algo in Algorithm::ALL {
+            assert_eq!(algo.name().parse::<Algorithm>().unwrap(), algo);
+        }
+        for backend in DenseBackend::ALL {
+            assert_eq!(backend.name().parse::<DenseBackend>().unwrap(), backend);
+            // Case-insensitive for CLI ergonomics.
+            assert_eq!(
+                backend
+                    .name()
+                    .to_ascii_lowercase()
+                    .parse::<DenseBackend>()
+                    .unwrap(),
+                backend
+            );
+        }
+        assert!("no-such-algo".parse::<Algorithm>().is_err());
+        assert!("BLAS".parse::<DenseBackend>().is_err());
     }
 
     #[test]

@@ -11,7 +11,10 @@
 
 use std::sync::Arc;
 
-use csolve_common::{ByteSized, Error, MemTracker, PhaseTimer, Result, Scalar, Stopwatch};
+use csolve_common::{
+    ByteSized, Error, MemTracker, PhaseTimer, Result, Scalar, ScopeTracer, SpanKind, Stopwatch,
+    TraceEventKind, Tracer,
+};
 use csolve_dense::{Mat, MatRef};
 use csolve_fembem::{BemOperator, CoupledProblem};
 use csolve_hmat::ClusterTree;
@@ -67,6 +70,8 @@ impl<T: Scalar> Ws<'_, T> {
             blr_eps: cfg.sparse_compression.then_some(cfg.eps),
             tracker: Some(Arc::clone(tracker)),
             panel_nb: cfg.dense_panel_nb,
+            tracer: cfg.tracer.clone(),
+            trace_seq: None,
         }
     }
 }
@@ -125,6 +130,55 @@ fn inflight_cap(cfg: &SolverConfig, threads: usize) -> usize {
     .max(1)
 }
 
+/// RAII token for the dense layer's global kernel counters: enabled for the
+/// duration of a traced solve, with the counter delta emitted as one
+/// `kernel_counters` event. The `Drop` impl keeps the global enable count
+/// balanced on error paths.
+struct KernelCounting(Option<csolve_dense::stats::KernelSnapshot>);
+
+impl KernelCounting {
+    fn start(tracer: &Tracer) -> Self {
+        if tracer.is_enabled() {
+            csolve_dense::stats::enable();
+            Self(Some(csolve_dense::stats::snapshot()))
+        } else {
+            Self(None)
+        }
+    }
+
+    fn finish(mut self, rt: ScopeTracer<'_>) {
+        if let Some(before) = self.0.take() {
+            let d = csolve_dense::stats::snapshot().delta(&before);
+            csolve_dense::stats::disable();
+            rt.event(TraceEventKind::KernelCounters {
+                packed_calls: d.packed_calls,
+                naive_calls: d.naive_calls,
+                matvec_calls: d.matvec_calls,
+                flops: d.flops,
+                ns: d.ns,
+            });
+        }
+    }
+}
+
+impl Drop for KernelCounting {
+    fn drop(&mut self) {
+        if self.0.take().is_some() {
+            csolve_dense::stats::disable();
+        }
+    }
+}
+
+/// Sample the memory tracker into the trace at a deterministic phase
+/// boundary (main-thread call sites only, to keep run-scope record order
+/// thread-count independent).
+fn mem_sample(rt: ScopeTracer<'_>, tracker: &MemTracker) {
+    rt.event(TraceEventKind::MemHighWater {
+        live: tracker.live(),
+        peak: tracker.peak(),
+    });
+}
+
 /// Solve the coupled system with the chosen algorithm and configuration.
 ///
 /// # Examples
@@ -154,12 +208,7 @@ pub fn solve<T: Scalar>(
     algo: Algorithm,
     cfg: &SolverConfig,
 ) -> Result<Outcome<T>> {
-    if !(cfg.eps.is_finite() && cfg.eps > 0.0) {
-        return Err(Error::InvalidConfig(format!(
-            "eps must be finite and > 0, got {}",
-            cfg.eps
-        )));
-    }
+    cfg.validate()?;
     let threads = effective_threads(cfg);
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
@@ -180,6 +229,7 @@ fn solve_inner<T: Scalar>(
     };
     let timer = PhaseTimer::new();
     let sw = Stopwatch::start();
+    let counting = KernelCounting::start(&cfg.tracer);
 
     // Surface unknowns go to cluster order once; every blockwise Schur range
     // is then contiguous for both dense and H-matrix backends.
@@ -203,6 +253,10 @@ fn solve_inner<T: Scalar>(
         Algorithm::MultiSolve => multi_solve(&ws, cfg, &tracker, &timer)?,
         Algorithm::MultiFactorization => multi_factorization(&ws, cfg, &tracker, &timer)?,
     };
+
+    let rt = cfg.tracer.run();
+    mem_sample(rt, &tracker);
+    counting.finish(rt);
 
     let xs = ws.tree.to_original_order(&xs_p);
     let metrics = Metrics {
@@ -235,15 +289,20 @@ fn finish_solution<T: Scalar>(
 ) -> Result<(Vec<T>, Vec<T>)> {
     let nv = ws.nv();
     let ns = ws.ns();
+    let rt = cfg.tracer.run();
     // t = A_vv⁻¹ b_v
     let mut t = Mat::from_col_major(nv, 1, ws.b_v.to_vec());
-    timer.time("sparse solve (rhs)", || fact.solve_in_place(&mut t))?;
+    rt.time(SpanKind::SparseSolve, || {
+        timer.time("sparse solve (rhs)", || fact.solve_in_place(&mut t))
+    })?;
     // rhs_s = b_s − A_sv t
     let mut rhs_s = ws.b_s.clone();
     ws.a_sv.matvec(-T::ONE, t.col(0), T::ONE, &mut rhs_s);
     // x_s = S⁻¹ rhs_s
     let mut xs = Mat::from_col_major(ns, 1, rhs_s);
-    timer.time("dense solve", || sf.solve_in_place(xs.as_mut()));
+    rt.time(SpanKind::DenseSolve, || {
+        timer.time("dense solve", || sf.solve_in_place(xs.as_mut()))
+    });
     // Two triangular solves on the n_s × n_s factor (dense backend only —
     // the compressed backend has no closed-form count).
     if cfg.dense_backend == DenseBackend::Spido {
@@ -257,7 +316,9 @@ fn finish_solution<T: Scalar>(
         ws.a_vs.matvec(-T::ONE, &x, T::ONE, &mut tmp);
         bv2.col_mut(0).copy_from_slice(&tmp);
     }
-    timer.time("sparse solve (back)", || fact.solve_in_place(&mut bv2))?;
+    rt.time(SpanKind::SparseSolve, || {
+        timer.time("sparse solve (back)", || fact.solve_in_place(&mut bv2))
+    })?;
     Ok((bv2.col(0).to_vec(), xs.col(0).to_vec()))
 }
 
@@ -271,6 +332,7 @@ fn baseline_coupling<T: Scalar>(
     timer: &PhaseTimer,
 ) -> Result<(Vec<T>, Vec<T>, usize)> {
     let (nv, ns) = (ws.nv(), ws.ns());
+    let rt = cfg.tracer.run();
     let fact = timer.time("sparse factorization", || {
         factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
     })?;
@@ -279,12 +341,19 @@ fn baseline_coupling<T: Scalar>(
         2 * nv * ns * std::mem::size_of::<T>(),
         "dense Y = A_vv^-1 A_vs",
     )?;
-    let y = timer.time("sparse solve (Y)", || fact.solve_sparse_rhs(&ws.a_vs))?;
+    let y = {
+        let mut sp = rt.span(SpanKind::SparseSolve);
+        let y = timer.time("sparse solve (Y)", || fact.solve_sparse_rhs(&ws.a_vs))?;
+        sp.add_bytes(y.byte_size());
+        y
+    };
     y_charge.resize(y.byte_size(), "dense Y = A_vv^-1 A_vs")?;
     timer.add_bytes("sparse solve (Y)", y.byte_size());
 
-    let mut schur = timer.time("Schur init (A_ss)", || {
-        SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+    let mut schur = rt.time(SpanKind::SchurInit, || {
+        timer.time("Schur init (A_ss)", || {
+            SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+        })
     })?;
     // Z = A_sv·Y, subtracted panel-wise to bound the SpMM temporary.
     let zw = cfg.n_c.max(64).min(ns.max(1));
@@ -293,14 +362,22 @@ fn baseline_coupling<T: Scalar>(
         let c1 = (c0 + zw).min(ns);
         let _z_charge = tracker.charge(ns * (c1 - c0) * std::mem::size_of::<T>(), "SpMM panel")?;
         let mut z = Mat::<T>::zeros(ns, c1 - c0);
-        timer.time("SpMM", || {
-            ws.a_sv
-                .mul_dense(T::ONE, y.view(0..nv, c0..c1), T::ZERO, z.as_mut())
-        });
+        let spmm_flops = 2 * ws.a_sv.nnz() as u64 * (c1 - c0) as u64;
+        {
+            let mut sp = rt.span(SpanKind::Spmm);
+            timer.time("SpMM", || {
+                ws.a_sv
+                    .mul_dense(T::ONE, y.view(0..nv, c0..c1), T::ZERO, z.as_mut())
+            });
+            sp.add_bytes(z.byte_size());
+            sp.add_flops(spmm_flops);
+        }
         timer.add_bytes("SpMM", z.byte_size());
-        timer.add_flops("SpMM", 2 * ws.a_sv.nnz() as u64 * (c1 - c0) as u64);
-        timer.time("Schur assembly", || {
-            schur.axpy_block(-T::ONE, 0, c0, z.as_ref(), cfg.eps)
+        timer.add_flops("SpMM", spmm_flops);
+        rt.time(SpanKind::AxpyCommit, || {
+            timer.time("Schur assembly", || {
+                schur.axpy_block_traced(-T::ONE, 0, c0, z.as_ref(), cfg.eps, rt)
+            })
         })?;
         timer.add_bytes("Schur assembly", z.byte_size());
         c0 = c1;
@@ -310,11 +387,28 @@ fn baseline_coupling<T: Scalar>(
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
     add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
-    let sf = timer.time("dense factorization", || {
-        schur.factor(ws.symmetric, cfg.eps, cfg.dense_panel_nb)
-    })?;
+    mem_sample(rt, tracker);
+    let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
     let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
     Ok((xv, xs, schur_bytes))
+}
+
+/// Shared epilogue of every algorithm: factor the accumulated Schur
+/// complement under a `dense_factorization` span (the compressed backend
+/// additionally records its `hlu_factor` span inside).
+fn factor_schur_traced<T: Scalar>(
+    schur: SchurAcc<T>,
+    ws: &Ws<'_, T>,
+    cfg: &SolverConfig,
+    timer: &PhaseTimer,
+    rt: ScopeTracer<'_>,
+) -> Result<SchurFactor<T>> {
+    let mut sp = rt.span(SpanKind::DenseFactorization);
+    sp.add_bytes(schur.bytes());
+    sp.add_flops(dense_factor_flops(cfg, ws.symmetric, ws.ns()));
+    timer.time("dense factorization", || {
+        schur.factor_traced(ws.symmetric, cfg.eps, cfg.dense_panel_nb, rt)
+    })
 }
 
 /// §II-F — a single factorization+Schur call on the stacked coupled matrix;
@@ -327,14 +421,20 @@ fn advanced_coupling<T: Scalar>(
 ) -> Result<(Vec<T>, Vec<T>, usize)> {
     let (nv, ns) = (ws.nv(), ws.ns());
     let n = nv + ns;
+    let rt = cfg.tracer.run();
     // W = [A_vv A_vs; A_sv 0]
-    let w = timer.time("assemble W", || {
-        let mut coo = Coo::with_capacity(n, n, ws.a_vv.nnz() + ws.a_vs.nnz() + ws.a_sv.nnz());
-        push_csc(&mut coo, ws.a_vv, 0, 0);
-        push_csc(&mut coo, &ws.a_vs, 0, nv);
-        push_csc(&mut coo, &ws.a_sv, nv, 0);
-        coo.to_csc()
-    });
+    let w = {
+        let mut sp = rt.span(SpanKind::AssembleW);
+        let w = timer.time("assemble W", || {
+            let mut coo = Coo::with_capacity(n, n, ws.a_vv.nnz() + ws.a_vs.nnz() + ws.a_sv.nnz());
+            push_csc(&mut coo, ws.a_vv, 0, 0);
+            push_csc(&mut coo, &ws.a_vs, 0, nv);
+            push_csc(&mut coo, &ws.a_sv, nv, 0);
+            coo.to_csc()
+        });
+        sp.add_bytes(w.byte_size());
+        w
+    };
     let _w_charge = tracker.charge(w.byte_size(), "stacked W matrix")?;
     timer.add_bytes("assemble W", w.byte_size());
     let schur_vars: Vec<usize> = (nv..n).collect();
@@ -346,11 +446,15 @@ fn advanced_coupling<T: Scalar>(
     timer.add_bytes("sparse factorization+Schur", x.byte_size());
 
     // S = A_ss + X (X already carries the minus sign).
-    let mut schur = timer.time("Schur init (A_ss)", || {
-        SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+    let mut schur = rt.time(SpanKind::SchurInit, || {
+        timer.time("Schur init (A_ss)", || {
+            SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+        })
     })?;
-    timer.time("Schur assembly", || {
-        schur.axpy_block(T::ONE, 0, 0, x.as_ref(), cfg.eps)
+    rt.time(SpanKind::AxpyCommit, || {
+        timer.time("Schur assembly", || {
+            schur.axpy_block_traced(T::ONE, 0, 0, x.as_ref(), cfg.eps, rt)
+        })
     })?;
     timer.add_bytes("Schur assembly", x.byte_size());
     drop(x);
@@ -358,18 +462,19 @@ fn advanced_coupling<T: Scalar>(
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
     add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
-    let sf = timer.time("dense factorization", || {
-        schur.factor(ws.symmetric, cfg.eps, cfg.dense_panel_nb)
-    })?;
+    mem_sample(rt, tracker);
+    let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
 
     // One condensation solve through the partial factorization.
     let mut b = Mat::<T>::zeros(n, 1);
     b.col_mut(0)[..nv].copy_from_slice(ws.b_v);
     b.col_mut(0)[nv..].copy_from_slice(&ws.b_s);
-    timer.time("coupled solve", || {
-        fact_w.condense_and_solve(&mut b, |xs_block| {
-            sf.solve_in_place(xs_block);
-            Ok(())
+    rt.time(SpanKind::CoupledSolve, || {
+        timer.time("coupled solve", || {
+            fact_w.condense_and_solve(&mut b, |xs_block| {
+                sf.solve_in_place(xs_block);
+                Ok(())
+            })
         })
     })?;
     let xv = b.col(0)[..nv].to_vec();
@@ -396,11 +501,14 @@ fn multi_solve<T: Scalar>(
 ) -> Result<(Vec<T>, Vec<T>, usize)> {
     let (nv, ns) = (ws.nv(), ws.ns());
     let elem = std::mem::size_of::<T>();
+    let rt = cfg.tracer.run();
     let fact = timer.time("sparse factorization", || {
         factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
     })?;
-    let schur = timer.time("Schur init (A_ss)", || {
-        SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+    let schur = rt.time(SpanKind::SchurInit, || {
+        timer.time("Schur init (A_ss)", || {
+            SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+        })
     })?;
 
     let n_c = cfg.n_c.max(1);
@@ -418,8 +526,9 @@ fn multi_solve<T: Scalar>(
         .collect();
 
     let threads = rayon::current_num_threads();
-    let sched = BudgetScheduler::new(Arc::clone(tracker), inflight_cap(cfg, threads));
-    let commit = OrderedCommit::new(schur);
+    let sched = BudgetScheduler::new(Arc::clone(tracker), inflight_cap(cfg, threads))
+        .with_tracer(cfg.tracer.clone());
+    let commit = OrderedCommit::new(schur).with_tracer(cfg.tracer.clone());
     let (fact_r, sched_r, commit_r) = (&fact, &sched, &commit);
 
     panels.into_par_iter().for_each(move |(seq, p0, p1)| {
@@ -431,6 +540,7 @@ fn multi_solve<T: Scalar>(
             Ok(a) => a,
             Err(e) => return fail(sched_r, commit_r, &e),
         };
+        let bt = cfg.tracer.block(seq);
 
         let compute = || -> Result<Mat<T>> {
             let mut zpanel = Mat::<T>::zeros(ns, w);
@@ -440,17 +550,27 @@ fn multi_solve<T: Scalar>(
                 // Columns c0..c1 of A_vs as a sparse RHS.
                 let cols: Vec<usize> = (c0..c1).collect();
                 let rhs = ws.a_vs.submatrix(&all_v, &cols);
-                let y = timer.time("sparse solve (Y)", || fact_r.solve_sparse_rhs(&rhs))?;
+                let y = {
+                    let mut sp = bt.span(SpanKind::SparseSolve);
+                    let y = timer.time("sparse solve (Y)", || fact_r.solve_sparse_rhs(&rhs))?;
+                    sp.add_bytes(y.byte_size());
+                    y
+                };
                 timer.add_bytes("sparse solve (Y)", y.byte_size());
-                timer.time("SpMM", || {
-                    ws.a_sv.mul_dense(
-                        T::ONE,
-                        y.as_ref(),
-                        T::ZERO,
-                        zpanel.view_mut(0..ns, (c0 - p0)..(c1 - p0)),
-                    )
-                });
-                timer.add_flops("SpMM", 2 * ws.a_sv.nnz() as u64 * (c1 - c0) as u64);
+                let spmm_flops = 2 * ws.a_sv.nnz() as u64 * (c1 - c0) as u64;
+                {
+                    let mut sp = bt.span(SpanKind::Spmm);
+                    timer.time("SpMM", || {
+                        ws.a_sv.mul_dense(
+                            T::ONE,
+                            y.as_ref(),
+                            T::ZERO,
+                            zpanel.view_mut(0..ns, (c0 - p0)..(c1 - p0)),
+                        )
+                    });
+                    sp.add_flops(spmm_flops);
+                }
+                timer.add_flops("SpMM", spmm_flops);
                 c0 = c1;
             }
             timer.add_bytes("SpMM", zpanel.byte_size());
@@ -468,8 +588,10 @@ fn multi_solve<T: Scalar>(
         }
         adm.begin_commit();
         let committed = commit_r.commit(seq, |schur| {
-            timer.time("Schur assembly", || {
-                schur.axpy_block(-T::ONE, 0, p0, zpanel.as_ref(), cfg.eps)
+            bt.time(SpanKind::AxpyCommit, || {
+                timer.time("Schur assembly", || {
+                    schur.axpy_block_traced(-T::ONE, 0, p0, zpanel.as_ref(), cfg.eps, bt)
+                })
             })
         });
         match committed {
@@ -482,9 +604,8 @@ fn multi_solve<T: Scalar>(
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
     add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
-    let sf = timer.time("dense factorization", || {
-        schur.factor(ws.symmetric, cfg.eps, cfg.dense_panel_nb)
-    })?;
+    mem_sample(rt, tracker);
+    let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
     let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
     Ok((xv, xs, schur_bytes))
 }
@@ -513,8 +634,11 @@ fn multi_factorization<T: Scalar>(
 ) -> Result<(Vec<T>, Vec<T>, usize)> {
     let (nv, ns) = (ws.nv(), ws.ns());
     let elem = std::mem::size_of::<T>();
-    let schur = timer.time("Schur init (A_ss)", || {
-        SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+    let rt = cfg.tracer.run();
+    let schur = rt.time(SpanKind::SchurInit, || {
+        timer.time("Schur init (A_ss)", || {
+            SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
+        })
     })?;
 
     let n_b = cfg.n_b.clamp(1, ns.max(1));
@@ -531,6 +655,8 @@ fn multi_factorization<T: Scalar>(
         blr_eps: cfg.sparse_compression.then_some(cfg.eps),
         tracker: Some(Arc::clone(tracker)),
         panel_nb: cfg.dense_panel_nb,
+        tracer: cfg.tracer.clone(),
+        trace_seq: None,
     };
 
     let tiles: Vec<(usize, std::ops::Range<usize>, std::ops::Range<usize>)> = ranges
@@ -541,8 +667,9 @@ fn multi_factorization<T: Scalar>(
         .collect();
 
     let threads = rayon::current_num_threads();
-    let sched = BudgetScheduler::new(Arc::clone(tracker), inflight_cap(cfg, threads));
-    let commit = OrderedCommit::new(schur);
+    let sched = BudgetScheduler::new(Arc::clone(tracker), inflight_cap(cfg, threads))
+        .with_tracer(cfg.tracer.clone());
+    let commit = OrderedCommit::new(schur).with_tracer(cfg.tracer.clone());
     let (sched_r, commit_r, w_opts_r) = (&sched, &commit, &w_opts);
 
     tiles.into_par_iter().for_each(move |(seq, ri, rj)| {
@@ -562,22 +689,33 @@ fn multi_factorization<T: Scalar>(
                 Ok(a) => Some(a),
                 Err(e) => return fail(sched_r, commit_r, &e),
             };
+        let bt = cfg.tracer.block(seq);
+        // The sparse solver's internal spans land in this tile's block scope.
+        let tile_opts = SparseOptions {
+            trace_seq: Some(seq),
+            ..w_opts_r.clone()
+        };
 
         let compute = || -> Result<Mat<T>> {
             // Stacked square W (padded when the edge blocks differ in size).
-            let w = timer.time("assemble W", || {
-                let mut coo = Coo::with_capacity(nv + m, nv + m, nnz);
-                push_csc(&mut coo, ws.a_vv, 0, 0);
-                push_csc(&mut coo, &a_vs_j, 0, nv);
-                push_csc(&mut coo, &a_sv_i, nv, 0);
-                coo.to_csc()
-            });
+            let w = {
+                let mut sp = bt.span(SpanKind::AssembleW);
+                let w = timer.time("assemble W", || {
+                    let mut coo = Coo::with_capacity(nv + m, nv + m, nnz);
+                    push_csc(&mut coo, ws.a_vv, 0, 0);
+                    push_csc(&mut coo, &a_vs_j, 0, nv);
+                    push_csc(&mut coo, &a_sv_i, nv, 0);
+                    coo.to_csc()
+                });
+                sp.add_bytes(w.byte_size());
+                w
+            };
             timer.add_bytes("assemble W", w.byte_size());
             let schur_vars: Vec<usize> = (nv..nv + m).collect();
             // Each call re-factorizes A_vv — the superfluous work the method
             // trades for memory (hence its name).
             let (fact_w, x) = timer.time("sparse factorization+Schur", || {
-                factorize_schur(&w, &schur_vars, w_opts_r)
+                factorize_schur(&w, &schur_vars, &tile_opts)
             })?;
             drop(fact_w);
             timer.add_bytes("sparse factorization+Schur", x.byte_size());
@@ -629,14 +767,17 @@ fn multi_factorization<T: Scalar>(
         }
         adm.begin_commit();
         let committed = commit_r.commit(seq, |schur| {
-            timer.time("Schur assembly", || {
-                schur.axpy_block(
-                    T::ONE,
-                    ri.start,
-                    rj.start,
-                    x.view(0..rows.len(), 0..cols.len()),
-                    cfg.eps,
-                )
+            bt.time(SpanKind::AxpyCommit, || {
+                timer.time("Schur assembly", || {
+                    schur.axpy_block_traced(
+                        T::ONE,
+                        ri.start,
+                        rj.start,
+                        x.view(0..rows.len(), 0..cols.len()),
+                        cfg.eps,
+                        bt,
+                    )
+                })
             })
         });
         match committed {
@@ -649,9 +790,8 @@ fn multi_factorization<T: Scalar>(
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
     add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
-    let sf = timer.time("dense factorization", || {
-        schur.factor(ws.symmetric, cfg.eps, cfg.dense_panel_nb)
-    })?;
+    mem_sample(rt, tracker);
+    let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
     // A final plain factorization of A_vv for the solution phase (the W
     // factorizations are not reusable through the solver API).
     let fact = timer.time("sparse factorization", || {

@@ -42,10 +42,14 @@ pub mod driver;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod pipeline;
+pub mod report;
 pub mod schur;
 
-pub use config::{Algorithm, DenseBackend, Metrics, SolverConfig};
+pub use config::{
+    Algorithm, DenseBackend, Metrics, PhaseReport, SolverConfig, SolverConfigBuilder,
+};
 pub use driver::{solve, Outcome};
+pub use report::{RunReport, SpanAgg};
 
 #[cfg(test)]
 mod tests;

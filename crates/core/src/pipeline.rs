@@ -43,7 +43,7 @@
 
 use std::sync::Arc;
 
-use csolve_common::{Error, MemCharge, MemTracker, Result};
+use csolve_common::{Error, MemCharge, MemTracker, Result, SpanKind, TraceEventKind, Tracer};
 use parking_lot::{Condvar, Mutex};
 
 /// How long a blocked worker sleeps between re-checks of the scheduler
@@ -77,6 +77,7 @@ pub struct BudgetScheduler {
     tracker: Arc<MemTracker>,
     state: Mutex<SchedState>,
     cv: Condvar,
+    tracer: Tracer,
 }
 
 impl BudgetScheduler {
@@ -94,7 +95,15 @@ impl BudgetScheduler {
                 poisoned: None,
             }),
             cv: Condvar::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Record admission waits (`admit_wait` spans), cap degradations
+    /// (`budget_degrade`) and poisonings into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Reserve `bytes` for block `seq` and enter the in-flight set.
@@ -113,6 +122,11 @@ impl BudgetScheduler {
                 what,
             });
         }
+        // The span covers the whole admission (including the wait for the
+        // block's ticket/slot/bytes) and is recorded by this worker before
+        // any other record of block `seq`, keeping per-block record order
+        // deterministic.
+        let _wait = self.tracer.block(seq).span(SpanKind::AdmitWait);
         let mut st = self.state.lock();
         loop {
             if let Some(e) = &st.poisoned {
@@ -138,6 +152,9 @@ impl BudgetScheduler {
                         // Budget pressure: stop admitting beyond the level
                         // that currently fits, then wait for releases.
                         st.cap = st.inflight;
+                        self.tracer
+                            .block(seq)
+                            .event(TraceEventKind::BudgetDegrade { cap: st.cap });
                     }
                 }
             }
@@ -200,6 +217,9 @@ impl BudgetScheduler {
         let mut st = self.state.lock();
         if st.poisoned.is_none() {
             st.poisoned = Some(e.clone());
+            // Failure-only diagnostic: not part of the deterministic-order
+            // contract (healthy runs never emit it).
+            self.tracer.run().event(TraceEventKind::Poisoned);
         }
         self.cv.notify_all();
     }
@@ -290,6 +310,7 @@ struct CommitState<S> {
 pub struct OrderedCommit<S> {
     state: Mutex<CommitState<S>>,
     cv: Condvar,
+    tracer: Tracer,
 }
 
 impl<S> OrderedCommit<S> {
@@ -302,7 +323,15 @@ impl<S> OrderedCommit<S> {
                 error: None,
             }),
             cv: Condvar::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Record each block's commit stall (the `commit_wait` span: time spent
+    /// parked behind earlier blocks) into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Apply `f` to the accumulator as the `seq`-th commit.
@@ -313,8 +342,12 @@ impl<S> OrderedCommit<S> {
     /// every later commit the same way.
     pub fn commit<R>(&self, seq: usize, f: impl FnOnce(&mut S) -> Result<R>) -> Result<R> {
         let mut st = self.state.lock();
-        while st.next != seq && st.error.is_none() {
-            self.cv.wait_for(&mut st, WAIT_SLICE);
+        {
+            // Only the ordered-commit stall; `f` itself is the caller's span.
+            let _wait = self.tracer.block(seq).span(SpanKind::CommitWait);
+            while st.next != seq && st.error.is_none() {
+                self.cv.wait_for(&mut st, WAIT_SLICE);
+            }
         }
         if let Some(e) = &st.error {
             return Err(e.clone());

@@ -1,0 +1,349 @@
+//! Machine-readable run reports: one JSON document per solve aggregating
+//! the [`Metrics`] phases and (when tracing was enabled) the trace spans
+//! and events into a shape that survives scripting — the paper's tables
+//! (time per phase, achieved GF/s, memory high-water) fall directly out of
+//! this document.
+//!
+//! The JSON is hand-rolled (the workspace is dependency-free by design) and
+//! versioned with [`TRACE_FORMAT_VERSION`]; it parses back with
+//! [`csolve_common::json::parse_json`].
+
+use csolve_common::trace::TRACE_FORMAT_VERSION;
+use csolve_common::{TracePayload, TraceRecord, TraceScope};
+
+use crate::config::{Algorithm, DenseBackend, Metrics, PhaseReport};
+
+/// Aggregate of every trace span of one kind over a whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanAgg {
+    /// Span kind name (e.g. `"sparse_solve"`, `"axpy_commit"`).
+    pub kind: String,
+    /// Number of spans of this kind.
+    pub count: usize,
+    /// Total seconds over all spans (sums across threads, like
+    /// [`Metrics::phases`]).
+    pub seconds: f64,
+    /// Total bytes attributed to the spans.
+    pub bytes: usize,
+    /// Total analytic flops attributed to the spans.
+    pub flops: u64,
+}
+
+impl SpanAgg {
+    /// Achieved gigaflops per second, `None` when flops or time are
+    /// unknown/zero.
+    pub fn gflops(&self) -> Option<f64> {
+        if self.flops > 0 && self.seconds > 0.0 {
+            Some(self.flops as f64 / self.seconds / 1e9)
+        } else {
+            None
+        }
+    }
+}
+
+/// The machine-readable summary of one solve.
+///
+/// Built with [`RunReport::from_parts`] from the solve's [`Metrics`] and the
+/// tracer's drained records (pass `&[]` when tracing was disabled — the
+/// report then carries the phase table only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Report/trace format version ([`TRACE_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Algorithm name (round-trips through [`Algorithm::name`]).
+    pub algorithm: String,
+    /// Dense backend name (round-trips through [`DenseBackend::name`]).
+    pub backend: String,
+    /// Worker threads the solve ran with.
+    pub threads: usize,
+    /// Total unknowns `N = n_FEM + n_BEM`.
+    pub n_total: usize,
+    /// Dense surface (BEM) unknowns.
+    pub n_bem: usize,
+    /// Sparse volume (FEM) unknowns.
+    pub n_fem: usize,
+    /// End-to-end wall time of the solve.
+    pub total_seconds: f64,
+    /// Peak tracked bytes over the whole solve.
+    pub peak_bytes: usize,
+    /// Schur complement bytes right before its factorization.
+    pub schur_bytes: usize,
+    /// Typed phase table (first-occurrence order).
+    pub phases: Vec<PhaseReport>,
+    /// Trace span aggregates, ordered by kind name; empty without tracing.
+    pub spans: Vec<SpanAgg>,
+    /// `(event name, count)` over all trace events, ordered by name.
+    pub events: Vec<(String, u64)>,
+    /// Distinct pipeline block scopes seen in the trace (0 for the
+    /// non-pipelined algorithms or without tracing).
+    pub blocks: usize,
+}
+
+impl RunReport {
+    /// Aggregate `metrics` and `records` into a report.
+    pub fn from_parts(
+        algorithm: Algorithm,
+        backend: DenseBackend,
+        metrics: &Metrics,
+        records: &[TraceRecord],
+    ) -> Self {
+        let mut spans: Vec<SpanAgg> = Vec::new();
+        let mut events: Vec<(String, u64)> = Vec::new();
+        let mut blocks: Vec<usize> = Vec::new();
+        for r in records {
+            if let TraceScope::Block(seq) = r.scope {
+                if !blocks.contains(&seq) {
+                    blocks.push(seq);
+                }
+            }
+            match &r.payload {
+                TracePayload::Span {
+                    kind,
+                    dur_ns,
+                    bytes,
+                    flops,
+                    ..
+                } => {
+                    let name = kind.name();
+                    let agg = match spans.iter_mut().find(|a| a.kind == name) {
+                        Some(a) => a,
+                        None => {
+                            spans.push(SpanAgg {
+                                kind: name.to_string(),
+                                count: 0,
+                                seconds: 0.0,
+                                bytes: 0,
+                                flops: 0,
+                            });
+                            spans.last_mut().unwrap()
+                        }
+                    };
+                    agg.count += 1;
+                    agg.seconds += *dur_ns as f64 / 1e9;
+                    agg.bytes += bytes;
+                    agg.flops += flops;
+                }
+                TracePayload::Event { kind, .. } => {
+                    let name = kind.name();
+                    match events.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, c)) => *c += 1,
+                        None => events.push((name.to_string(), 1)),
+                    }
+                }
+            }
+        }
+        spans.sort_by(|a, b| a.kind.cmp(&b.kind));
+        events.sort_by(|a, b| a.0.cmp(&b.0));
+        RunReport {
+            version: TRACE_FORMAT_VERSION,
+            algorithm: algorithm.name().to_string(),
+            backend: backend.name().to_string(),
+            threads: metrics.threads,
+            n_total: metrics.n_total,
+            n_bem: metrics.n_bem,
+            n_fem: metrics.n_fem,
+            total_seconds: metrics.total_seconds,
+            peak_bytes: metrics.peak_bytes,
+            schur_bytes: metrics.schur_bytes,
+            phases: metrics.phase_reports(),
+            spans,
+            events,
+            blocks: blocks.len(),
+        }
+    }
+
+    /// Serialize as a self-contained JSON document (multi-line, stable key
+    /// order; parses back with [`csolve_common::json::parse_json`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str("  \"type\": \"csolve_run_report\",\n");
+        s.push_str(&format!("  \"version\": {},\n", self.version));
+        s.push_str(&format!(
+            "  \"algorithm\": {},\n",
+            json_str(&self.algorithm)
+        ));
+        s.push_str(&format!("  \"backend\": {},\n", json_str(&self.backend)));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"n_total\": {},\n", self.n_total));
+        s.push_str(&format!("  \"n_bem\": {},\n", self.n_bem));
+        s.push_str(&format!("  \"n_fem\": {},\n", self.n_fem));
+        s.push_str(&format!(
+            "  \"total_seconds\": {},\n",
+            json_f64(self.total_seconds)
+        ));
+        s.push_str(&format!("  \"peak_bytes\": {},\n", self.peak_bytes));
+        s.push_str(&format!("  \"schur_bytes\": {},\n", self.schur_bytes));
+        s.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"seconds\": {}, \"bytes\": {}, \"flops\": {}{}}}{}\n",
+                json_str(&p.name),
+                json_f64(p.seconds),
+                p.bytes,
+                p.flops,
+                match p.gflops() {
+                    Some(g) => format!(", \"gflops\": {}", json_f64(g)),
+                    None => String::new(),
+                },
+                comma(i, self.phases.len()),
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"spans\": [\n");
+        for (i, a) in self.spans.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kind\": {}, \"count\": {}, \"seconds\": {}, \"bytes\": {}, \"flops\": {}{}}}{}\n",
+                json_str(&a.kind),
+                a.count,
+                json_f64(a.seconds),
+                a.bytes,
+                a.flops,
+                match a.gflops() {
+                    Some(g) => format!(", \"gflops\": {}", json_f64(g)),
+                    None => String::new(),
+                },
+                comma(i, self.spans.len()),
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"events\": {");
+        for (i, (name, count)) in self.events.iter().enumerate() {
+            s.push_str(&format!(
+                "{}{}: {}",
+                if i == 0 { "" } else { ", " },
+                json_str(name),
+                count
+            ));
+        }
+        s.push_str("},\n");
+        s.push_str(&format!("  \"blocks\": {}\n", self.blocks));
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Finite floats print as-is; NaN/Inf (never expected, but a report must
+/// not emit invalid JSON) degrade to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Ensure a numeric token that round-trips as f64 (always contains
+        // a '.' or exponent is not required by JSON).
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csolve_common::json::parse_json;
+    use csolve_common::{SpanKind, Tracer};
+
+    fn sample_metrics() -> Metrics {
+        Metrics {
+            phases: vec![("SpMM".into(), 0.5), ("SpMM".into(), 0.25)],
+            total_seconds: 1.5,
+            peak_bytes: 1 << 20,
+            schur_bytes: 4096,
+            phase_bytes: vec![("SpMM".into(), 1000)],
+            phase_flops: vec![("SpMM".into(), 3_000_000_000)],
+            threads: 4,
+            n_total: 1200,
+            n_bem: 200,
+            n_fem: 1000,
+        }
+    }
+
+    #[test]
+    fn report_aggregates_spans_and_events() {
+        let t = Tracer::enabled();
+        t.run().record_span(
+            SpanKind::Spmm,
+            std::time::Duration::from_millis(10),
+            64,
+            1000,
+        );
+        t.block(1)
+            .record_span(SpanKind::Spmm, std::time::Duration::from_millis(5), 32, 500);
+        t.block(0).record_span(
+            SpanKind::AxpyCommit,
+            std::time::Duration::from_millis(1),
+            8,
+            0,
+        );
+        let records = t.drain();
+        let r = RunReport::from_parts(
+            Algorithm::MultiSolve,
+            DenseBackend::Hmat,
+            &sample_metrics(),
+            &records,
+        );
+        assert_eq!(r.version, TRACE_FORMAT_VERSION);
+        assert_eq!(r.algorithm, "multi-solve");
+        assert_eq!(r.backend, "HMAT");
+        assert_eq!(r.blocks, 2);
+        let spmm = r.spans.iter().find(|a| a.kind == "spmm").unwrap();
+        assert_eq!(spmm.count, 2);
+        assert_eq!(spmm.bytes, 96);
+        assert_eq!(spmm.flops, 1500);
+        // Phase table merges repeated entries.
+        assert_eq!(r.phases.len(), 1);
+        assert!((r.phases[0].seconds - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_parser() {
+        let r = RunReport::from_parts(
+            Algorithm::BaselineCoupling,
+            DenseBackend::Spido,
+            &sample_metrics(),
+            &[],
+        );
+        let doc = parse_json(&r.to_json()).expect("report must be valid JSON");
+        assert_eq!(
+            doc.get("type").and_then(|v| v.as_str()),
+            Some("csolve_run_report")
+        );
+        assert_eq!(
+            doc.get("version").and_then(|v| v.as_u64()),
+            Some(TRACE_FORMAT_VERSION as u64)
+        );
+        assert_eq!(
+            doc.get("algorithm").and_then(|v| v.as_str()),
+            Some("baseline-coupling")
+        );
+        let phases = doc.get("phases").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].get("name").and_then(|v| v.as_str()), Some("SpMM"));
+        assert!(phases[0].get("gflops").is_some());
+        assert_eq!(doc.get("blocks").and_then(|v| v.as_u64()), Some(0));
+    }
+}

@@ -8,7 +8,9 @@
 
 use std::sync::Arc;
 
-use csolve_common::{ByteSized, Error, MemCharge, MemTracker, RealScalar, Result, Scalar};
+use csolve_common::{
+    ByteSized, Error, MemCharge, MemTracker, RealScalar, Result, Scalar, ScopeTracer,
+};
 use csolve_dense::{ldlt_in_place_nb, lu_in_place_nb, Mat, MatMut, MatRef};
 use csolve_fembem::BemOperator;
 use csolve_hmat::{ClusterTree, HLu, HMatrix, HOptions};
@@ -93,6 +95,21 @@ impl<T: Scalar> SchurAcc<T> {
         panel: MatRef<'_, T>,
         eps: f64,
     ) -> Result<()> {
+        self.axpy_block_traced(alpha, r0, c0, panel, eps, ScopeTracer::disabled())
+    }
+
+    /// [`SchurAcc::axpy_block`] with the compressed backend's recompression
+    /// work recorded as a `compress` span into `tr` (no-op span source for
+    /// the dense backend, whose AXPY involves no compression).
+    pub fn axpy_block_traced(
+        &mut self,
+        alpha: T,
+        r0: usize,
+        c0: usize,
+        panel: MatRef<'_, T>,
+        eps: f64,
+        tr: ScopeTracer<'_>,
+    ) -> Result<()> {
         let (pm, pn) = (panel.nrows(), panel.ncols());
         if pm == 0 || pn == 0 {
             return Ok(());
@@ -121,7 +138,14 @@ impl<T: Scalar> SchurAcc<T> {
                 Ok(())
             }
             SchurAcc::Hmat { h, charge } => {
-                h.try_axpy_dense_block(alpha, r0, c0, panel, T::Real::from_f64_real(eps))?;
+                h.try_axpy_dense_block_traced(
+                    alpha,
+                    r0,
+                    c0,
+                    panel,
+                    T::Real::from_f64_real(eps),
+                    tr,
+                )?;
                 charge.resize(h.byte_size(), "compressed Schur/A_ss")
             }
         }
@@ -141,6 +165,19 @@ impl<T: Scalar> SchurAcc<T> {
     /// the compressed backend ignores it. `eps` (the compressed backend's
     /// recompression tolerance) must be finite and positive.
     pub fn factor(self, symmetric: bool, eps: f64, panel_nb: usize) -> Result<SchurFactor<T>> {
+        self.factor_traced(symmetric, eps, panel_nb, ScopeTracer::disabled())
+    }
+
+    /// [`SchurAcc::factor`] with the compressed backend's hierarchical LU
+    /// recorded as an `hlu_factor` span into `tr` (the dense backend's
+    /// factorization is timed by the caller's `dense_factorization` span).
+    pub fn factor_traced(
+        self,
+        symmetric: bool,
+        eps: f64,
+        panel_nb: usize,
+        tr: ScopeTracer<'_>,
+    ) -> Result<SchurFactor<T>> {
         if !(eps.is_finite() && eps > 0.0) {
             return Err(Error::InvalidConfig(format!(
                 "SchurAcc::factor: eps must be finite and > 0, got {eps}"
@@ -157,7 +194,7 @@ impl<T: Scalar> SchurAcc<T> {
                 }
             }
             SchurAcc::Hmat { h, mut charge } => {
-                let f = HLu::factor(h, T::Real::from_f64_real(eps))?;
+                let f = HLu::factor_traced(h, T::Real::from_f64_real(eps), tr)?;
                 charge.resize(f.byte_size(), "compressed Schur factors")?;
                 Ok(SchurFactor::HLu { f, _charge: charge })
             }

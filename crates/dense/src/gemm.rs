@@ -262,6 +262,10 @@ pub fn gemm<T: Scalar>(
         scale_block(beta, &mut c);
         return;
     }
+    let flops = 2.0 * am as f64 * bn as f64 * ak as f64;
+    // Kernel-counter hook: reads the clock only while a tracer holds an
+    // enable token (one relaxed atomic load otherwise).
+    let t0 = crate::stats::start();
     if bn == 1 {
         // Single-column product: a serial GEMM here would leave an `m·k`-sized
         // product on one core — route through the (parallelized) matvec.
@@ -271,12 +275,13 @@ pub fn gemm<T: Scalar>(
             Op::ConjTrans => (0..ak).map(|kk| b.get(0, kk).conj()).collect(),
         };
         matvec(alpha, a, opa, &x, beta, c.col_mut(0));
+        crate::stats::record(crate::stats::Route::Matvec, flops as u64, t0);
         return;
     }
 
-    let flops = 2.0 * am as f64 * bn as f64 * ak as f64;
     if flops < SMALL_GEMM_FLOPS {
         gemm_naive(alpha, a, opa, b, opb, beta, c);
+        crate::stats::record(crate::stats::Route::Naive, flops as u64, t0);
         return;
     }
     // Microkernel shape per scalar width (8-byte reals vs 16-byte complex).
@@ -285,6 +290,7 @@ pub fn gemm<T: Scalar>(
     } else {
         gemm_blocked::<T, MR_CPLX, NR_CPLX>(alpha, a, opa, b, opb, beta, c, ak, flops);
     }
+    crate::stats::record(crate::stats::Route::Packed, flops as u64, t0);
 }
 
 /// Convenience: allocate and return `op(A)·op(B)`.

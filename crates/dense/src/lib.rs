@@ -27,6 +27,7 @@ pub mod gemm;
 pub mod mat;
 mod pack;
 pub mod solve;
+pub mod stats;
 pub mod trsm;
 
 pub use factor::{

@@ -13,7 +13,7 @@
 //! applicable to the paper's complex non-symmetric industrial systems with a
 //! single code path (substitution documented in DESIGN.md).
 
-use csolve_common::{ByteSized, Error, Result, Scalar};
+use csolve_common::{ByteSized, Error, Result, Scalar, ScopeTracer, SpanKind};
 use csolve_dense::{
     apply_row_swaps_fwd, lu_in_place, trsm_left, trsm_right, Diag, Mat, MatMut, Op, Tri,
 };
@@ -43,6 +43,16 @@ impl<T: Scalar> HLu<T> {
         }
         h_lu_rec(&mut h, eps)?;
         Ok(Self { h })
+    }
+
+    /// [`HLu::factor`] with the factorization recorded as an `hlu_factor`
+    /// span into `tr` (bytes = the factored matrix's storage).
+    pub fn factor_traced(h: HMatrix<T>, eps: T::Real, tr: ScopeTracer<'_>) -> Result<Self> {
+        let mut span = tr.span(SpanKind::HluFactor);
+        let f = Self::factor(h, eps)?;
+        span.add_bytes(f.byte_size());
+        span.finish();
+        Ok(f)
     }
 
     /// Solve `H·X = B` in place for a dense RHS panel (cluster order).

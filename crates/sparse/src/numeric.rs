@@ -16,7 +16,10 @@
 
 use std::sync::Arc;
 
-use csolve_common::{ByteSized, Error, MemCharge, MemTracker, RealScalar, Result, Scalar};
+use csolve_common::{
+    ByteSized, Error, MemCharge, MemTracker, RealScalar, Result, Scalar, ScopeTracer, SpanKind,
+    Tracer,
+};
 use csolve_dense::{gemm, partial_ldlt_nb, partial_lu_nb, trsm_left, Diag, Mat, MatMut, Op, Tri};
 use csolve_lowrank::LowRank;
 
@@ -50,6 +53,24 @@ pub struct SparseOptions {
     /// each front (`0`: the dense layer's default,
     /// [`csolve_dense::DEFAULT_PANEL_NB`]).
     pub panel_nb: usize,
+    /// Span tracer the numeric phases (analysis, frontal factorization,
+    /// BLR compression) record into. Disabled by default.
+    pub tracer: Tracer,
+    /// Pipeline block the recorded spans are attributed to: `None` for the
+    /// run scope (the driver's sequential factorizations), `Some(seq)` for a
+    /// factorization running inside pipeline block `seq` (multi-
+    /// factorization tiles).
+    pub trace_seq: Option<usize>,
+}
+
+impl SparseOptions {
+    /// The scope recorder selected by `tracer`/`trace_seq`.
+    fn trace_scope(&self) -> ScopeTracer<'_> {
+        match self.trace_seq {
+            Some(seq) => self.tracer.block(seq),
+            None => self.tracer.run(),
+        }
+    }
 }
 
 impl Default for SparseOptions {
@@ -60,6 +81,8 @@ impl Default for SparseOptions {
             blr_eps: None,
             tracker: None,
             panel_nb: 0,
+            tracer: Tracer::disabled(),
+            trace_seq: None,
         }
     }
 }
@@ -238,7 +261,17 @@ fn factorize_impl<T: Scalar>(
     opts: &SparseOptions,
 ) -> Result<(SparseFactorization<T>, Mat<T>)> {
     a.check()?;
-    let symbolic = SymbolicFactorization::analyze(a, schur_vars, opts.ordering)?;
+    // All spans below are recorded by this (calling) thread in program
+    // order, so the trace sequence is deterministic at any thread count.
+    let tr = opts.trace_scope();
+    let mut whole = tr.span(if schur_vars.is_empty() {
+        SpanKind::SparseFactorization
+    } else {
+        SpanKind::SparseFactorizationSchur
+    });
+    let symbolic = tr.time(SpanKind::SparseAnalyze, || {
+        SymbolicFactorization::analyze(a, schur_vars, opts.ordering)
+    })?;
     let n = symbolic.n;
     let ne = symbolic.n_elim;
     let ns = symbolic.n_schur;
@@ -288,6 +321,12 @@ fn factorize_impl<T: Scalar>(
     let mut pos_of = vec![usize::MAX; n];
 
     let blr_eps = opts.blr_eps.map(T::Real::from_f64_real);
+
+    // BLR compression time/bytes are aggregated into one span per
+    // factorization (per-supernode spans would swamp the trace).
+    let mut compress_time = std::time::Duration::ZERO;
+    let mut compress_bytes = 0usize;
+    let mut front_span = tr.span(SpanKind::SparseFrontFactor);
 
     for s in 0..nsn {
         let info = &symbolic.supernodes[s];
@@ -405,8 +444,18 @@ fn factorize_impl<T: Scalar>(
 
         // Optional BLR compression of the panels.
         if let Some(eps) = blr_eps {
+            let t0 = tr.is_enabled().then(std::time::Instant::now);
             compress_panel(&mut lpanel, eps, &mut stats);
             compress_panel(&mut upanel, eps, &mut stats);
+            if let Some(t0) = t0 {
+                compress_time += t0.elapsed();
+                if lpanel.is_compressed() {
+                    compress_bytes += lpanel.byte_size();
+                }
+                if upanel.is_compressed() {
+                    compress_bytes += upanel.byte_size();
+                }
+            }
         }
 
         let sn_bytes = diag.byte_size() + lpanel.byte_size() + upanel.byte_size();
@@ -427,6 +476,14 @@ fn factorize_impl<T: Scalar>(
 
     stats.factor_bytes = factor_bytes;
     stats.peak_bytes = local.peak;
+    front_span.add_bytes(factor_bytes);
+    front_span.add_flops(stats.flops as u64);
+    front_span.finish();
+    if blr_eps.is_some() {
+        tr.record_span(SpanKind::Compress, compress_time, compress_bytes, 0);
+    }
+    whole.add_bytes(factor_bytes + schur.byte_size());
+    whole.finish();
     // The Schur matrix is handed to the caller together with its charge
     // folded into the factorization charge (the caller usually re-tracks it).
     drop(schur_charge);

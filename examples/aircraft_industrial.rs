@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example aircraft_industrial`
 
-use csolve_common::C64;
-use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
-use csolve_fembem::industrial_problem;
+use csolve::{industrial_problem, solve, Algorithm, DenseBackend, SolverConfig, C64};
 
 fn main() {
     let problem = industrial_problem::<C64>(6_000);

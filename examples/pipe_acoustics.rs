@@ -4,8 +4,7 @@
 //!
 //! Run with: `cargo run --release --example pipe_acoustics`
 
-use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
-use csolve_fembem::pipe_problem;
+use csolve::{pipe_problem, solve, Algorithm, DenseBackend, SolverConfig};
 
 fn main() {
     let problem = pipe_problem::<f64>(12_000);

@@ -1,18 +1,28 @@
 //! Quickstart: build a coupled FEM/BEM system and solve it with the
 //! compressed-Schur multi-solve algorithm (the paper's most scalable
-//! method).
+//! method), through the `csolve` façade.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Set `CSOLVE_TRACE_OUT=<prefix>` to record a span trace of the solve and
+//! write `<prefix>.trace.jsonl` (one JSON record per span/event) plus
+//! `<prefix>.report.json` (the aggregated machine-readable run report).
+//! `CSOLVE_QUICKSTART_N` overrides the problem size (CI uses a small one).
 
-use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
-use csolve_fembem::pipe_problem;
+use csolve::{
+    pipe_problem, solve, to_jsonl, Algorithm, DenseBackend, RunReport, SolverConfig, Tracer,
+};
 
 fn main() {
     // A small "short pipe" test case: a cylindrical FEM volume whose outer
     // surface carries a BEM discretization, with a manufactured solution so
     // the error is measurable. The generator splits unknowns surface/volume
     // following the paper's Table I law.
-    let problem = pipe_problem::<f64>(10_000);
+    let n: usize = std::env::var("CSOLVE_QUICKSTART_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let problem = pipe_problem::<f64>(n);
     println!(
         "coupled system: {} unknowns total ({} FEM volume + {} BEM surface)",
         problem.n_total(),
@@ -20,18 +30,27 @@ fn main() {
         problem.n_bem()
     );
 
+    let trace_out = std::env::var("CSOLVE_TRACE_OUT").ok();
+    let tracer = if trace_out.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+
     // Compressed-Schur multi-solve: the sparse factors use BLR compression,
     // the BEM block and the Schur complement live in an H-matrix, and every
     // dense Schur panel coming back from the sparse solver is folded in
-    // through a compressed AXPY.
-    let cfg = SolverConfig {
-        eps: 1e-4,                         // the paper's precision parameter
-        dense_backend: DenseBackend::Hmat, // compressed dense solver
-        sparse_compression: true,          // BLR inside the sparse solver
-        n_c: 256,                          // sparse-solve panel width
-        n_s: 1024,                         // Schur panel width
-        ..Default::default()
-    };
+    // through a compressed AXPY. The builder validates the combination
+    // before the solve starts.
+    let cfg = SolverConfig::builder()
+        .eps(1e-4) // the paper's precision parameter
+        .dense_backend(DenseBackend::Hmat) // compressed dense solver
+        .sparse_compression(true) // BLR inside the sparse solver
+        .n_c(256) // sparse-solve panel width
+        .n_s(1024) // Schur panel width
+        .tracer(tracer.clone())
+        .build()
+        .expect("invalid solver configuration");
 
     let out = solve(&problem, Algorithm::MultiSolve, &cfg).expect("solve failed");
 
@@ -41,4 +60,22 @@ fn main() {
         cfg.eps
     );
     println!("{}", out.metrics.summary());
+
+    if let Some(prefix) = trace_out {
+        let records = tracer.drain();
+        let report = RunReport::from_parts(
+            Algorithm::MultiSolve,
+            DenseBackend::Hmat,
+            &out.metrics,
+            &records,
+        );
+        let trace_path = format!("{prefix}.trace.jsonl");
+        let report_path = format!("{prefix}.report.json");
+        std::fs::write(&trace_path, to_jsonl(&records)).expect("write trace");
+        std::fs::write(&report_path, report.to_json()).expect("write report");
+        println!(
+            "trace: {} spans/events -> {trace_path}, report -> {report_path}",
+            records.len()
+        );
+    }
 }

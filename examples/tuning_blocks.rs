@@ -4,8 +4,7 @@
 //!
 //! Run with: `cargo run --release --example tuning_blocks`
 
-use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
-use csolve_fembem::pipe_problem;
+use csolve::{pipe_problem, solve, Algorithm, DenseBackend, SolverConfig};
 
 fn main() {
     let problem = pipe_problem::<f64>(8_000);

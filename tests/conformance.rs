@@ -12,10 +12,9 @@
 //! symmetric well-conditioned column at 1–2 threads; the full grid runs by
 //! default.
 
-use csolve_common::{Scalar, C64};
-use csolve_coupled::{solve, Algorithm, DenseBackend, SolverConfig};
-use csolve_testkit::oracle::{problem_tol, rel_err_l2, relative_residual, OracleSolution};
-use csolve_testkit::{generate, oracle_solve, ProblemSpec};
+use csolve::testkit::oracle::{problem_tol, rel_err_l2, relative_residual, OracleSolution};
+use csolve::testkit::{generate, oracle_solve, ProblemSpec};
+use csolve::{solve, Algorithm, DenseBackend, Scalar, SolverConfig, TraceScope, Tracer, C64};
 
 const EPS: f64 = 1e-10;
 const WELL_COND: f64 = 10.0;
@@ -184,6 +183,48 @@ fn baselines_agree_with_the_oracle() {
                 algo.name(),
                 backend.name()
             );
+        }
+    }
+}
+
+/// Tracing-enabled cell: recording spans must not change the numerics (the
+/// result stays bitwise-identical to the untraced run of the same cell),
+/// and the canonical (scope, kind) span sequence is identical at every
+/// thread count — traces are diffable.
+#[test]
+fn traced_cell_is_bitwise_identical_and_diffable() {
+    let spec = ProblemSpec {
+        cond: WELL_COND,
+        ..ProblemSpec::new(0xC0F_006)
+    };
+    let p = generate::<f64>(&spec);
+    let (algo, backend) = (Algorithm::MultiSolve, DenseBackend::Hmat);
+    let mut signature: Option<Vec<(TraceScope, &'static str)>> = None;
+    for &threads in thread_counts() {
+        let untraced = solve(&p, algo, &config(backend, threads)).unwrap();
+        let tracer = Tracer::enabled();
+        let mut cfg = config(backend, threads);
+        cfg.tracer = tracer.clone();
+        let traced = solve(&p, algo, &cfg).unwrap();
+        assert!(
+            untraced.xv == traced.xv && untraced.xs == traced.xs,
+            "[seed {}] {threads} thr: tracing changed the numerics",
+            spec.seed
+        );
+        let sig: Vec<(TraceScope, &'static str)> = tracer
+            .drain()
+            .iter()
+            .filter(|r| !matches!(r.payload.kind_name(), "budget_degrade" | "poisoned"))
+            .map(|r| (r.scope, r.payload.kind_name()))
+            .collect();
+        assert!(!sig.is_empty(), "[seed {}] empty trace", spec.seed);
+        match &signature {
+            None => signature = Some(sig),
+            Some(first) => assert_eq!(
+                *first, sig,
+                "[seed {}] {threads} thr: span sequence drifted",
+                spec.seed
+            ),
         }
     }
 }

@@ -116,5 +116,6 @@ fn sizes_and_metrics_are_coherent() {
     assert_eq!(out.xs.len(), p.n_bem());
     assert_eq!(out.metrics.n_total, p.n_total());
     assert!(out.metrics.peak_bytes >= out.metrics.schur_bytes);
-    assert!(out.metrics.total_seconds >= out.metrics.phase_seconds("sparse factorization"));
+    let fact = out.metrics.phase("sparse factorization").unwrap();
+    assert!(out.metrics.total_seconds >= fact.seconds);
 }

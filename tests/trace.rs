@@ -1,0 +1,272 @@
+//! Integration tests for the span-tracing subsystem and the run report,
+//! exercised through the `csolve` façade exactly as a downstream user
+//! would: enable a tracer in the config builder, solve, drain, serialize.
+//!
+//! The determinism contract under test: with `OrderedCommit` in play, the
+//! canonical (scope, kind) sequence of a traced solve is identical at any
+//! thread count — traces are diffable across machines. Memory-pressure and
+//! failure events (`budget_degrade`, `poisoned`) are excluded from the
+//! contract (and absent here: no budget is set).
+
+use csolve::json::{parse_json, parse_jsonl};
+use csolve::{
+    pipe_problem, solve, to_jsonl, Algorithm, DenseBackend, RunReport, SolverConfig, SpanKind,
+    TracePayload, TraceRecord, TraceScope, Tracer, TRACE_FORMAT_VERSION,
+};
+
+const N: usize = 1_500;
+
+fn traced_solve(
+    algo: Algorithm,
+    backend: DenseBackend,
+    threads: usize,
+) -> (csolve::Outcome<f64>, Vec<TraceRecord>) {
+    let p = pipe_problem::<f64>(N);
+    let tracer = Tracer::enabled();
+    let cfg = SolverConfig::builder()
+        .eps(1e-8)
+        .dense_backend(backend)
+        // Small panels/blocks so the pipelines genuinely run several
+        // overlapping units of work.
+        .n_c(24)
+        .n_s(96)
+        .n_b(3)
+        .num_threads(threads)
+        .tracer(tracer.clone())
+        .build()
+        .expect("valid config");
+    let out = solve(&p, algo, &cfg).expect("traced solve failed");
+    (out, tracer.drain())
+}
+
+/// The contract signature: canonical order, pressure events stripped.
+fn signature(records: &[TraceRecord]) -> Vec<(TraceScope, String)> {
+    records
+        .iter()
+        .filter(|r| !matches!(r.payload.kind_name(), "budget_degrade" | "poisoned"))
+        .map(|r| (r.scope, r.payload.kind_name().to_string()))
+        .collect()
+}
+
+#[test]
+fn span_sequence_is_identical_across_thread_counts() {
+    for (algo, backend) in [
+        (Algorithm::MultiSolve, DenseBackend::Hmat),
+        (Algorithm::MultiFactorization, DenseBackend::Spido),
+    ] {
+        let (out1, rec1) = traced_solve(algo, backend, 1);
+        let sig1 = signature(&rec1);
+        assert!(!sig1.is_empty(), "{}: empty trace", algo.name());
+        for threads in [2, 4] {
+            let (out_t, rec_t) = traced_solve(algo, backend, threads);
+            assert_eq!(
+                sig1,
+                signature(&rec_t),
+                "{} / {}: trace signature differs between 1 and {threads} threads",
+                algo.name(),
+                backend.name()
+            );
+            // Tracing must not perturb the numerics either.
+            assert!(
+                out1.xv == out_t.xv && out1.xs == out_t.xs,
+                "{} / {}: traced results not bitwise-identical across threads",
+                algo.name(),
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn block_scopes_are_contiguous_and_start_with_admit_wait() {
+    let (_, records) = traced_solve(Algorithm::MultiSolve, DenseBackend::Hmat, 4);
+    let mut blocks: Vec<usize> = Vec::new();
+    for r in &records {
+        if let TraceScope::Block(seq) = r.scope {
+            if !blocks.contains(&seq) {
+                // Canonical order: first sighting of a block is its first
+                // record, and blocks appear in ascending seq order.
+                assert_eq!(
+                    r.payload.kind_name(),
+                    "admit_wait",
+                    "block {seq}: first record is not the admission wait"
+                );
+                blocks.push(seq);
+            }
+        }
+    }
+    assert!(blocks.len() > 1, "expected several pipeline blocks");
+    let expect: Vec<usize> = (0..blocks.len()).collect();
+    assert_eq!(blocks, expect, "block scopes not contiguous from 0");
+}
+
+#[test]
+fn jsonl_trace_parses_back_with_header_and_schema() {
+    let (_, records) = traced_solve(Algorithm::MultiSolve, DenseBackend::Hmat, 2);
+    let text = to_jsonl(&records);
+    let docs = parse_jsonl(&text).expect("trace JSONL must parse");
+    assert_eq!(
+        docs.len(),
+        records.len() + 1,
+        "header + one line per record"
+    );
+
+    let header = &docs[0];
+    assert_eq!(
+        header.get("type").and_then(|v| v.as_str()),
+        Some("csolve_trace")
+    );
+    assert_eq!(
+        header.get("v").and_then(|v| v.as_u64()),
+        Some(TRACE_FORMAT_VERSION as u64)
+    );
+    assert_eq!(
+        header.get("records").and_then(|v| v.as_u64()),
+        Some(records.len() as u64)
+    );
+
+    for (doc, rec) in docs[1..].iter().zip(&records) {
+        let cat = doc.get("cat").and_then(|v| v.as_str()).unwrap();
+        assert_eq!(
+            cat,
+            if rec.payload.is_span() {
+                "span"
+            } else {
+                "event"
+            }
+        );
+        assert_eq!(
+            doc.get("kind").and_then(|v| v.as_str()),
+            Some(rec.payload.kind_name())
+        );
+        match rec.scope {
+            TraceScope::Run => {
+                assert_eq!(doc.get("scope").and_then(|v| v.as_str()), Some("run"));
+            }
+            TraceScope::Block(seq) => {
+                assert_eq!(doc.get("scope").and_then(|v| v.as_str()), Some("block"));
+                assert_eq!(doc.get("seq").and_then(|v| v.as_u64()), Some(seq as u64));
+            }
+        }
+        assert!(
+            doc.get("t_ns").is_some(),
+            "every record carries a timestamp"
+        );
+        if let TracePayload::Span {
+            dur_ns,
+            bytes,
+            flops,
+            ..
+        } = &rec.payload
+        {
+            assert_eq!(doc.get("dur_ns").and_then(|v| v.as_u64()), Some(*dur_ns));
+            assert_eq!(
+                doc.get("bytes").and_then(|v| v.as_u64()),
+                Some(*bytes as u64)
+            );
+            assert_eq!(doc.get("flops").and_then(|v| v.as_u64()), Some(*flops));
+        }
+    }
+}
+
+#[test]
+fn run_report_has_the_documented_shape() {
+    let (out, records) = traced_solve(Algorithm::MultiSolve, DenseBackend::Hmat, 2);
+    let report = RunReport::from_parts(
+        Algorithm::MultiSolve,
+        DenseBackend::Hmat,
+        &out.metrics,
+        &records,
+    );
+    let doc = parse_json(&report.to_json()).expect("run report must be valid JSON");
+
+    assert_eq!(
+        doc.get("type").and_then(|v| v.as_str()),
+        Some("csolve_run_report")
+    );
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_u64()),
+        Some(TRACE_FORMAT_VERSION as u64)
+    );
+    assert_eq!(
+        doc.get("algorithm").and_then(|v| v.as_str()),
+        Some("multi-solve")
+    );
+    assert_eq!(doc.get("backend").and_then(|v| v.as_str()), Some("HMAT"));
+    for key in [
+        "threads",
+        "n_total",
+        "n_bem",
+        "n_fem",
+        "peak_bytes",
+        "schur_bytes",
+        "blocks",
+    ] {
+        assert!(
+            doc.get(key).and_then(|v| v.as_u64()).is_some(),
+            "missing integer field {key}"
+        );
+    }
+    assert!(doc.get("total_seconds").and_then(|v| v.as_f64()).is_some());
+
+    // The golden phase names of multi-solve survive into the report.
+    let phases = doc.get("phases").and_then(|v| v.as_array()).unwrap();
+    let names: Vec<&str> = phases
+        .iter()
+        .filter_map(|p| p.get("name").and_then(|v| v.as_str()))
+        .collect();
+    for want in [
+        "sparse factorization",
+        "sparse solve (Y)",
+        "SpMM",
+        "Schur assembly",
+        "dense factorization",
+    ] {
+        assert!(names.contains(&want), "phase {want:?} missing: {names:?}");
+    }
+
+    // The span aggregates cover the instrumented hot path.
+    let spans = doc.get("spans").and_then(|v| v.as_array()).unwrap();
+    let kinds: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("kind").and_then(|v| v.as_str()))
+        .collect();
+    for want in [
+        SpanKind::SparseFactorization.name(),
+        SpanKind::SparseSolve.name(),
+        SpanKind::Spmm.name(),
+        SpanKind::AxpyCommit.name(),
+        SpanKind::AdmitWait.name(),
+        SpanKind::CommitWait.name(),
+        SpanKind::SchurInit.name(),
+        SpanKind::DenseFactorization.name(),
+        SpanKind::HluFactor.name(),
+    ] {
+        assert!(
+            kinds.contains(&want),
+            "span kind {want:?} missing: {kinds:?}"
+        );
+    }
+
+    // Kernel counters and a memory high-water sample are always emitted by
+    // an enabled trace.
+    let events = doc.get("events").and_then(|v| v.as_object()).unwrap();
+    assert!(events.contains_key("kernel_counters"), "{events:?}");
+    assert!(events.contains_key("mem_high_water"), "{events:?}");
+
+    assert!(doc.get("blocks").and_then(|v| v.as_u64()).unwrap() > 1);
+}
+
+#[test]
+fn disabled_tracer_records_nothing() {
+    let p = pipe_problem::<f64>(800);
+    let tracer = Tracer::disabled();
+    let cfg = SolverConfig::builder()
+        .eps(1e-8)
+        .tracer(tracer.clone())
+        .build()
+        .unwrap();
+    solve(&p, Algorithm::MultiSolve, &cfg).unwrap();
+    assert!(tracer.drain().is_empty());
+    assert!(!tracer.is_enabled());
+}
