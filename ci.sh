@@ -35,6 +35,15 @@ echo "==> kernels_report smoke run"
 # committed BENCH_kernels.json is never clobbered by CI.
 cargo run --release --offline -q --bin kernels_report -- --smoke > /dev/null
 
+echo "==> autotune_report smoke run"
+# Tier-2 assertion baked into the binary: every successful BlockSizes::Auto
+# run must measure within 1.25x of the cost model's predicted peak and
+# inside its budget, and at the tightest budget fraction the autotuned run
+# must succeed where fixed blocking is out of memory. Writes
+# target/BENCH_autotune_smoke.json so the committed BENCH_autotune.json is
+# never clobbered by CI.
+cargo run --release --offline -q --bin autotune_report -- --smoke > /dev/null
+
 echo "==> trace smoke run"
 # Quickstart through the façade with tracing on (writes + re-parses the
 # JSONL trace and the run report), then the dedicated smoke binary:

@@ -14,8 +14,13 @@
 //!   (Fig. 11).
 //!
 //! CLI: `--budget-mib 256 --eps 1e-4 --max-n 64000 --large --threads 0` (0 = all cores)
+//!
+//! With `--auto` the hand-picked configuration ladder is replaced by the
+//! memory-governed autotuner (`BlockSizes::Auto`): each blockwise method
+//! runs once per size and derives the largest blocking that fits the
+//! budget from the cost model instead of trying fallback configurations.
 
-use csolve::{pipe_problem, Algorithm, SolverConfig};
+use csolve::{pipe_problem, Algorithm, BlockSizes, SolverConfig};
 use csolve_bench::{attempt, fig10_variants, header, Args, Attempt, RunResult, Variant};
 
 /// The per-method configuration ladder (the paper evaluates several
@@ -54,14 +59,29 @@ fn configs_for(v: &Variant, budget: usize, eps: f64, threads: usize) -> Vec<Solv
     }
 }
 
-/// Best successful attempt across the configuration ladder.
+/// Best successful attempt across the configuration ladder — or, with
+/// `--auto`, the single autotuned run (the model picks the blocking, so
+/// there is no ladder to climb).
 fn best_attempt(
     problem: &csolve::CoupledProblem<f64>,
     v: &Variant,
     budget: usize,
     eps: f64,
     threads: usize,
+    auto: bool,
 ) -> Attempt {
+    if auto {
+        let cfg = SolverConfig {
+            eps,
+            dense_backend: v.backend,
+            sparse_compression: v.sparse_compression,
+            mem_budget: Some(budget),
+            num_threads: threads,
+            block_sizes: BlockSizes::Auto,
+            ..Default::default()
+        };
+        return attempt(problem, v.algo, &cfg);
+    }
     let mut best: Option<RunResult> = None;
     let mut last = Attempt::Oom;
     for cfg in configs_for(v, budget, eps, threads) {
@@ -86,14 +106,20 @@ fn main() {
     let eps = args.get_f64("--eps", 1e-4);
     let max_n = args.get_usize("--max-n", if args.has("--large") { 96_000 } else { 64_000 });
     let threads = args.get_usize("--threads", 0);
+    let auto = args.has("--auto");
 
     header(
         "Figures 10 & 11 — solving larger systems (capacity + best time + error)",
         "Agullo, Felšöci, Sylvand (IPDPS 2022), Fig. 10 and Fig. 11",
     );
     println!(
-        "\nbudget {} MiB (scaled analogue of the paper's 128 GiB), eps = {eps:.0e}\n",
-        budget / (1024 * 1024)
+        "\nbudget {} MiB (scaled analogue of the paper's 128 GiB), eps = {eps:.0e}{}\n",
+        budget / (1024 * 1024),
+        if auto {
+            ", blocking chosen by the memory-governed autotuner"
+        } else {
+            ""
+        }
     );
     println!(
         "paper result: baseline/advanced stop at ~1.0/1.3 M unknowns, multi-facto at 2.5 M,\n\
@@ -118,7 +144,7 @@ fn main() {
         let mut last_err = f64::NAN;
         for &n in &sizes {
             let problem = pipe_problem::<f64>(n);
-            let a = best_attempt(&problem, &v, budget, eps, threads);
+            let a = best_attempt(&problem, &v, budget, eps, threads, auto);
             print!("{:>18}", a.cell());
             if let Attempt::Ok(r) = &a {
                 max_ok = n;

@@ -59,13 +59,26 @@ impl MemTracker {
 
     /// Reset the peak to the current live value (used between experiment
     /// phases that are reported separately).
+    ///
+    /// Safe against concurrent [`MemTracker::charge`] calls: a plain
+    /// `peak.store(live)` could be overtaken by a charge that raised `live`
+    /// between the load and the store, leaving `peak < live` at rest. The
+    /// trailing `fetch_max` against a re-read of `live` repairs every such
+    /// interleaving — either this call observes the raised `live`, or the
+    /// racing charge's own `fetch_max` (which runs after its `live` update)
+    /// lands after our store.
     pub fn reset_peak(&self) {
-        self.peak.store(self.live(), Ordering::Relaxed);
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.peak
+            .fetch_max(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
-    /// Charge `bytes` against the budget. Fails with [`Error::OutOfMemory`]
-    /// without mutating the accounting when the budget would be exceeded.
-    pub fn charge(self: &Arc<Self>, bytes: usize, what: &'static str) -> Result<MemCharge> {
+    /// Reserve `bytes` in the accounting without creating a guard; the raw
+    /// counterpart of [`MemTracker::charge`] used by [`MemCharge::resize`] to
+    /// grow an existing guard in place (a nested guard would hold an extra
+    /// `Arc` reference that `resize` would have to leak).
+    fn reserve_raw(&self, bytes: usize, what: &'static str) -> Result<()> {
         // Optimistic CAS loop so concurrent charges cannot jointly overshoot
         // the budget.
         let mut cur = self.live.load(Ordering::Relaxed);
@@ -90,14 +103,32 @@ impl MemTracker {
             {
                 Ok(_) => {
                     self.peak.fetch_max(new, Ordering::Relaxed);
-                    return Ok(MemCharge {
-                        tracker: Arc::clone(self),
-                        bytes,
-                    });
+                    return Ok(());
                 }
                 Err(seen) => cur = seen,
             }
         }
+    }
+
+    /// Release `bytes` from the accounting, saturating at zero so a
+    /// mis-sized release can never wrap `live` around to a huge value (which
+    /// would wedge every further charge as out-of-budget).
+    fn release_raw(&self, bytes: usize) {
+        let _ = self
+            .live
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            });
+    }
+
+    /// Charge `bytes` against the budget. Fails with [`Error::OutOfMemory`]
+    /// without mutating the accounting when the budget would be exceeded.
+    pub fn charge(self: &Arc<Self>, bytes: usize, what: &'static str) -> Result<MemCharge> {
+        self.reserve_raw(bytes, what)?;
+        Ok(MemCharge {
+            tracker: Arc::clone(self),
+            bytes,
+        })
     }
 
     /// Charge for a [`ByteSized`] value and bundle them.
@@ -125,26 +156,27 @@ impl MemCharge {
     }
 
     /// Grow or shrink the charge to `new_bytes` (e.g. after a compression
-    /// step shrank the underlying object). Growth is budget-checked.
+    /// step shrank the underlying object). Growth is budget-checked; a
+    /// failed grow leaves the charge unchanged. Shrinking releases only this
+    /// guard's own delta and saturates at zero in the tracker, so `live` can
+    /// never underflow — not even for a shrink below the original charge.
     pub fn resize(&mut self, new_bytes: usize, what: &'static str) -> Result<()> {
         if new_bytes > self.bytes {
-            let extra = new_bytes - self.bytes;
-            // Charge the delta; on success fold it into this guard.
-            let delta = self.tracker.charge(extra, what)?;
-            std::mem::forget(delta);
-            self.bytes = new_bytes;
+            // Reserve the delta directly (no nested guard: an inner
+            // `MemCharge` would pin an extra Arc reference to the tracker
+            // that could only be discarded by leaking it).
+            self.tracker.reserve_raw(new_bytes - self.bytes, what)?;
         } else {
-            let shrink = self.bytes - new_bytes;
-            self.tracker.live.fetch_sub(shrink, Ordering::Relaxed);
-            self.bytes = new_bytes;
+            self.tracker.release_raw(self.bytes - new_bytes);
         }
+        self.bytes = new_bytes;
         Ok(())
     }
 }
 
 impl Drop for MemCharge {
     fn drop(&mut self) {
-        self.tracker.live.fetch_sub(self.bytes, Ordering::Relaxed);
+        self.tracker.release_raw(self.bytes);
     }
 }
 
@@ -289,5 +321,91 @@ mod tests {
     fn unbounded_never_fails() {
         let t = MemTracker::unbounded();
         let _c = t.charge(usize::MAX / 2, "huge").unwrap();
+    }
+
+    #[test]
+    fn resize_grow_does_not_leak_tracker_references() {
+        // Regression: the grow path used to charge a nested guard and
+        // `mem::forget` it, leaking one Arc<MemTracker> strong reference per
+        // grow (and keeping the tracker alive forever after many resizes).
+        let t = MemTracker::with_budget(1_000_000);
+        let base = Arc::strong_count(&t);
+        let mut c = t.charge(10, "a").unwrap();
+        for step in 1..100usize {
+            c.resize(10 + step * 7, "a").unwrap();
+        }
+        assert_eq!(
+            Arc::strong_count(&t),
+            base + 1, // exactly the one reference held by `c`
+            "resize must not accumulate tracker references"
+        );
+        drop(c);
+        assert_eq!(Arc::strong_count(&t), base);
+        assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn resize_shrink_below_original_charge_never_underflows() {
+        let t = MemTracker::with_budget(1000);
+        let other = t.charge(100, "other").unwrap();
+        let mut c = t.charge(300, "a").unwrap();
+        // Shrink to zero (below any "original" size), then grow again: the
+        // accounting must stay exact and never wrap.
+        c.resize(0, "a").unwrap();
+        assert_eq!(t.live(), 100);
+        c.resize(250, "a").unwrap();
+        assert_eq!(t.live(), 350);
+        drop(c);
+        drop(other);
+        assert_eq!(t.live(), 0);
+        assert!(t.peak() <= 1000);
+    }
+
+    #[test]
+    fn reset_peak_racing_charges_never_records_peak_below_live() {
+        // Seeded-thread stress: chargers push live up and down while another
+        // thread hammers reset_peak. After every reset completes, the
+        // invariant `peak >= live` must hold at rest; we check it from the
+        // charger threads right after each charge (their own fetch_max has
+        // run by then, so a violation can only come from a lost update in
+        // reset_peak).
+        for round in 0..20u64 {
+            let t = MemTracker::with_budget(usize::MAX);
+            let stop = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let (t, stop) = (&t, &stop);
+                for thr in 0..4u64 {
+                    s.spawn(move || {
+                        // Deterministic per-thread charge sizes (seeded by
+                        // round and thread id) so failures reproduce.
+                        let mut state = round * 1_000 + thr + 1;
+                        for _ in 0..500 {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            let bytes = (state >> 33) as usize % 4096 + 1;
+                            let g = t.charge(bytes, "stress").unwrap();
+                            assert!(
+                                t.peak() >= g.bytes(),
+                                "peak dropped below a just-made charge"
+                            );
+                            drop(g);
+                        }
+                        stop.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    });
+                }
+                s.spawn(move || {
+                    while stop.load(std::sync::atomic::Ordering::SeqCst) < 4 {
+                        t.reset_peak();
+                        assert!(
+                            t.peak() >= t.live().saturating_sub(0) || t.peak() >= t.live(),
+                            "reset_peak left peak below live"
+                        );
+                        std::hint::spin_loop();
+                    }
+                });
+            });
+            t.reset_peak();
+            assert_eq!(t.live(), 0);
+            assert_eq!(t.peak(), 0, "all charges released: peak resets to 0");
+        }
     }
 }

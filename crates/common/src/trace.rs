@@ -138,6 +138,22 @@ pub enum TraceEventKind {
         /// Peak tracked bytes so far.
         peak: usize,
     },
+    /// The block autotuner chose a blocking for this run. Emitted once per
+    /// run from the sequential driver (deterministic: part of the ordering
+    /// guarantee when `BlockSizes::Auto` is active).
+    AutotuneSelect {
+        /// Selected multi-solve inner panel width `n_c` (0 when the
+        /// algorithm does not use it).
+        n_c: usize,
+        /// Selected multi-solve outer panel width `n_S` (0 when unused).
+        n_s: usize,
+        /// Selected multi-factorization grid dimension `n_b` (0 when
+        /// unused).
+        n_b: usize,
+        /// The cost model's predicted peak working-set bytes for the
+        /// selected blocking.
+        predicted_bytes: usize,
+    },
     /// Snapshot delta of the dense layer's global kernel counters over the
     /// traced region (see `csolve_dense::kernel_stats`).
     KernelCounters {
@@ -162,6 +178,7 @@ impl TraceEventKind {
             TraceEventKind::BudgetDegrade { .. } => "budget_degrade",
             TraceEventKind::Poisoned => "poisoned",
             TraceEventKind::MemHighWater { .. } => "mem_high_water",
+            TraceEventKind::AutotuneSelect { .. } => "autotune_select",
             TraceEventKind::KernelCounters { .. } => "kernel_counters",
         }
     }
@@ -504,6 +521,17 @@ impl TraceRecord {
                     TraceEventKind::Poisoned => {}
                     TraceEventKind::MemHighWater { live, peak } => {
                         s.push_str(&format!(",\"live\":{live},\"peak\":{peak}"));
+                    }
+                    TraceEventKind::AutotuneSelect {
+                        n_c,
+                        n_s,
+                        n_b,
+                        predicted_bytes,
+                    } => {
+                        s.push_str(&format!(
+                            ",\"n_c\":{n_c},\"n_s\":{n_s},\"n_b\":{n_b},\
+                             \"predicted_bytes\":{predicted_bytes}"
+                        ));
                     }
                     TraceEventKind::KernelCounters {
                         packed_calls,

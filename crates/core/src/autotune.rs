@@ -1,0 +1,423 @@
+//! Memory-governed block autotuner: the capacity model behind the paper's
+//! headline claim.
+//!
+//! The paper's Fig. 10/12/13 experiments all ask the same question — what is
+//! the largest coupled system a machine can solve? — and answer it by hand:
+//! pick `n_c`/`n_S` (multi-solve) or `n_b` (multi-factorization) small enough
+//! that the blockwise working set fits next to the sparse factors and the
+//! (compressed) Schur complement. This module automates that choice. Given
+//! the matrix statistics ([`MatrixStats`]) and the byte budget enforced by
+//! [`csolve_common::MemTracker`], it predicts the peak working set of every
+//! candidate blocking and selects the **largest blocking that fits**
+//! (largest panels / fewest tiles: less superfluous refactorization work,
+//! fewer sparse-solve calls).
+//!
+//! # Cost model
+//!
+//! The models mirror the exact reservations the pipeline's
+//! [`crate::pipeline::BudgetScheduler`] admits per block, so "predicted"
+//! and "admitted" cannot drift apart:
+//!
+//! * **multi-solve** panel of width `w = n_S`
+//!   (see [`multi_solve_panel_bytes`]):
+//!   `(n_s·w + 2·n_v·min(n_c, w)) · sizeof(T)` — the `Z` panel plus the
+//!   double-buffered `Y` of one inner `n_c`-column sparse solve;
+//! * **multi-factorization** tile at grid size `n_b`
+//!   (see [`multi_fact_tile_bytes`]): the stacked `W` (values + indices +
+//!   column pointers, coupling nnz divided evenly across the grid) plus the
+//!   dense `m×m` Schur output, `m = ⌈n_s/n_b⌉`.
+//!
+//! The predicted run peak is `max(peak so far, live + working set)`: by the
+//! time the autotuner runs (right after the Schur accumulator is
+//! initialized), `live` already covers the sparse factors and `S`, and the
+//! scheduler degrades concurrency to one block under pressure — so a
+//! blocking is *feasible* exactly when a single block's working set fits in
+//! the remaining headroom. With the HMAT backend, a quarter of that
+//! headroom is first set aside for the compressed Schur accumulator, which
+//! is allowed to grow by that much between recompression flushes (the
+//! `byte_cap` policy of `schur.rs`).
+//!
+//! # Determinism
+//!
+//! Selection runs at a sequential point of the driver and depends only on
+//! thread-count-invariant inputs (matrix shape, budget, and `live` after
+//! deterministic phases) — never on mid-pipeline tracker samples. The chosen
+//! blocking is therefore identical for every thread count, preserving the
+//! bitwise determinism contract of the pipelines.
+
+use csolve_common::{Error, MemTracker, Result};
+
+use crate::config::{DenseBackend, SolverConfig};
+
+/// How the blockwise algorithms choose their block sizes.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockSizes {
+    /// Use the configured `n_c`/`n_s`/`n_b` verbatim (the pre-autotuner
+    /// behaviour; every experiment binary's explicit flags mean this).
+    #[default]
+    Fixed,
+    /// Derive the largest blocking whose working set fits the memory budget
+    /// from the cost model; falls back to the configured sizes when the run
+    /// is unbounded. Selection is recorded as an `autotune_select` trace
+    /// event and in [`crate::Metrics::autotune`].
+    Auto,
+}
+
+/// Shape and sparsity statistics of one coupled problem — everything the
+/// cost model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixStats {
+    /// Volume (FEM) unknowns `n_v`.
+    pub nv: usize,
+    /// Surface (BEM) unknowns `n_s`.
+    pub ns: usize,
+    /// Nonzeros of the sparse volume block `A_vv`.
+    pub nnz_avv: usize,
+    /// Nonzeros of the coupling block `A_sv`.
+    pub nnz_asv: usize,
+    /// Nonzeros of the coupling block `A_vs`.
+    pub nnz_avs: usize,
+    /// Bytes per scalar (`size_of::<T>()`).
+    pub elem: usize,
+}
+
+/// The autotuner's verdict: the blocking a run used and what the model
+/// predicted for it. Stored in [`crate::Metrics::autotune`] and emitted as
+/// an `autotune_select` trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutotuneDecision {
+    /// Selected sparse-solve panel width (multi-solve; 0 when unused).
+    pub n_c: usize,
+    /// Selected Schur panel width (multi-solve; 0 when unused).
+    pub n_s: usize,
+    /// Selected factorization grid dimension (multi-factorization; 0 when
+    /// unused).
+    pub n_b: usize,
+    /// Predicted peak tracked bytes for the selected blocking
+    /// (`max(peak so far, live + single-block working set)`).
+    pub predicted_peak: usize,
+    /// The budget the selection ran against (`usize::MAX` when unbounded).
+    pub budget: usize,
+    /// `true` when the budget forced a smaller blocking than configured
+    /// (also emitted as a `budget_degrade` trace event).
+    pub degraded: bool,
+}
+
+/// Working-set bytes of one multi-solve Schur panel at blocking
+/// `(n_c, n_s)`: the `ns × n_s` panel of `Z` plus the double-buffered `Y`
+/// of one inner `n_c`-column sparse solve. Mirrors the pipeline's per-panel
+/// admission reserve exactly.
+pub fn multi_solve_panel_bytes(stats: &MatrixStats, n_c: usize, n_s: usize) -> usize {
+    let w = n_s.min(stats.ns.max(1));
+    (stats.ns * w + 2 * stats.nv * n_c.min(w)) * stats.elem
+}
+
+/// Working-set bytes of one multi-factorization tile at grid size `n_b`:
+/// the stacked `W = [A_vv A_vs|_j; A_sv|_i 0]` in CSC form (values plus row
+/// indices plus column pointers, with the coupling nonzeros spread evenly
+/// over the grid) and the dense `m × m` Schur output, `m = ⌈n_s/n_b⌉`.
+/// Mirrors the pipeline's per-tile admission reserve.
+pub fn multi_fact_tile_bytes(stats: &MatrixStats, n_b: usize) -> usize {
+    let n_b = n_b.clamp(1, stats.ns.max(1));
+    let m = stats.ns.div_ceil(n_b);
+    let idx = std::mem::size_of::<usize>();
+    let nnz = stats.nnz_avv + stats.nnz_asv.div_ceil(n_b) + stats.nnz_avs.div_ceil(n_b);
+    let w_bytes = nnz * (stats.elem + idx) + (stats.nv + m + 1) * idx;
+    w_bytes + m * m * stats.elem
+}
+
+/// The fixed (non-autotuned) multi-solve blocking for a configuration: the
+/// SPIDO backend subtracts every `n_c` panel directly (`n_s = n_c`), the
+/// HMAT backend buffers `n_s ≥ n_c` columns per compressed AXPY.
+pub fn fixed_multi_solve_blocking(cfg: &SolverConfig) -> (usize, usize) {
+    let n_c = cfg.n_c.max(1);
+    let n_s = match cfg.dense_backend {
+        DenseBackend::Spido => n_c,
+        DenseBackend::Hmat => cfg.n_s.max(n_c),
+    };
+    (n_c, n_s)
+}
+
+/// Headroom left for blockwise working sets: budget minus live bytes, or
+/// `usize::MAX` on an unbounded run.
+fn headroom(tracker: &MemTracker) -> usize {
+    let budget = tracker.budget();
+    if budget == usize::MAX {
+        usize::MAX
+    } else {
+        budget.saturating_sub(tracker.live())
+    }
+}
+
+/// Headroom the *block* working sets may claim. The HMAT backend's Schur
+/// accumulator is allowed to grow by a quarter of the remaining headroom
+/// between recompression flushes (`byte_cap` in `schur.rs`), so blockwise
+/// working sets must fit in the other three quarters; the dense backend
+/// keeps `S` at a fixed size and gets the full headroom.
+fn usable_headroom(cfg: &SolverConfig, tracker: &MemTracker) -> usize {
+    let room = headroom(tracker);
+    match cfg.dense_backend {
+        DenseBackend::Hmat if room != usize::MAX => room - room / 4,
+        _ => room,
+    }
+}
+
+fn predicted_peak(tracker: &MemTracker, block_bytes: usize) -> usize {
+    tracker
+        .peak()
+        .max(tracker.live().saturating_add(block_bytes))
+}
+
+/// Select the largest multi-solve blocking `(n_c, n_s)` that fits the
+/// remaining budget, starting from the configured sizes and halving the
+/// panel width. Returns [`Error::OutOfMemory`] when even a single-column
+/// panel does not fit (the infeasible-budget case of the conformance grid).
+pub fn plan_multi_solve(
+    stats: &MatrixStats,
+    cfg: &SolverConfig,
+    tracker: &MemTracker,
+) -> Result<AutotuneDecision> {
+    let (n_c0, n_s0) = fixed_multi_solve_blocking(cfg);
+    // A panel wider than the surface never materializes; clamping before
+    // the ladder keeps that from counting as a budget degrade.
+    let n_s0 = n_s0.min(stats.ns.max(1));
+    let n_c0 = n_c0.min(n_s0);
+    let room = usable_headroom(cfg, tracker);
+    // Candidate ladder: configured blocking first, then repeated halving of
+    // the Schur panel (the sparse-solve panel follows once it is the wider
+    // of the two).
+    let mut w = n_s0;
+    loop {
+        let n_c = n_c0.min(w);
+        let need = multi_solve_panel_bytes(stats, n_c, w);
+        if need <= room {
+            return Ok(AutotuneDecision {
+                n_c,
+                n_s: w,
+                n_b: 0,
+                predicted_peak: predicted_peak(tracker, need),
+                budget: tracker.budget(),
+                degraded: w < n_s0 || n_c < n_c0,
+            });
+        }
+        if w == 1 {
+            return Err(Error::OutOfMemory {
+                requested: need,
+                live: tracker.live(),
+                budget: tracker.budget(),
+                what: "autotuned multi-solve panel (even a 1-column panel exceeds the budget)",
+            });
+        }
+        w /= 2;
+    }
+}
+
+/// Select the smallest multi-factorization grid `n_b` (largest tiles) whose
+/// tile working set fits the remaining budget, starting from the configured
+/// `n_b` and doubling. Returns [`Error::OutOfMemory`] when even single-row
+/// tiles (`n_b = n_s`) do not fit.
+///
+/// `internal_bytes` prices what the admission reserve cannot see: the
+/// sparse solver's own tracked allocations (fronts, contribution blocks,
+/// factor panels, dense Schur output) while factoring one stacked `W` at
+/// grid size `n_b`. The driver supplies a symbolic-analysis replay
+/// ([`csolve_sparse::SymbolicFactorization::predicted_numeric_peak_bytes`]
+/// on a representative corner tile); tests may pass a constant model.
+pub fn plan_multi_factorization(
+    stats: &MatrixStats,
+    cfg: &SolverConfig,
+    tracker: &MemTracker,
+    internal_bytes: impl Fn(usize) -> Result<usize>,
+) -> Result<AutotuneDecision> {
+    let cap = stats.ns.max(1);
+    let n_b0 = cfg.n_b.clamp(1, cap);
+    let room = usable_headroom(cfg, tracker);
+    let mut n_b = n_b0;
+    loop {
+        let need = multi_fact_tile_bytes(stats, n_b).saturating_add(internal_bytes(n_b)?);
+        if need <= room {
+            return Ok(AutotuneDecision {
+                n_c: 0,
+                n_s: 0,
+                n_b,
+                predicted_peak: predicted_peak(tracker, need),
+                budget: tracker.budget(),
+                degraded: n_b > n_b0,
+            });
+        }
+        if n_b >= cap {
+            return Err(Error::OutOfMemory {
+                requested: need,
+                live: tracker.live(),
+                budget: tracker.budget(),
+                what: "autotuned multi-factorization tile (even 1-row tiles exceed the budget)",
+            });
+        }
+        n_b = (n_b * 2).min(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> MatrixStats {
+        MatrixStats {
+            nv: 4000,
+            ns: 1000,
+            nnz_avv: 28_000,
+            nnz_asv: 12_000,
+            nnz_avs: 12_000,
+            elem: 8,
+        }
+    }
+
+    fn cfg() -> SolverConfig {
+        SolverConfig {
+            dense_backend: DenseBackend::Hmat,
+            n_c: 256,
+            n_s: 1024,
+            n_b: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn panel_model_matches_driver_reserve() {
+        // The model must be byte-for-byte the pipeline's admission reserve:
+        // (ns*w + 2*nv*min(n_c, w)) * elem.
+        let s = stats();
+        assert_eq!(
+            multi_solve_panel_bytes(&s, 256, 1000),
+            (1000 * 1000 + 2 * 4000 * 256) * 8
+        );
+        // A panel wider than ns is clamped to ns.
+        assert_eq!(
+            multi_solve_panel_bytes(&s, 256, 4096),
+            multi_solve_panel_bytes(&s, 256, 1000)
+        );
+    }
+
+    #[test]
+    fn tile_model_counts_w_and_x() {
+        let s = stats();
+        let idx = std::mem::size_of::<usize>();
+        let m = 500; // ns/2
+        let nnz = 28_000 + 6_000 + 6_000;
+        let expect = nnz * (8 + idx) + (4000 + m + 1) * idx + m * m * 8;
+        assert_eq!(multi_fact_tile_bytes(&s, 2), expect);
+    }
+
+    #[test]
+    fn unbounded_keeps_configured_blocking() {
+        let t = MemTracker::unbounded();
+        let d = plan_multi_solve(&stats(), &cfg(), &t).unwrap();
+        assert_eq!((d.n_c, d.n_s), (256, 1000));
+        assert!(!d.degraded);
+        assert_eq!(d.budget, usize::MAX);
+        let d = plan_multi_factorization(&stats(), &cfg(), &t, |_| Ok(0)).unwrap();
+        assert_eq!(d.n_b, 2);
+        assert!(!d.degraded);
+    }
+
+    #[test]
+    fn tight_budget_degrades_blocking() {
+        let s = stats();
+        let full = multi_solve_panel_bytes(&s, 256, 1000);
+        let t = MemTracker::with_budget(full / 3);
+        let d = plan_multi_solve(&s, &cfg(), &t).unwrap();
+        assert!(d.degraded, "blocking should shrink under a tight budget");
+        assert!(d.n_s < 1000);
+        assert!(multi_solve_panel_bytes(&s, d.n_c, d.n_s) <= full / 3);
+        assert!(d.predicted_peak <= full / 3);
+
+        let tile = multi_fact_tile_bytes(&s, 2);
+        let t = MemTracker::with_budget(tile.saturating_sub(1));
+        let d = plan_multi_factorization(&s, &cfg(), &t, |_| Ok(0)).unwrap();
+        assert!(d.degraded);
+        assert!(d.n_b > 2);
+        assert!(multi_fact_tile_bytes(&s, d.n_b) < tile);
+    }
+
+    #[test]
+    fn solver_internal_bytes_push_the_grid_finer() {
+        // The admission reserve alone says n_b = 2 fits; a solver-internal
+        // model that shrinks with the tile size must move the selection to
+        // a finer grid under the same budget.
+        let s = stats();
+        let t = MemTracker::with_budget(multi_fact_tile_bytes(&s, 2) + 1_000);
+        let internal = |n_b: usize| Ok(4_000_000 / n_b);
+        let d = plan_multi_factorization(&s, &cfg(), &t, internal).unwrap();
+        assert!(d.degraded);
+        assert!(d.n_b > 2);
+        assert!(
+            multi_fact_tile_bytes(&s, d.n_b) + 4_000_000 / d.n_b <= t.budget(),
+            "selected grid must satisfy reserve + internal model"
+        );
+    }
+
+    #[test]
+    fn selection_accounts_for_live_bytes() {
+        // Headroom is budget − live: with most of the budget already spent
+        // the same configuration must degrade further.
+        let s = stats();
+        let full = multi_solve_panel_bytes(&s, 256, 1000);
+        let t = MemTracker::with_budget(full);
+        let free = plan_multi_solve(&s, &cfg(), &t).unwrap();
+        let _held = t.charge(full / 2, "sparse factors").unwrap();
+        let pressured = plan_multi_solve(&s, &cfg(), &t).unwrap();
+        assert!(pressured.n_s < free.n_s.max(2));
+        assert!(multi_solve_panel_bytes(&s, pressured.n_c, pressured.n_s) <= full - full / 2);
+    }
+
+    #[test]
+    fn infeasible_budget_is_structured_oom() {
+        let s = stats();
+        // Even a 1-column panel needs (ns + 2*nv)*elem bytes.
+        let t = MemTracker::with_budget(16);
+        let e = plan_multi_solve(&s, &cfg(), &t).unwrap_err();
+        assert!(e.is_oom(), "expected OutOfMemory, got {e}");
+        let e = plan_multi_factorization(&s, &cfg(), &t, |_| Ok(0)).unwrap_err();
+        assert!(e.is_oom(), "expected OutOfMemory, got {e}");
+    }
+
+    #[test]
+    fn hmat_reserves_accumulator_growth_allowance() {
+        // Under the same budget the HMAT backend must leave a quarter of
+        // the headroom to the compressed accumulator's growth between
+        // flushes, so it degrades where the dense backend still fits.
+        let s = stats();
+        let tile = multi_fact_tile_bytes(&s, 2);
+        let t = MemTracker::with_budget(tile);
+        let dense = plan_multi_factorization(
+            &s,
+            &SolverConfig {
+                dense_backend: DenseBackend::Spido,
+                ..cfg()
+            },
+            &t,
+            |_| Ok(0),
+        )
+        .unwrap();
+        assert_eq!(dense.n_b, 2);
+        assert!(!dense.degraded);
+        let compressed = plan_multi_factorization(&s, &cfg(), &t, |_| Ok(0)).unwrap();
+        assert!(compressed.degraded);
+        assert!(multi_fact_tile_bytes(&s, compressed.n_b) <= tile - tile / 4);
+    }
+
+    #[test]
+    fn spido_ladder_keeps_nc_equal_ns() {
+        let s = stats();
+        let c = SolverConfig {
+            dense_backend: DenseBackend::Spido,
+            ..cfg()
+        };
+        let full = multi_solve_panel_bytes(&s, 256, 256);
+        let t = MemTracker::with_budget(full / 2);
+        let d = plan_multi_solve(&s, &c, &t).unwrap();
+        assert_eq!(d.n_c, d.n_s, "SPIDO subtracts every n_c panel directly");
+        assert!(d.degraded);
+    }
+}

@@ -5,6 +5,8 @@ use std::str::FromStr;
 use csolve_common::{Error, Result, Tracer};
 use csolve_sparse::OrderingKind;
 
+use crate::autotune::{AutotuneDecision, BlockSizes};
+
 /// Which of the paper's algorithms computes the Schur complement.
 ///
 /// Non-exhaustive: later PRs may add pipeline variants, so downstream
@@ -133,6 +135,11 @@ pub struct SolverConfig {
     pub ordering: OrderingKind,
     /// Hard budget in bytes for all tracked allocations (`None`: unlimited).
     pub mem_budget: Option<usize>,
+    /// Whether the blockwise algorithms use the configured block sizes
+    /// verbatim ([`BlockSizes::Fixed`], the default) or let the autotuner
+    /// pick the largest blocking that fits `mem_budget`
+    /// ([`BlockSizes::Auto`]; see [`crate::autotune`]).
+    pub block_sizes: BlockSizes,
     /// H-matrix leaf size.
     pub hmat_leaf: usize,
     /// H-matrix admissibility parameter η.
@@ -171,6 +178,7 @@ impl Default for SolverConfig {
             n_b: 2,
             ordering: OrderingKind::NestedDissection,
             mem_budget: None,
+            block_sizes: BlockSizes::default(),
             hmat_leaf: 64,
             hmat_eta: 6.0,
             num_threads: 0,
@@ -293,6 +301,23 @@ impl SolverConfigBuilder {
         self
     }
 
+    /// Set a hard memory budget in bytes **and** switch block sizing to
+    /// [`BlockSizes::Auto`]: the solver derives the largest blocking whose
+    /// working set fits `bytes` instead of using `n_c`/`n_s`/`n_b` verbatim.
+    /// Use [`Self::mem_budget`] + [`Self::block_sizes`] separately to
+    /// enforce a budget with fixed block sizes.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.cfg.mem_budget = Some(bytes);
+        self.cfg.block_sizes = BlockSizes::Auto;
+        self
+    }
+
+    /// Fixed or budget-driven block sizing (see [`crate::autotune`]).
+    pub fn block_sizes(mut self, mode: BlockSizes) -> Self {
+        self.cfg.block_sizes = mode;
+        self
+    }
+
     /// H-matrix leaf size (`>= 1`).
     pub fn hmat_leaf(mut self, leaf: usize) -> Self {
         self.cfg.hmat_leaf = leaf;
@@ -368,6 +393,9 @@ pub struct Metrics {
     pub n_bem: usize,
     /// Sparse volume (FEM) unknowns.
     pub n_fem: usize,
+    /// The autotuner's block-size decision, `None` when the run used
+    /// [`BlockSizes::Fixed`] or a non-blockwise algorithm.
+    pub autotune: Option<AutotuneDecision>,
 }
 
 /// Aggregated time/bytes/flops of one named phase — the typed replacement
@@ -511,6 +539,7 @@ mod tests {
             n_total: 100,
             n_bem: 20,
             n_fem: 80,
+            autotune: None,
         };
         let reports = m.phase_reports();
         // First-occurrence order, one entry per distinct name.

@@ -19,10 +19,12 @@ use csolve_dense::{Mat, MatRef};
 use csolve_fembem::{BemOperator, CoupledProblem};
 use csolve_hmat::ClusterTree;
 use csolve_sparse::{
-    factorize, factorize_schur, Coo, Csc, SparseFactorization, SparseOptions, Symmetry,
+    factorize, factorize_schur, Coo, Csc, SparseFactorization, SparseOptions,
+    SymbolicFactorization, Symmetry,
 };
 use rayon::prelude::*;
 
+use crate::autotune::{self, AutotuneDecision, BlockSizes, MatrixStats};
 use crate::config::{Algorithm, DenseBackend, Metrics, SolverConfig};
 use crate::pipeline::{Admission, BudgetScheduler, OrderedCommit};
 use crate::schur::{SchurAcc, SchurFactor};
@@ -217,6 +219,11 @@ pub fn solve<T: Scalar>(
     pool.install(|| solve_inner(problem, algo, cfg, threads))
 }
 
+/// What each blockwise pipeline hands back to `solve_inner`: the volume and
+/// (permuted) surface solutions, the Schur storage bytes for `Metrics`, and
+/// the autotuner's decision when `BlockSizes::Auto` ran.
+type BlockwiseOut<T> = (Vec<T>, Vec<T>, usize, Option<AutotuneDecision>);
+
 fn solve_inner<T: Scalar>(
     problem: &CoupledProblem<T>,
     algo: Algorithm,
@@ -247,9 +254,15 @@ fn solve_inner<T: Scalar>(
         symmetric: problem.symmetric,
     };
 
-    let (xv, xs_p, schur_bytes) = match algo {
-        Algorithm::BaselineCoupling => baseline_coupling(&ws, cfg, &tracker, &timer)?,
-        Algorithm::AdvancedCoupling => advanced_coupling(&ws, cfg, &tracker, &timer)?,
+    let (xv, xs_p, schur_bytes, autotune) = match algo {
+        Algorithm::BaselineCoupling => {
+            let (xv, xs_p, sb) = baseline_coupling(&ws, cfg, &tracker, &timer)?;
+            (xv, xs_p, sb, None)
+        }
+        Algorithm::AdvancedCoupling => {
+            let (xv, xs_p, sb) = advanced_coupling(&ws, cfg, &tracker, &timer)?;
+            (xv, xs_p, sb, None)
+        }
         Algorithm::MultiSolve => multi_solve(&ws, cfg, &tracker, &timer)?,
         Algorithm::MultiFactorization => multi_factorization(&ws, cfg, &tracker, &timer)?,
     };
@@ -274,6 +287,7 @@ fn solve_inner<T: Scalar>(
         n_total: problem.n_total(),
         n_bem: problem.n_bem(),
         n_fem: problem.n_fem(),
+        autotune,
     };
     Ok(Outcome { xv, xs, metrics })
 }
@@ -498,7 +512,7 @@ fn multi_solve<T: Scalar>(
     cfg: &SolverConfig,
     tracker: &Arc<MemTracker>,
     timer: &PhaseTimer,
-) -> Result<(Vec<T>, Vec<T>, usize)> {
+) -> Result<BlockwiseOut<T>> {
     let (nv, ns) = (ws.nv(), ws.ns());
     let elem = std::mem::size_of::<T>();
     let rt = cfg.tracer.run();
@@ -511,13 +525,40 @@ fn multi_solve<T: Scalar>(
         })
     })?;
 
-    let n_c = cfg.n_c.max(1);
     // SPIDO subtracts every n_c panel straight into dense S; HMAT buffers
     // n_S columns per compressed AXPY (the separate n_S ≥ n_c parameter of
-    // Algorithm 2).
-    let n_s = match cfg.dense_backend {
-        DenseBackend::Spido => n_c,
-        DenseBackend::Hmat => cfg.n_s.max(n_c),
+    // Algorithm 2). Under `BlockSizes::Auto` the autotuner shrinks that
+    // blocking until one panel's working set fits the budget headroom —
+    // decided here, at a sequential point after the sparse factors and `S`
+    // are resident, from thread-count-invariant inputs only (see
+    // [`crate::autotune`]): the selection, like the arithmetic, is
+    // identical for every thread count.
+    let stats = MatrixStats {
+        nv,
+        ns,
+        nnz_avv: ws.a_vv.nnz(),
+        nnz_asv: ws.a_sv.nnz(),
+        nnz_avs: ws.a_vs.nnz(),
+        elem,
+    };
+    let decision = match cfg.block_sizes {
+        BlockSizes::Auto => Some(autotune::plan_multi_solve(&stats, cfg, tracker)?),
+        _ => None,
+    };
+    let (n_c, n_s) = match &decision {
+        Some(d) => {
+            rt.event(TraceEventKind::AutotuneSelect {
+                n_c: d.n_c,
+                n_s: d.n_s,
+                n_b: 0,
+                predicted_bytes: d.predicted_peak,
+            });
+            if d.degraded {
+                rt.event(TraceEventKind::BudgetDegrade { cap: d.n_s });
+            }
+            (d.n_c, d.n_s)
+        }
+        None => autotune::fixed_multi_solve_blocking(cfg),
     };
     let all_v: Vec<usize> = (0..nv).collect();
 
@@ -526,8 +567,18 @@ fn multi_solve<T: Scalar>(
         .collect();
 
     let threads = rayon::current_num_threads();
-    let sched = BudgetScheduler::new(Arc::clone(tracker), inflight_cap(cfg, threads))
-        .with_tracer(cfg.tracer.clone());
+    let mut inflight = inflight_cap(cfg, threads);
+    if decision.is_some() {
+        // Model-informed concurrency: admit no more panels than the
+        // measured headroom holds. The scheduler would discover the same
+        // bound by failed admissions and degrade; starting at the model's
+        // cap skips that churn. Scheduling-only — commit order (and thus
+        // the result) is unaffected.
+        let per = autotune::multi_solve_panel_bytes(&stats, n_c, n_s).max(1);
+        let headroom = tracker.budget().saturating_sub(tracker.live());
+        inflight = inflight.min((headroom / per).max(1));
+    }
+    let sched = BudgetScheduler::new(Arc::clone(tracker), inflight).with_tracer(cfg.tracer.clone());
     let commit = OrderedCommit::new(schur).with_tracer(cfg.tracer.clone());
     let (fact_r, sched_r, commit_r) = (&fact, &sched, &commit);
 
@@ -607,7 +658,7 @@ fn multi_solve<T: Scalar>(
     mem_sample(rt, tracker);
     let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
     let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
-    Ok((xv, xs, schur_bytes))
+    Ok((xv, xs, schur_bytes, decision))
 }
 
 /// §IV-B — multi-factorization: `n_b × n_b` factorization+Schur calls on
@@ -631,7 +682,7 @@ fn multi_factorization<T: Scalar>(
     cfg: &SolverConfig,
     tracker: &Arc<MemTracker>,
     timer: &PhaseTimer,
-) -> Result<(Vec<T>, Vec<T>, usize)> {
+) -> Result<BlockwiseOut<T>> {
     let (nv, ns) = (ws.nv(), ws.ns());
     let elem = std::mem::size_of::<T>();
     let rt = cfg.tracer.run();
@@ -641,7 +692,41 @@ fn multi_factorization<T: Scalar>(
         })
     })?;
 
-    let n_b = cfg.n_b.clamp(1, ns.max(1));
+    // Under `BlockSizes::Auto` the autotuner grows the tile grid (shrinks
+    // the tiles) until one stacked-W working set fits the budget headroom —
+    // same deterministic selection point and inputs as in `multi_solve`.
+    let stats = MatrixStats {
+        nv,
+        ns,
+        nnz_avv: ws.a_vv.nnz(),
+        nnz_asv: ws.a_sv.nnz(),
+        nnz_avs: ws.a_vs.nnz(),
+        elem,
+    };
+    let decision = match cfg.block_sizes {
+        BlockSizes::Auto => Some(autotune::plan_multi_factorization(
+            &stats,
+            cfg,
+            tracker,
+            |n_b| tile_internal_bytes(ws, cfg, n_b),
+        )?),
+        _ => None,
+    };
+    let n_b = match &decision {
+        Some(d) => {
+            rt.event(TraceEventKind::AutotuneSelect {
+                n_c: 0,
+                n_s: 0,
+                n_b: d.n_b,
+                predicted_bytes: d.predicted_peak,
+            });
+            if d.degraded {
+                rt.event(TraceEventKind::BudgetDegrade { cap: d.n_b });
+            }
+            d.n_b
+        }
+        None => cfg.n_b.clamp(1, ns.max(1)),
+    };
     let blk = ns.div_ceil(n_b);
     let ranges: Vec<std::ops::Range<usize>> = (0..n_b)
         .map(|b| (b * blk)..((b + 1) * blk).min(ns))
@@ -667,8 +752,15 @@ fn multi_factorization<T: Scalar>(
         .collect();
 
     let threads = rayon::current_num_threads();
-    let sched = BudgetScheduler::new(Arc::clone(tracker), inflight_cap(cfg, threads))
-        .with_tracer(cfg.tracer.clone());
+    let mut inflight = inflight_cap(cfg, threads);
+    if decision.is_some() {
+        // Same model-informed concurrency cap as in `multi_solve`:
+        // scheduling-only, no numeric effect.
+        let per = autotune::multi_fact_tile_bytes(&stats, n_b).max(1);
+        let headroom = tracker.budget().saturating_sub(tracker.live());
+        inflight = inflight.min((headroom / per).max(1));
+    }
+    let sched = BudgetScheduler::new(Arc::clone(tracker), inflight).with_tracer(cfg.tracer.clone());
     let commit = OrderedCommit::new(schur).with_tracer(cfg.tracer.clone());
     let (sched_r, commit_r, w_opts_r) = (&sched, &commit, &w_opts);
 
@@ -798,7 +890,34 @@ fn multi_factorization<T: Scalar>(
         factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
     })?;
     let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
-    Ok((xv, xs, schur_bytes))
+    Ok((xv, xs, schur_bytes, decision))
+}
+
+/// Predicted solver-internal tracked bytes (fronts, contribution blocks,
+/// factor panels, dense Schur output) of one multi-factorization tile at
+/// grid size `n_b`: a symbolic analysis of the representative corner tile's
+/// stacked `W` pattern, replayed with the numeric phase's exact charge
+/// schedule. Purely structural (no numeric work) and deterministic — safe
+/// to consult from the autotuner's selection point.
+fn tile_internal_bytes<T: Scalar>(ws: &Ws<'_, T>, cfg: &SolverConfig, n_b: usize) -> Result<usize> {
+    let (nv, ns) = (ws.nv(), ws.ns());
+    let m = ns.div_ceil(n_b.max(1)).min(ns);
+    let rows: Vec<usize> = (0..m).collect();
+    let all_v: Vec<usize> = (0..nv).collect();
+    let a_sv_0 = ws.a_sv.submatrix(&rows, &all_v);
+    let a_vs_0 = ws.a_vs.submatrix(&all_v, &rows);
+    let nnz = ws.a_vv.nnz() + a_sv_0.nnz() + a_vs_0.nnz();
+    let mut coo = Coo::with_capacity(nv + m, nv + m, nnz);
+    push_csc(&mut coo, ws.a_vv, 0, 0);
+    push_csc(&mut coo, &a_vs_0, 0, nv);
+    push_csc(&mut coo, &a_sv_0, nv, 0);
+    let w = coo.to_csc();
+    let schur_vars: Vec<usize> = (nv..nv + m).collect();
+    let sym = SymbolicFactorization::analyze(&w, &schur_vars, cfg.ordering)?;
+    // W is factored in the unsymmetric (LU) mode regardless of the coupled
+    // system's symmetry (the stacked tile is unsymmetric except on the
+    // diagonal).
+    Ok(sym.predicted_numeric_peak_bytes(std::mem::size_of::<T>(), true))
 }
 
 /// Record `e` as the pipeline's error in both primitives so every blocked

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
+pub mod autotune;
 pub mod config;
 pub mod driver;
 #[cfg(feature = "fault-inject")]
@@ -45,6 +46,7 @@ pub mod pipeline;
 pub mod report;
 pub mod schur;
 
+pub use autotune::{AutotuneDecision, BlockSizes, MatrixStats};
 pub use config::{
     Algorithm, DenseBackend, Metrics, PhaseReport, SolverConfig, SolverConfigBuilder,
 };

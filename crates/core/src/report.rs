@@ -279,6 +279,7 @@ mod tests {
             n_total: 1200,
             n_bem: 200,
             n_fem: 1000,
+            autotune: None,
         }
     }
 

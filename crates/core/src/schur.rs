@@ -5,11 +5,21 @@
 //! AXPY (`axpy_block`) re-syncs the charge after each recompression, so an
 //! algorithm fails with a clean out-of-memory error at exactly the point
 //! where the corresponding real solver would die.
+//!
+//! The compressed accumulator recompresses lazily: block contributions are
+//! folded in as *formal* low-rank sums (cheap), and the truncating
+//! recompression runs only when a leaf's accumulated rank exceeds the flush
+//! threshold, when the accumulator's footprint crosses its byte cap (set
+//! from the memory budget at init), or — always — right before the
+//! factorization. Both triggers are computed from deterministic state (the
+//! ordered-commit sequence of block contributions and the budget at init),
+//! so the flush schedule, like the arithmetic, is identical for every
+//! thread count.
 
 use std::sync::Arc;
 
 use csolve_common::{
-    ByteSized, Error, MemCharge, MemTracker, RealScalar, Result, Scalar, ScopeTracer,
+    ByteSized, Error, MemCharge, MemTracker, RealScalar, Result, Scalar, ScopeTracer, SpanKind,
 };
 use csolve_dense::{ldlt_in_place_nb, lu_in_place_nb, Mat, MatMut, MatRef};
 use csolve_fembem::BemOperator;
@@ -28,12 +38,24 @@ pub enum SchurAcc<T: Scalar> {
         charge: MemCharge,
     },
     /// HMAT backend: `S` kept compressed, contributions folded in through
-    /// compressed AXPYs.
+    /// compressed AXPYs with deferred (policy-driven) recompression.
     Hmat {
         /// The hierarchical accumulator.
         h: HMatrix<T>,
         /// Budget charge re-synced after every recompression.
         charge: MemCharge,
+        /// A leaf recompresses itself as soon as its accumulated formal
+        /// rank exceeds this (see
+        /// [`HMatrix::try_axpy_dense_block_deferred`]).
+        flush_rank: usize,
+        /// All leaves recompress when the accumulator's byte size crosses
+        /// this cap. Derived from the budget headroom at init
+        /// (`usize::MAX` on unbounded runs: the rank trigger alone bounds
+        /// growth).
+        byte_cap: usize,
+        /// Formal updates folded in since the last full recompression; a
+        /// final flush runs before the factorization when set.
+        dirty: bool,
     },
 }
 
@@ -73,7 +95,25 @@ impl<T: Scalar> SchurAcc<T> {
                 let oracle = |i: usize, j: usize| bem.eval(i, j);
                 let h = HMatrix::assemble_root(tree, tree, &oracle, &opts);
                 let charge = tracker.charge(h.byte_size(), "compressed Schur/A_ss")?;
-                Ok(SchurAcc::Hmat { h, charge })
+                // Deferred-recompression policy, fixed deterministically at
+                // init: leaves accumulate formal rank up to half the leaf
+                // size before paying for a truncation, and the whole
+                // accumulator flushes when it has grown into a quarter of
+                // the budget headroom measured here.
+                let flush_rank = (cfg.hmat_leaf / 2).max(4);
+                let byte_cap = if tracker.budget() == usize::MAX {
+                    usize::MAX
+                } else {
+                    let headroom = tracker.budget().saturating_sub(tracker.live());
+                    h.byte_size().saturating_add(headroom / 4)
+                };
+                Ok(SchurAcc::Hmat {
+                    h,
+                    charge,
+                    flush_rank,
+                    byte_cap,
+                    dirty: false,
+                })
             }
         }
     }
@@ -137,15 +177,32 @@ impl<T: Scalar> SchurAcc<T> {
                 dst.axpy(alpha, panel);
                 Ok(())
             }
-            SchurAcc::Hmat { h, charge } => {
-                h.try_axpy_dense_block_traced(
+            SchurAcc::Hmat {
+                h,
+                charge,
+                flush_rank,
+                byte_cap,
+                dirty,
+            } => {
+                let mut span = tr.span(SpanKind::Compress);
+                h.try_axpy_dense_block_deferred(
                     alpha,
                     r0,
                     c0,
                     panel,
                     T::Real::from_f64_real(eps),
-                    tr,
+                    *flush_rank,
                 )?;
+                *dirty = true;
+                if h.byte_size() > *byte_cap {
+                    // The accumulator has outgrown its share of the budget:
+                    // recompress everything now rather than carrying the
+                    // formal sums to the next contribution.
+                    h.recompress_leaves(T::Real::from_f64_real(eps));
+                    *dirty = false;
+                }
+                span.add_bytes(h.byte_size());
+                span.finish();
                 charge.resize(h.byte_size(), "compressed Schur/A_ss")
             }
         }
@@ -193,7 +250,21 @@ impl<T: Scalar> SchurAcc<T> {
                     Ok(SchurFactor::DenseLu { f, _charge: charge })
                 }
             }
-            SchurAcc::Hmat { h, mut charge } => {
+            SchurAcc::Hmat {
+                mut h,
+                mut charge,
+                dirty,
+                ..
+            } => {
+                if dirty {
+                    // Final flush: the factorization must see the truncated
+                    // representation, not the formal accumulated sums.
+                    let mut span = tr.span(SpanKind::Compress);
+                    h.recompress_leaves(T::Real::from_f64_real(eps));
+                    span.add_bytes(h.byte_size());
+                    span.finish();
+                    charge.resize(h.byte_size(), "compressed Schur/A_ss")?;
+                }
                 let f = HLu::factor_traced(h, T::Real::from_f64_real(eps), tr)?;
                 charge.resize(f.byte_size(), "compressed Schur factors")?;
                 Ok(SchurFactor::HLu { f, _charge: charge })

@@ -472,6 +472,29 @@ impl<T: Scalar> HMatrix<T> {
         panel: MatRef<'_, T>,
         eps: T::Real,
     ) -> csolve_common::Result<()> {
+        // Eager recompression is the `flush_rank = 0` case of the deferred
+        // path: any nonzero accumulated rank triggers an immediate
+        // truncation.
+        self.try_axpy_dense_block_deferred(alpha, r0, c0, panel, eps, 0)
+    }
+
+    /// Deferred variant of [`HMatrix::try_axpy_dense_block`]: the panel is
+    /// still compressed and folded into the touched leaves, but a low-rank
+    /// leaf only recompresses itself once its accumulated formal rank
+    /// exceeds `flush_rank` (eager recompression is the `flush_rank = 0`
+    /// case). Deferring amortizes the `O((m+n)·r²)` recompression cost over
+    /// several accumulated updates at the price of a temporarily larger
+    /// representation; pair with [`HMatrix::recompress_leaves`] to restore
+    /// the truncated form before measuring or factoring the accumulator.
+    pub fn try_axpy_dense_block_deferred(
+        &mut self,
+        alpha: T,
+        r0: usize,
+        c0: usize,
+        panel: MatRef<'_, T>,
+        eps: T::Real,
+        flush_rank: usize,
+    ) -> csolve_common::Result<()> {
         let (pm, pn) = (panel.nrows(), panel.ncols());
         if pm == 0 || pn == 0 {
             return Ok(());
@@ -509,13 +532,11 @@ impl<T: Scalar> HMatrix<T> {
                     v.col_mut(k)[c0..c0 + pn].copy_from_slice(sub.v.col(k));
                 }
                 let padded = LowRank::new(u, v);
-                let total = lr.add(alpha, &padded);
-                let tol2 = eps * total.norm_fro();
-                *lr = {
-                    let mut t = total;
-                    t.recompress(tol2);
-                    t
-                };
+                *lr = lr.add(alpha, &padded);
+                if lr.rank() > flush_rank {
+                    let tol2 = eps * lr.norm_fro();
+                    lr.recompress(tol2);
+                }
                 Ok(())
             }
             HKind::Hier(_) => {
@@ -532,42 +553,68 @@ impl<T: Scalar> HMatrix<T> {
                 let rb = r0.saturating_sub(rs);
                 let cr = c0.saturating_sub(cs);
                 if top && left {
-                    ch[0].try_axpy_dense_block(
+                    ch[0].try_axpy_dense_block_deferred(
                         alpha,
                         r0,
                         c0,
                         panel.submatrix(0..rmid, 0..cmid),
                         eps,
+                        flush_rank,
                     )?;
                 }
                 if bot && left {
-                    ch[1].try_axpy_dense_block(
+                    ch[1].try_axpy_dense_block_deferred(
                         alpha,
                         rb,
                         c0,
                         panel.submatrix(rmid..pm, 0..cmid),
                         eps,
+                        flush_rank,
                     )?;
                 }
                 if top && right {
-                    ch[2].try_axpy_dense_block(
+                    ch[2].try_axpy_dense_block_deferred(
                         alpha,
                         r0,
                         cr,
                         panel.submatrix(0..rmid, cmid..pn),
                         eps,
+                        flush_rank,
                     )?;
                 }
                 if bot && right {
-                    ch[3].try_axpy_dense_block(
+                    ch[3].try_axpy_dense_block_deferred(
                         alpha,
                         rb,
                         cr,
                         panel.submatrix(rmid..pm, cmid..pn),
                         eps,
+                        flush_rank,
                     )?;
                 }
                 Ok(())
+            }
+        }
+    }
+
+    /// Recompress every low-rank leaf at relative tolerance `eps`, restoring
+    /// the truncated representation after a sequence of deferred AXPYs
+    /// ([`HMatrix::try_axpy_dense_block_deferred`]). Dense and factored
+    /// leaves are untouched. Idempotent: a second call at the same tolerance
+    /// leaves ranks (and, up to roundoff, entries) unchanged.
+    pub fn recompress_leaves(&mut self, eps: T::Real) {
+        match &mut self.kind {
+            HKind::Dense(_) | HKind::DenseLu(_) => {}
+            HKind::LowRank(lr) => {
+                if lr.rank() > 0 {
+                    let tol = eps * lr.norm_fro();
+                    lr.recompress(tol);
+                }
+            }
+            HKind::Hier(ch) => {
+                for c in ch.iter_mut() {
+                    c.recompress_leaves(eps);
+                }
             }
         }
     }

@@ -166,6 +166,51 @@ fn axpy_dense_block_various_offsets() {
 }
 
 #[test]
+fn deferred_axpy_with_leaf_flush_matches_eager() {
+    // The deferred path (formal adds, recompression only when a leaf's
+    // accumulated rank exceeds flush_rank, final recompress_leaves) must
+    // approximate the same matrix as the eager path and end up truncated.
+    // Assembly is deterministic, so two builds give identical accumulators.
+    let (_, mut eager, _) = build_test_h(10, 1e-9, AssembleMethod::Aca);
+    let (_, mut deferred, _) = build_test_h(10, 1e-9, AssembleMethod::Aca);
+    let mut dense = eager.to_dense();
+    let n = dense.nrows();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    for &(r0, c0, pm, pn) in &[
+        (0usize, 0usize, n, 16usize),
+        (7, n - 20, 33, 20),
+        (n / 2 - 5, 3, 11, 40),
+        (1, 1, 30, 30),
+    ] {
+        let panel = Mat::<f64>::random(pm, pn, &mut rng);
+        eager
+            .try_axpy_dense_block(0.7, r0, c0, panel.as_ref(), 1e-10)
+            .unwrap();
+        deferred
+            .try_axpy_dense_block_deferred(0.7, r0, c0, panel.as_ref(), 1e-10, 12)
+            .unwrap();
+        let mut dst = dense.view_mut(r0..r0 + pm, c0..c0 + pn);
+        dst.axpy(0.7, panel.as_ref());
+    }
+    // Before the flush the deferred accumulator may carry extra formal rank.
+    let formal_bytes = deferred.byte_size();
+    deferred.recompress_leaves(1e-10);
+    assert!(
+        deferred.byte_size() <= formal_bytes,
+        "recompress_leaves must not grow the accumulator"
+    );
+    assert!(rel_err(&eager.to_dense(), &dense) < 1e-6);
+    assert!(rel_err(&deferred.to_dense(), &dense) < 1e-6);
+    // Flushing again changes nothing: per-singular-value truncation is
+    // idempotent.
+    let once = deferred.to_dense();
+    let rank_once = deferred.stats().max_rank;
+    deferred.recompress_leaves(1e-10);
+    assert_eq!(deferred.stats().max_rank, rank_once);
+    assert!(rel_err(&deferred.to_dense(), &once) < 1e-12);
+}
+
+#[test]
 fn axpy_lowrank_full_shape() {
     let (_, mut h, mut dense) = build_test_h(9, 1e-9, AssembleMethod::Aca);
     let n = dense.nrows();

@@ -37,8 +37,8 @@ pub use csolve_common::{
     TraceScope, Tracer, C32, C64,
 };
 pub use csolve_coupled::{
-    solve, Algorithm, DenseBackend, Metrics, Outcome, PhaseReport, RunReport, SolverConfig,
-    SolverConfigBuilder, SpanAgg,
+    solve, Algorithm, AutotuneDecision, BlockSizes, DenseBackend, MatrixStats, Metrics, Outcome,
+    PhaseReport, RunReport, SolverConfig, SolverConfigBuilder, SpanAgg,
 };
 pub use csolve_fembem::{industrial_problem, pipe_problem, CoupledProblem};
 

@@ -215,6 +215,16 @@ impl<T: Scalar> LowRank<T> {
     pub fn add(&self, alpha: T, other: &LowRank<T>) -> Self {
         assert_eq!(self.nrows(), other.nrows());
         assert_eq!(self.ncols(), other.ncols());
+        // Rank-0 operands short-circuit: no concatenated panels, and the
+        // result reuses the existing factors directly.
+        if other.rank() == 0 {
+            return self.clone();
+        }
+        if self.rank() == 0 {
+            let mut scaled = other.clone();
+            scaled.scale(alpha);
+            return scaled;
+        }
         let r1 = self.rank();
         let r2 = other.rank();
         let mut u = Mat::zeros(self.nrows(), r1 + r2);
@@ -243,9 +253,23 @@ impl<T: Scalar> LowRank<T> {
 
     /// Recompress in place at absolute Frobenius tolerance `tol`:
     /// QR of both factors, SVD of the small core, truncate.
+    ///
+    /// The truncation rule is the per-singular-value threshold
+    /// `σ_j ≤ τ = tol/√L` with `L = min(m, n)`: at most `L` values can be
+    /// dropped, so the total Frobenius error is `≤ √L·τ = tol`. Unlike the
+    /// cumulative-tail rule, this makes recompression **idempotent**: a
+    /// second call at the same `tol` sees the same singular values, all
+    /// strictly above `τ`, and drops nothing.
     pub fn recompress(&mut self, tol: T::Real) {
         let r = self.rank();
         if r == 0 {
+            return;
+        }
+        let (m, n) = (self.nrows(), self.ncols());
+        if m == 0 || n == 0 {
+            // Empty-shape operand: any rank is formal; normalize to rank 0
+            // instead of feeding 0×r panels to the QR.
+            *self = Self::zeros(m, n);
             return;
         }
         let qu = qr_in_place(std::mem::replace(&mut self.u, Mat::zeros(0, 0)));
@@ -255,16 +279,10 @@ impl<T: Scalar> LowRank<T> {
         let rv = qv.r();
         let core = gemm_into(ru.as_ref(), Op::NoTrans, rv.as_ref(), Op::Trans);
         let svd = jacobi_svd(&core);
-        // Truncate: keep σ_i with Σ_{j>r'} σ_j² ≤ tol² (Frobenius criterion).
+        let l = m.min(n).max(1);
+        let thresh = tol / T::Real::from_f64_real(l as f64).rsqrt_val();
         let mut keep = svd.s.len();
-        let tol2 = tol * tol;
-        let mut tail = T::Real::RZERO;
-        while keep > 0 {
-            let add = svd.s[keep - 1] * svd.s[keep - 1];
-            if tail + add > tol2 {
-                break;
-            }
-            tail += add;
+        while keep > 0 && svd.s[keep - 1] <= thresh {
             keep -= 1;
         }
         // U ← Qu·(W·Σ), V ← Qv·conj(Z)
@@ -408,14 +426,17 @@ mod tests {
             dense.axpy(1.0, &term.to_dense());
             acc = acc.add(1.0, &term);
         }
-        let tol = 1e-6 * dense.norm_fro();
+        // Per-σ truncation drops σ_j ≤ tol/√L: with 0.3^k-decaying terms a
+        // 1e-4 relative tolerance cuts the deepest terms while the error
+        // stays within tol (the rule's aggregate guarantee).
+        let tol = 1e-4 * dense.norm_fro();
         let mut rc = acc.clone();
         rc.recompress(tol);
-        assert!(rc.rank() < 12);
+        assert!(rc.rank() < 12, "rank {} not reduced", rc.rank());
         let mut d = rc.to_dense();
         d.axpy(-1.0, &dense);
         assert!(
-            d.norm_fro() <= 2.0 * tol,
+            d.norm_fro() <= tol,
             "err {:.3e} vs tol {tol:.3e}",
             d.norm_fro()
         );
@@ -479,6 +500,89 @@ mod tests {
         assert_eq!(rc.rank(), 0);
     }
 
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn seeded(m: usize, n: usize, r: usize, scale: f64, seed: u64) -> LowRank<f64> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut u = Mat::<f64>::random(m, r, &mut rng);
+            let v = Mat::<f64>::random(n, r, &mut rng);
+            u.scale(scale);
+            LowRank::new(u, v)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            /// `add_truncate` agrees with the dense oracle `X + α·Y` within
+            /// `tol`, for arbitrary shapes and ranks including rank 0 and
+            /// 1-row/1-column shapes.
+            #[test]
+            fn add_truncate_matches_dense_oracle(
+                shape in (1usize..24, 1usize..24),
+                ranks in (0usize..5, 0usize..5),
+                alpha in -3.0f64..3.0,
+                seed in 0u64..10_000,
+            ) {
+                let ((m, n), (r1, r2)) = (shape, ranks);
+                let x = seeded(m, n, r1, 1.0, seed);
+                let y = seeded(m, n, r2, 1.0, seed.wrapping_add(1));
+                let mut want = x.to_dense();
+                want.axpy(alpha, &y.to_dense());
+                let tol = 1e-10 * (1.0 + want.norm_fro());
+                let z = x.add_truncate(alpha, &y, tol);
+                let mut d = z.to_dense();
+                d.axpy(-1.0, &want);
+                prop_assert!(
+                    d.norm_fro() <= tol,
+                    "err {:.3e} vs tol {tol:.3e} (m={m} n={n} r1={r1} r2={r2})",
+                    d.norm_fro()
+                );
+                prop_assert!(z.rank() <= r1 + r2);
+            }
+
+            /// Recompression drops at most `tol` of Frobenius mass and is
+            /// idempotent at the same tolerance.
+            #[test]
+            fn recompress_bounded_and_idempotent(
+                shape in (1usize..20, 1usize..20),
+                terms in 1usize..8,
+                decay in 0.1f64..0.9,
+                logtol in -10.0f64..-2.0,
+                seed in 0u64..10_000,
+            ) {
+                let (m, n) = shape;
+                let mut acc = LowRank::<f64>::zeros(m, n);
+                for k in 0..terms {
+                    let t = seeded(m, n, 1, decay.powi(k as i32), seed.wrapping_add(k as u64));
+                    acc = acc.add(1.0, &t);
+                }
+                let dense = acc.to_dense();
+                let tol = 10f64.powf(logtol) * (1.0 + dense.norm_fro());
+                let mut rc = acc;
+                rc.recompress(tol);
+                let mut d = rc.to_dense();
+                d.axpy(-1.0, &dense);
+                prop_assert!(
+                    d.norm_fro() <= tol,
+                    "truncation err {:.3e} vs tol {tol:.3e}",
+                    d.norm_fro()
+                );
+                let once_rank = rc.rank();
+                let d_once = rc.to_dense();
+                rc.recompress(tol);
+                prop_assert_eq!(rc.rank(), once_rank);
+                let mut d = rc.to_dense();
+                d.axpy(-1.0, &d_once);
+                prop_assert!(
+                    d.norm_fro() <= 1e-11 * (1.0 + d_once.norm_fro()),
+                    "second recompress moved the matrix by {:.3e}",
+                    d.norm_fro()
+                );
+            }
+        }
+    }
+
     #[test]
     fn row_and_col_extraction() {
         let (lr, a) = rand_lowrank(10, 10, 3, 11);
@@ -490,6 +594,113 @@ mod tests {
         let mut d = cols.to_dense();
         d.axpy(-1.0, &a.submatrix(0..10, 1..4));
         assert!(d.norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn recompress_is_idempotent() {
+        // The per-σ truncation rule must make a second recompression at the
+        // same tolerance a no-op: same rank and (numerically) the same
+        // matrix. The old cumulative-tail rule failed this — each pass
+        // started a fresh tail budget and kept eroding the spectrum.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let (m, n) = (24, 20);
+        let mut acc = LowRank::<f64>::zeros(m, n);
+        for k in 0..10 {
+            let mut u = Mat::<f64>::random(m, 1, &mut rng);
+            let v = Mat::<f64>::random(n, 1, &mut rng);
+            u.scale(0.4f64.powi(k));
+            acc = acc.add(1.0, &LowRank::new(u, v));
+        }
+        let tol = 1e-5 * acc.norm_fro();
+        let mut once = acc.clone();
+        once.recompress(tol);
+        let d_once = once.to_dense();
+        let mut twice = once.clone();
+        twice.recompress(tol);
+        assert_eq!(
+            twice.rank(),
+            once.rank(),
+            "second recompress at the same tol changed the rank"
+        );
+        let mut d = twice.to_dense();
+        d.axpy(-1.0, &d_once);
+        assert!(
+            d.norm_fro() <= 1e-12 * d_once.norm_fro(),
+            "second recompress moved the matrix by {:.3e}",
+            d.norm_fro()
+        );
+    }
+
+    #[test]
+    fn recompress_error_within_tol_per_sigma() {
+        // The per-σ rule's aggregate guarantee: ‖A − A_trunc‖_F ≤ tol.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let (m, n) = (30, 30);
+        let mut acc = LowRank::<f64>::zeros(m, n);
+        for k in 0..14 {
+            let mut u = Mat::<f64>::random(m, 1, &mut rng);
+            let v = Mat::<f64>::random(n, 1, &mut rng);
+            u.scale(0.25f64.powi(k));
+            acc = acc.add(1.0, &LowRank::new(u, v));
+        }
+        let dense = acc.to_dense();
+        let tol = 1e-4 * dense.norm_fro();
+        let mut rc = acc;
+        rc.recompress(tol);
+        let mut d = rc.to_dense();
+        d.axpy(-1.0, &dense);
+        assert!(
+            d.norm_fro() <= tol,
+            "err {:.3e} vs tol {tol:.3e}",
+            d.norm_fro()
+        );
+    }
+
+    #[test]
+    fn add_with_rank_zero_operands() {
+        let (lr, a) = rand_lowrank(9, 7, 3, 33);
+        let z = LowRank::<f64>::zeros(9, 7);
+        // rank-k + rank-0: unchanged (and no 0-column concat panels).
+        let s = lr.add(2.0, &z);
+        assert_eq!(s.rank(), 3);
+        let mut d = s.to_dense();
+        d.axpy(-1.0, &a);
+        assert_eq!(d.norm_max(), 0.0);
+        // rank-0 + α·rank-k: the scaled operand.
+        let s = z.add(-2.0, &lr);
+        assert_eq!(s.rank(), 3);
+        let mut d = s.to_dense();
+        let mut want = a.clone();
+        want.scale(-2.0);
+        d.axpy(-1.0, &want);
+        assert!(d.norm_max() < 1e-14);
+        // rank-0 + rank-0 stays rank 0 through add_truncate (no divide by
+        // zero in the rounding step).
+        let s = z.add_truncate(1.0, &LowRank::zeros(9, 7), 1e-10);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn add_truncate_with_rank_zero_operand_matches_plain_truncate() {
+        let (lr, a) = rand_lowrank(11, 8, 4, 34);
+        let z = LowRank::<f64>::zeros(11, 8);
+        let tol = 1e-9 * a.norm_fro();
+        let s = z.add_truncate(1.0, &lr, tol);
+        let mut d = s.to_dense();
+        d.axpy(-1.0, &a);
+        assert!(d.norm_fro() <= tol.max(1e-12));
+        assert!(s.rank() <= 4);
+    }
+
+    #[test]
+    fn recompress_empty_shapes_normalize_to_rank_zero() {
+        // A formal rank on an empty shape (0 rows or 0 cols) must collapse
+        // to rank 0 rather than running QR on 0×r panels.
+        for (m, n) in [(0usize, 6usize), (6, 0), (0, 0)] {
+            let mut lr = LowRank::<f64>::new(Mat::zeros(m, 3), Mat::zeros(n, 3));
+            lr.recompress(1e-10);
+            assert_eq!((lr.nrows(), lr.ncols(), lr.rank()), (m, n, 0));
+        }
     }
 
     #[test]

@@ -293,6 +293,59 @@ impl SymbolicFactorization {
             .max()
             .unwrap_or(0)
     }
+
+    /// Deterministic upper bound on the bytes one numeric
+    /// factorization+Schur call charges against the memory tracker, obtained
+    /// by replaying the postordered supernode sequence with the exact charge
+    /// schedule of `factorize_schur` (dense Schur output, frontal matrices,
+    /// contribution blocks held for their parents, growing factor panels).
+    ///
+    /// `elem` is `size_of::<T>()`; `unsymmetric` adds the U row panels of
+    /// the LU mode. The bound is exact for uncompressed factors; BLR
+    /// compression only shrinks the factor panels, so the real peak never
+    /// exceeds it. Used by the block autotuner to price a
+    /// multi-factorization tile before any numeric work runs.
+    pub fn predicted_numeric_peak_bytes(&self, elem: usize, unsymmetric: bool) -> usize {
+        let ns = self.n_schur;
+        // Charges live at entry: the dense Schur accumulator.
+        let mut live = ns * ns * elem;
+        let mut peak = live;
+        // Pending contribution-block bytes per supernode (postorder:
+        // children always precede parents).
+        let mut cb_bytes = vec![0usize; self.supernodes.len()];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.supernodes.len()];
+        for (s, sn) in self.supernodes.iter().enumerate() {
+            if sn.parent != usize::MAX {
+                children[sn.parent].push(s);
+            }
+        }
+        for (s, sn) in self.supernodes.iter().enumerate() {
+            let k = sn.width();
+            let f = sn.front_size();
+            // The front is charged while every child CB is still held.
+            live += f * f * elem;
+            peak = peak.max(live);
+            for &c in &children[s] {
+                live -= cb_bytes[c];
+            }
+            // CB charged before the front is released.
+            if f > k && sn.parent != usize::MAX {
+                cb_bytes[s] = (f - k) * (f - k) * elem;
+                live += cb_bytes[s];
+                peak = peak.max(live);
+            }
+            live -= f * f * elem;
+            // Factor panels harvested from the front: diagonal block plus
+            // the L panel (and the U panel in LU mode).
+            let mut sn_bytes = k * k * elem + (f - k) * k * elem;
+            if unsymmetric {
+                sn_bytes += k * (f - k) * elem;
+            }
+            live += sn_bytes;
+            peak = peak.max(live);
+        }
+        peak
+    }
 }
 
 /// Merge chains of narrow supernodes (child whose parent is the immediately
@@ -418,6 +471,54 @@ mod tests {
             }
         }
         assert_eq!(cursor, ne);
+    }
+
+    #[test]
+    fn predicted_numeric_peak_matches_tracked_factorization() {
+        use crate::numeric::{factorize_schur, SparseOptions, Symmetry};
+        use csolve_common::MemTracker;
+
+        let a = grid_matrix(12, 12);
+        let n = a.nrows;
+        let schur_vars: Vec<usize> = (n - 10..n).collect();
+        for (symmetry, unsym) in [
+            (Symmetry::SymmetricLdlt, false),
+            (Symmetry::UnsymmetricLu, true),
+        ] {
+            let sym =
+                SymbolicFactorization::analyze(&a, &schur_vars, OrderingKind::NestedDissection)
+                    .unwrap();
+            let predicted = sym.predicted_numeric_peak_bytes(std::mem::size_of::<f64>(), unsym);
+            let tracker = MemTracker::unbounded();
+            let opts = SparseOptions {
+                ordering: OrderingKind::NestedDissection,
+                symmetry,
+                blr_eps: None,
+                tracker: Some(tracker.clone()),
+                ..Default::default()
+            };
+            let (f, x) = factorize_schur(&a, &schur_vars, &opts).unwrap();
+            // Uncompressed factors: the replay is the exact charge schedule.
+            assert_eq!(
+                predicted,
+                tracker.peak(),
+                "unsym={unsym}: predicted peak must equal the tracked peak"
+            );
+            // BLR compression only shrinks factor panels: still an upper
+            // bound.
+            let t2 = MemTracker::unbounded();
+            let opts_blr = SparseOptions {
+                blr_eps: Some(1e-9),
+                tracker: Some(t2.clone()),
+                ..opts
+            };
+            let _ = factorize_schur(&a, &schur_vars, &opts_blr).unwrap();
+            assert!(
+                t2.peak() <= predicted,
+                "unsym={unsym}: BLR run exceeded the uncompressed bound"
+            );
+            drop((f, x));
+        }
     }
 
     #[test]

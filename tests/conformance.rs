@@ -14,7 +14,9 @@
 
 use csolve::testkit::oracle::{problem_tol, rel_err_l2, relative_residual, OracleSolution};
 use csolve::testkit::{generate, oracle_solve, ProblemSpec};
-use csolve::{solve, Algorithm, DenseBackend, Scalar, SolverConfig, TraceScope, Tracer, C64};
+use csolve::{
+    solve, Algorithm, BlockSizes, DenseBackend, Scalar, SolverConfig, TraceScope, Tracer, C64,
+};
 
 const EPS: f64 = 1e-10;
 const WELL_COND: f64 = 10.0;
@@ -184,6 +186,145 @@ fn baselines_agree_with_the_oracle() {
                 backend.name()
             );
         }
+    }
+}
+
+/// Budget-governed cell: `BlockSizes::Auto` under three budgets per
+/// blockwise algorithm —
+///
+/// * **ample** (4× the measured fixed-blocking peak): the autotuner keeps
+///   the configured blocking (no degrade) and the run stays within budget;
+/// * **tight** (the largest scanned fraction of the fixed peak that forces
+///   a degraded blocking): the run completes, stays within budget, meets
+///   the oracle tolerance, and is bitwise-identical at every thread count
+///   (the selection depends only on thread-count-invariant inputs);
+/// * **infeasible** (a sliver of the fixed peak): a structured
+///   out-of-memory error, never a panic.
+#[test]
+fn autotuned_blocking_under_memory_budgets() {
+    let spec = ProblemSpec {
+        cond: WELL_COND,
+        ..ProblemSpec::new(0xC0F_007)
+    };
+    let p = generate::<f64>(&spec);
+    let reference = oracle_solve(&p).unwrap();
+    let tol = problem_tol(spec.cond, EPS);
+
+    let cells: &[(Algorithm, DenseBackend)] = if smoke() {
+        &[
+            (Algorithm::MultiSolve, DenseBackend::Hmat),
+            (Algorithm::MultiFactorization, DenseBackend::Hmat),
+        ]
+    } else {
+        &GRID
+    };
+
+    for &(algo, backend) in cells {
+        let cell = format!(
+            "[seed {}] auto-budget / {} / {}",
+            spec.seed,
+            algo.name(),
+            backend.name()
+        );
+        let auto_cfg = |budget: usize, threads: usize| SolverConfig {
+            block_sizes: BlockSizes::Auto,
+            mem_budget: Some(budget),
+            ..config(backend, threads)
+        };
+
+        // Reference run: fixed blocking, unbounded — gives the peak the
+        // budgets are scaled from.
+        let fixed = solve(&p, algo, &config(backend, 1))
+            .unwrap_or_else(|e| panic!("{cell}: unbounded fixed run failed: {e}"));
+        let peak = fixed.metrics.peak_bytes;
+        assert!(
+            fixed.metrics.autotune.is_none(),
+            "{cell}: fixed blocking must not record an autotune decision"
+        );
+
+        // Ample: everything fits, the configured blocking survives.
+        let ample = solve(&p, algo, &auto_cfg(4 * peak, 1))
+            .unwrap_or_else(|e| panic!("{cell}: ample-budget run failed: {e}"));
+        let d = ample
+            .metrics
+            .autotune
+            .unwrap_or_else(|| panic!("{cell}: Auto run recorded no decision"));
+        assert!(
+            !d.degraded,
+            "{cell}: ample budget must not degrade blocking"
+        );
+        assert!(
+            ample.metrics.peak_bytes <= 4 * peak,
+            "{cell}: ample run peak {} exceeds budget {}",
+            ample.metrics.peak_bytes,
+            4 * peak
+        );
+        assert!(
+            ample.xv == fixed.xv && ample.xs == fixed.xs,
+            "{cell}: an undegraded Auto run must match the fixed run bitwise"
+        );
+
+        // Tight: scan down from the fixed peak for the first budget the
+        // model answers with a *smaller* blocking that still completes.
+        let tight = [98, 95, 90, 85, 80, 75, 70, 60, 50, 40]
+            .iter()
+            .filter_map(|pct| {
+                let budget = peak * pct / 100;
+                match solve(&p, algo, &auto_cfg(budget, 1)) {
+                    Ok(out) if out.metrics.autotune.is_some_and(|d| d.degraded) => {
+                        Some((budget, out))
+                    }
+                    _ => None,
+                }
+            })
+            .next();
+        let Some((budget, tight_out)) = tight else {
+            panic!("{cell}: no scanned budget produced a degraded-but-feasible run")
+        };
+        let d = tight_out.metrics.autotune.unwrap();
+        assert!(
+            d.predicted_peak <= budget,
+            "{cell}: selected blocking predicts {} bytes over budget {budget}",
+            d.predicted_peak
+        );
+        assert!(
+            tight_out.metrics.peak_bytes <= budget,
+            "{cell}: tight run peak {} exceeds budget {budget}",
+            tight_out.metrics.peak_bytes
+        );
+        let resid = relative_residual(&p, &tight_out.xv, &tight_out.xs);
+        assert!(
+            resid < tol,
+            "{cell}: tight run residual {resid:.3e} exceeds tol {tol:.3e}"
+        );
+        let err = rel_err_l2(&tight_out.xv, &tight_out.xs, &reference.xv, &reference.xs);
+        assert!(
+            err < tol,
+            "{cell}: tight run forward error {err:.3e} exceeds tol {tol:.3e}"
+        );
+        // Bitwise determinism of the degraded run across thread counts.
+        for &threads in thread_counts() {
+            let out = solve(&p, algo, &auto_cfg(budget, threads))
+                .unwrap_or_else(|e| panic!("{cell}: tight run at {threads} thr failed: {e}"));
+            assert_eq!(
+                out.metrics.autotune, tight_out.metrics.autotune,
+                "{cell}: autotune decision drifted at {threads} thr"
+            );
+            assert!(
+                out.xv == tight_out.xv && out.xs == tight_out.xs,
+                "{cell}: tight run at {threads} thr is not bitwise-identical"
+            );
+        }
+
+        // Infeasible: a budget no blocking can satisfy is a structured
+        // error, not a panic.
+        let e = solve(&p, algo, &auto_cfg((peak / 50).max(1), 1))
+            .err()
+            .unwrap_or_else(|| panic!("{cell}: infeasible budget unexpectedly succeeded"));
+        assert!(
+            e.is_oom(),
+            "{cell}: infeasible budget must be OutOfMemory, got {e}"
+        );
     }
 }
 
