@@ -17,6 +17,22 @@ cargo clippy --workspace --all-targets --offline \
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
+echo "==> doc-examples (façade + sparse BLR examples must run)"
+cargo test --doc --offline -q -p csolve -p csolve-sparse
+
+echo "==> README config table covers every SolverConfig builder method"
+# Docs-drift check: every public builder method of SolverConfigBuilder must
+# have a row (a backticked first column) in README.md's Configuration table.
+missing=0
+for m in $(sed -n '/impl SolverConfigBuilder/,/^}/p' crates/core/src/config.rs \
+            | sed -n 's/^ *pub fn \([a-z_0-9]*\).*/\1/p' | sort -u); do
+  if ! grep -q "^| \`$m\` |" README.md; then
+    echo "   MISSING from README config table: $m"
+    missing=1
+  fi
+done
+test "$missing" -eq 0
+
 echo "==> cargo test (conformance suite in smoke profile)"
 # The conformance grid runs its reduced sweep under CSOLVE_CONFORMANCE=smoke;
 # unset the variable (or run `cargo test --test conformance`) for the full
@@ -43,6 +59,14 @@ echo "==> autotune_report smoke run"
 # target/BENCH_autotune_smoke.json so the committed BENCH_autotune.json is
 # never clobbered by CI.
 cargo run --release --offline -q --bin autotune_report -- --smoke > /dev/null
+
+echo "==> blr_report smoke run"
+# Tier-2 assertion baked into the binary: under a budget between the
+# compressed and uncompressed multi-factorization peaks, the uncompressed
+# run must OOM while the sparse_eps=1e-9 run completes with rel error
+# <= 1e-7 (the Table-II walkthrough). Writes target/BENCH_blr_smoke.json so
+# the committed BENCH_blr.json is never clobbered by CI.
+cargo run --release --offline -q --bin blr_report -- --smoke > /dev/null
 
 echo "==> trace smoke run"
 # Quickstart through the façade with tracing on (writes + re-parses the

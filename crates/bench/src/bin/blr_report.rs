@@ -1,0 +1,332 @@
+//! BLR sparse-front report — rank profiles, memory, and accuracy of the
+//! compressed supernodal factorization (`sparse_eps`).
+//!
+//! Two parts:
+//!
+//! 1. **Tolerance sweep** — factors the pipe problem's volume block `A_vv`
+//!    directly at `sparse_eps ∈ {0, 1e-6, 1e-9, 1e-12}` and records, per
+//!    tolerance: the per-front panel-rank histogram, compressed vs
+//!    uncompressed stored bytes, the measured factorization peak next to
+//!    the symbolic predictions (`predicted_numeric_peak_bytes` /
+//!    `predicted_numeric_peak_bytes_blr`), and the relative error of the
+//!    full coupled solve through the `csolve` façade at that tolerance.
+//! 2. **Budget walkthrough** (the paper's Table II shape) — runs
+//!    multi-factorization under a byte budget between the compressed and
+//!    uncompressed peaks: the uncompressed run returns a structured
+//!    out-of-memory error, the `sparse_eps = 1e-9` run completes under the
+//!    same budget with relative error ≤ 1e-7.
+//!
+//! Writes a machine-readable dump (default `BENCH_blr.json` at the repo
+//! root — see EXPERIMENTS.md). Flags:
+//!
+//! - `--n 4000`        — total unknowns of the pipe problem
+//! - `--out path.json` — where to write the JSON dump
+//! - `--smoke`         — small problem, write to `target/`, and *assert*
+//!   (exit non-zero) the walkthrough statuses and error bounds (CI check)
+
+use csolve::common::MemTracker;
+use csolve::sparse::{factorize, OrderingKind, SparseOptions, SymbolicFactorization, Symmetry};
+use csolve::{pipe_problem, Algorithm, CoupledProblem, DenseBackend, SolverConfig};
+use csolve_bench::{attempt, header, mib, Args, Attempt};
+
+/// One `sparse_eps` cell of the tolerance sweep.
+struct SweepRow {
+    eps: f64,
+    panels_eligible: usize,
+    panels_compressed: usize,
+    dense_bytes: usize,
+    stored_bytes: usize,
+    max_rank: usize,
+    /// `(bucket_upper_bound, count)` with power-of-two buckets.
+    rank_histogram: Vec<(usize, usize)>,
+    factor_peak_bytes: usize,
+    rel_error: f64,
+}
+
+fn histogram(ranks: &[usize]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for &r in ranks {
+        let bucket = r.max(1).next_power_of_two();
+        match out.iter_mut().find(|(b, _)| *b == bucket) {
+            Some((_, c)) => *c += 1,
+            None => out.push((bucket, 1)),
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn coupled_config(sparse_eps: f64) -> SolverConfig {
+    SolverConfig {
+        eps: 1e-10,
+        dense_backend: DenseBackend::Spido,
+        sparse_eps: Some(sparse_eps),
+        num_threads: 1,
+        ..Default::default()
+    }
+}
+
+/// Factor `A_vv` directly at one tolerance and solve the coupled problem at
+/// the same tolerance through the façade.
+fn sweep_row(problem: &CoupledProblem<f64>, eps: f64) -> SweepRow {
+    let tracker = MemTracker::unbounded();
+    let opts = SparseOptions {
+        ordering: OrderingKind::NestedDissection,
+        symmetry: Symmetry::SymmetricLdlt,
+        blr_eps: (eps > 0.0).then_some(eps),
+        tracker: Some(tracker.clone()),
+        ..Default::default()
+    };
+    let f = factorize(&problem.a_vv, &opts).expect("A_vv factorization failed");
+    let stats = f.stats();
+    let rel_error = match attempt(problem, Algorithm::MultiSolve, &coupled_config(eps)) {
+        Attempt::Ok(r) => r.rel_error,
+        other => panic!("coupled solve at sparse_eps {eps:e} failed: {other:?}"),
+    };
+    SweepRow {
+        eps,
+        panels_eligible: stats.panels_eligible,
+        panels_compressed: stats.compressed_panels,
+        dense_bytes: stats.panel_dense_bytes,
+        stored_bytes: stats.panel_stored_bytes,
+        max_rank: stats.max_panel_rank,
+        rank_histogram: histogram(&f.panel_ranks()),
+        factor_peak_bytes: tracker.peak(),
+        rel_error,
+    }
+}
+
+struct Walkthrough {
+    budget_bytes: usize,
+    uncompressed_peak: usize,
+    compressed_peak: usize,
+    uncompressed_status: String,
+    compressed_status: String,
+    compressed_rel_error: f64,
+}
+
+/// Multi-factorization under a budget straddled between the compressed and
+/// uncompressed unbounded peaks.
+fn walkthrough(problem: &CoupledProblem<f64>) -> Walkthrough {
+    let mf = |sparse_eps: f64, budget: Option<usize>| SolverConfig {
+        mem_budget: budget,
+        ..coupled_config(sparse_eps)
+    };
+    let peak_of = |cfg: &SolverConfig| match attempt(problem, Algorithm::MultiFactorization, cfg) {
+        Attempt::Ok(r) => r.metrics.peak_bytes,
+        other => panic!("unbounded multi-factorization failed: {other:?}"),
+    };
+    let uncompressed_peak = peak_of(&mf(0.0, None));
+    let compressed_peak = peak_of(&mf(1e-9, None));
+    // A budget the compressed run clears with headroom but the uncompressed
+    // peak overshoots.
+    let budget = compressed_peak + (uncompressed_peak.saturating_sub(compressed_peak)) / 2;
+    let status = |a: &Attempt| match a {
+        Attempt::Ok(_) => "ok".to_string(),
+        Attempt::Oom => "oom".to_string(),
+        Attempt::Failed(e) => format!("failed: {e}"),
+    };
+    let dense_run = attempt(
+        problem,
+        Algorithm::MultiFactorization,
+        &mf(0.0, Some(budget)),
+    );
+    let blr_run = attempt(
+        problem,
+        Algorithm::MultiFactorization,
+        &mf(1e-9, Some(budget)),
+    );
+    Walkthrough {
+        budget_bytes: budget,
+        uncompressed_peak,
+        compressed_peak,
+        uncompressed_status: status(&dense_run),
+        compressed_status: status(&blr_run),
+        compressed_rel_error: blr_run.ok().map_or(f64::NAN, |r| r.rel_error),
+    }
+}
+
+fn write_json(path: &str, n: usize, rows: &[SweepRow], w: &Walkthrough) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"tool\": \"blr_report\",\n");
+    s.push_str(&format!("  \"n\": {n},\n"));
+    s.push_str("  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let hist = r
+            .rank_histogram
+            .iter()
+            .map(|(b, c)| format!("{{\"rank_le\": {b}, \"panels\": {c}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "    {{\"eps\": {:e}, \"panels_eligible\": {}, \"panels_compressed\": {}, \
+             \"dense_bytes\": {}, \"stored_bytes\": {}, \"max_rank\": {}, \
+             \"factor_peak_bytes\": {}, \"rel_error\": {:e}, \"rank_histogram\": [{hist}]}}{}\n",
+            r.eps,
+            r.panels_eligible,
+            r.panels_compressed,
+            r.dense_bytes,
+            r.stored_bytes,
+            r.max_rank,
+            r.factor_peak_bytes,
+            r.rel_error,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"budget_walkthrough\": {{\"budget_bytes\": {}, \"uncompressed_peak\": {}, \
+         \"compressed_peak\": {}, \"uncompressed_status\": \"{}\", \
+         \"compressed_status\": \"{}\", \"compressed_rel_error\": {:e}}}\n",
+        w.budget_bytes,
+        w.uncompressed_peak,
+        w.compressed_peak,
+        w.uncompressed_status,
+        w.compressed_status,
+        w.compressed_rel_error,
+    ));
+    s.push_str("}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("--smoke");
+    let n = args.get_usize("--n", if smoke { 4_000 } else { 8_000 });
+    let default_out = if smoke {
+        "target/BENCH_blr_smoke.json"
+    } else {
+        "BENCH_blr.json"
+    };
+    let out_path = args.get_str("--out").unwrap_or(default_out).to_string();
+
+    header(
+        "BLR sparse fronts — rank profiles, memory, accuracy vs sparse_eps",
+        "Agullo, Felšöci, Sylvand (IPDPS 2022), §III-B/V (BLR feature of the sparse solver)",
+    );
+    println!("\npipe problem N = {n}\n");
+
+    let problem = pipe_problem::<f64>(n);
+    let sym = SymbolicFactorization::analyze(&problem.a_vv, &[], OrderingKind::NestedDissection)
+        .expect("symbolic analysis failed");
+    let elem = std::mem::size_of::<f64>();
+    let predicted_dense = sym.predicted_numeric_peak_bytes(elem, false);
+    let predicted_blr = sym.predicted_numeric_peak_bytes_blr(elem, false);
+    println!(
+        "A_vv predicted factorization peak: {:.1} MiB dense replay, {:.1} MiB BLR model\n",
+        mib(predicted_dense),
+        mib(predicted_blr)
+    );
+
+    let rows: Vec<SweepRow> = [0.0, 1e-6, 1e-9, 1e-12]
+        .iter()
+        .map(|&eps| sweep_row(&problem, eps))
+        .collect();
+
+    println!(
+        "{:<10} {:>9} {:>11} {:>12} {:>12} {:>9} {:>12} {:>10}",
+        "eps",
+        "eligible",
+        "compressed",
+        "dense MiB",
+        "stored MiB",
+        "max rank",
+        "peak MiB",
+        "rel err"
+    );
+    for r in &rows {
+        println!(
+            "{:<10.0e} {:>9} {:>11} {:>12.2} {:>12.2} {:>9} {:>12.1} {:>10.2e}",
+            r.eps,
+            r.panels_eligible,
+            r.panels_compressed,
+            mib(r.dense_bytes),
+            mib(r.stored_bytes),
+            r.max_rank,
+            mib(r.factor_peak_bytes),
+            r.rel_error
+        );
+    }
+    for r in rows.iter().filter(|r| !r.rank_histogram.is_empty()) {
+        let cells = r
+            .rank_histogram
+            .iter()
+            .map(|(b, c)| format!("≤{b}:{c}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("  rank histogram @ {:>6.0e}: {cells}", r.eps);
+    }
+
+    let w = walkthrough(&problem);
+    println!(
+        "\nmulti-factorization budget walkthrough (budget {:.1} MiB, between the \
+         compressed {:.1} MiB and uncompressed {:.1} MiB peaks):",
+        mib(w.budget_bytes),
+        mib(w.compressed_peak),
+        mib(w.uncompressed_peak)
+    );
+    println!("  uncompressed      : {}", w.uncompressed_status);
+    println!(
+        "  sparse_eps = 1e-9 : {} (rel error {:.2e})",
+        w.compressed_status, w.compressed_rel_error
+    );
+
+    // CI assertions (smoke mode): the compressed run is the one that fits.
+    let mut failures = Vec::new();
+    if smoke {
+        if w.uncompressed_status != "oom" {
+            failures.push(format!(
+                "uncompressed multi-factorization expected oom under {} B, got {}",
+                w.budget_bytes, w.uncompressed_status
+            ));
+        }
+        if w.compressed_status != "ok" {
+            failures.push(format!(
+                "sparse_eps=1e-9 multi-factorization expected ok under {} B, got {}",
+                w.budget_bytes, w.compressed_status
+            ));
+        }
+        if !w.compressed_rel_error.is_finite() || w.compressed_rel_error > 1e-7 {
+            failures.push(format!(
+                "sparse_eps=1e-9 relative error {:e} above 1e-7",
+                w.compressed_rel_error
+            ));
+        }
+        // At bench scale only the loosest tolerance is guaranteed to find
+        // compressible panels in A_vv itself (the stacked multi-fact fronts
+        // compress at tighter eps too — that is what the walkthrough shows).
+        for r in &rows {
+            if r.eps == 1e-6 && r.panels_compressed == 0 {
+                failures.push(format!("no panel compressed at eps {:e}", r.eps));
+            }
+            if r.eps == 0.0 && r.panels_compressed != 0 {
+                failures.push("eps = 0 run compressed a panel".to_string());
+            }
+        }
+        if predicted_blr > predicted_dense {
+            failures.push(format!(
+                "BLR model {predicted_blr} B exceeds the dense replay {predicted_dense} B"
+            ));
+        }
+    }
+
+    match write_json(&out_path, n, &rows, &w) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\nblr smoke assertions FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    if smoke {
+        println!("blr smoke assertions passed");
+    }
+}

@@ -82,7 +82,7 @@ fn best_attempt(
         };
         return attempt(problem, v.algo, &cfg);
     }
-    let mut best: Option<RunResult> = None;
+    let mut best: Option<Box<RunResult>> = None;
     let mut last = Attempt::Oom;
     for cfg in configs_for(v, budget, eps, threads) {
         match attempt(problem, v.algo, &cfg) {

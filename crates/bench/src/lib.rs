@@ -23,7 +23,8 @@ pub struct RunResult {
 /// Outcome of a run attempt: success, out-of-memory, or another failure.
 #[derive(Debug, Clone)]
 pub enum Attempt {
-    Ok(RunResult),
+    // Boxed: `RunResult` carries full `Metrics` and dwarfs the other variants.
+    Ok(Box<RunResult>),
     Oom,
     Failed(String),
 }
@@ -61,13 +62,13 @@ pub fn attempt<T: Scalar>(
     cfg: &SolverConfig,
 ) -> Attempt {
     match solve(problem, algo, cfg) {
-        Ok(out) => Attempt::Ok(RunResult {
+        Ok(out) => Attempt::Ok(Box::new(RunResult {
             seconds: out.metrics.total_seconds,
             peak_mib: out.metrics.peak_bytes as f64 / (1024.0 * 1024.0),
             schur_mib: out.metrics.schur_bytes as f64 / (1024.0 * 1024.0),
             rel_error: problem.relative_error(&out.xv, &out.xs),
             metrics: out.metrics,
-        }),
+        })),
         Err(e) if e.is_oom() => Attempt::Oom,
         Err(e) => Attempt::Failed(e.to_string()),
     }

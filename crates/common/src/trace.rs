@@ -154,6 +154,21 @@ pub enum TraceEventKind {
         /// selected blocking.
         predicted_bytes: usize,
     },
+    /// One supernodal front's off-diagonal factor panels were stored in
+    /// BLR-compressed form by the sparse solver. Emitted by the factorizing
+    /// thread in supernode postorder, so for a given factorization the event
+    /// stream is identical at any thread count (part of the ordering
+    /// guarantee).
+    FrontCompress {
+        /// Supernode index in postorder.
+        front: usize,
+        /// Bytes the compressed panels would occupy dense.
+        dense_bytes: usize,
+        /// Bytes the low-rank factors actually occupy.
+        stored_bytes: usize,
+        /// Largest numerical rank over the front's compressed panels.
+        max_rank: usize,
+    },
     /// Snapshot delta of the dense layer's global kernel counters over the
     /// traced region (see `csolve_dense::kernel_stats`).
     KernelCounters {
@@ -179,6 +194,7 @@ impl TraceEventKind {
             TraceEventKind::Poisoned => "poisoned",
             TraceEventKind::MemHighWater { .. } => "mem_high_water",
             TraceEventKind::AutotuneSelect { .. } => "autotune_select",
+            TraceEventKind::FrontCompress { .. } => "front_compress",
             TraceEventKind::KernelCounters { .. } => "kernel_counters",
         }
     }
@@ -533,6 +549,17 @@ impl TraceRecord {
                              \"predicted_bytes\":{predicted_bytes}"
                         ));
                     }
+                    TraceEventKind::FrontCompress {
+                        front,
+                        dense_bytes,
+                        stored_bytes,
+                        max_rank,
+                    } => {
+                        s.push_str(&format!(
+                            ",\"front\":{front},\"dense_bytes\":{dense_bytes},\
+                             \"stored_bytes\":{stored_bytes},\"max_rank\":{max_rank}"
+                        ));
+                    }
                     TraceEventKind::KernelCounters {
                         packed_calls,
                         naive_calls,
@@ -690,6 +717,16 @@ mod tests {
         assert_eq!(
             TraceEventKind::MemHighWater { live: 0, peak: 0 }.name(),
             "mem_high_water"
+        );
+        assert_eq!(
+            TraceEventKind::FrontCompress {
+                front: 0,
+                dense_bytes: 0,
+                stored_bytes: 0,
+                max_rank: 0
+            }
+            .name(),
+            "front_compress"
         );
     }
 }

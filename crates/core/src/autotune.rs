@@ -27,6 +27,24 @@
 //!   column pointers, coupling nnz divided evenly across the grid) plus the
 //!   dense `m×m` Schur output, `m = ⌈n_s/n_b⌉`.
 //!
+//! The multi-factorization planner additionally prices the sparse solver's
+//! *internal* allocations while factoring one tile, via the `internal_bytes`
+//! closure supplied by the driver. That closure replays the symbolic charge
+//! schedule of a representative corner tile:
+//! [`csolve_sparse::SymbolicFactorization::predicted_numeric_peak_bytes`]
+//! when sparse-front BLR compression is off (exact, byte-for-byte), or the
+//! **compressed-front model**
+//! [`csolve_sparse::SymbolicFactorization::predicted_numeric_peak_bytes_blr`]
+//! when [`SolverConfig::effective_sparse_eps`](crate::SolverConfig::effective_sparse_eps)
+//! resolves to a tolerance. The compressed model prices each eligible
+//! off-diagonal panel at `min(dense, r̂·(rows+cols))` bytes with the
+//! headroomed rank estimate `r̂ = 4·⌈√min(rows,cols)⌉`, so under compression
+//! the planner admits larger tiles than the uncompressed replay would allow
+//! — that slack is exactly how multi-factorization runs complete under
+//! budgets that return a structured OOM uncompressed. The estimate is a
+//! *model*, not a bound; the `autotune_report` gate (predicted ≥ measured /
+//! 1.25) covers it empirically for both settings.
+//!
 //! The predicted run peak is `max(peak so far, live + working set)`: by the
 //! time the autotuner runs (right after the Schur accumulator is
 //! initialized), `live` already covers the sparse factors and `S`, and the

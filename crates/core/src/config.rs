@@ -123,6 +123,13 @@ pub struct SolverConfig {
     /// low-rank, on for every experiment except the reference rows of
     /// Table II).
     pub sparse_compression: bool,
+    /// BLR tolerance of the sparse solver, decoupled from the dense-side
+    /// [`SolverConfig::eps`]. `None` (the default) keeps the legacy
+    /// behaviour of reusing `eps` whenever `sparse_compression` is on;
+    /// `Some(e)` with `e > 0` compresses the sparse fronts at tolerance `e`
+    /// regardless of the dense setting, and `Some(0.0)` forces the exact,
+    /// uncompressed sparse path. See [`SolverConfig::effective_sparse_eps`].
+    pub sparse_eps: Option<f64>,
     /// Multi-solve: columns per sparse-solve panel (`n_c`, paper: 32–256).
     pub n_c: usize,
     /// Compressed multi-solve: columns per Schur panel (`n_S ≥ n_c`,
@@ -173,6 +180,7 @@ impl Default for SolverConfig {
             eps: 1e-3,
             dense_backend: DenseBackend::Hmat,
             sparse_compression: true,
+            sparse_eps: None,
             n_c: 256,
             n_s: 1024,
             n_b: 2,
@@ -240,7 +248,34 @@ impl SolverConfig {
                 "mem_budget of 0 bytes cannot hold any factor; use None for unlimited".into(),
             );
         }
+        if let Some(e) = self.sparse_eps {
+            if !(e.is_finite() && e >= 0.0) {
+                return bad(format!(
+                    "sparse_eps must be finite and >= 0 (0 disables sparse compression), got {e}"
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The BLR tolerance actually applied to the sparse fronts, resolving
+    /// the interplay of [`SolverConfig::sparse_eps`] and the legacy
+    /// [`SolverConfig::sparse_compression`] switch:
+    ///
+    /// * `sparse_eps: Some(e)` with `e > 0` → `Some(e)` (explicit tolerance
+    ///   wins, even when `sparse_compression` is `false`);
+    /// * `sparse_eps: Some(0.0)` → `None` (compression forced off);
+    /// * `sparse_eps: None` → `Some(eps)` if `sparse_compression`, else
+    ///   `None` (the pre-`sparse_eps` behaviour).
+    ///
+    /// `None` means the numeric factorization stores every panel dense and
+    /// is bitwise identical to a build without the compression code path.
+    pub fn effective_sparse_eps(&self) -> Option<f64> {
+        match self.sparse_eps {
+            Some(e) if e > 0.0 => Some(e),
+            Some(_) => None,
+            None => self.sparse_compression.then_some(self.eps),
+        }
     }
 }
 
@@ -267,6 +302,16 @@ impl SolverConfigBuilder {
     /// Enable BLR compression inside the sparse solver.
     pub fn sparse_compression(mut self, on: bool) -> Self {
         self.cfg.sparse_compression = on;
+        self
+    }
+
+    /// BLR tolerance for the sparse fronts, independent of the dense-side
+    /// [`Self::eps`]. Pass `0.0` to force the exact uncompressed sparse
+    /// path; must be finite and >= 0. See
+    /// [`SolverConfig::effective_sparse_eps`] for how this composes with
+    /// [`Self::sparse_compression`].
+    pub fn sparse_eps(mut self, eps: f64) -> Self {
+        self.cfg.sparse_eps = Some(eps);
         self
     }
 
@@ -363,6 +408,49 @@ impl SolverConfigBuilder {
     }
 }
 
+/// Aggregate BLR statistics of every sparse front factorized during one
+/// solve (all tiles summed for multi-factorization). `None` in
+/// [`Metrics::sparse_compression`] when the run kept the sparse factors
+/// uncompressed ([`SolverConfig::effective_sparse_eps`] returned `None`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseCompressionSummary {
+    /// Tolerance the fronts were compressed at.
+    pub eps: f64,
+    /// Off-diagonal panels examined (those meeting the BLR size gate).
+    pub panels_eligible: usize,
+    /// Panels actually stored low-rank (compression must pay for itself).
+    pub panels_compressed: usize,
+    /// Bytes those compressed panels would occupy dense.
+    pub dense_bytes: usize,
+    /// Bytes the compressed representations actually occupy.
+    pub stored_bytes: usize,
+    /// Largest numerical rank observed over all compressed panels.
+    pub max_rank: usize,
+}
+
+impl SparseCompressionSummary {
+    /// Stored-over-dense byte ratio of the compressed panels (1.0 when
+    /// nothing compressed).
+    pub fn ratio(&self) -> f64 {
+        if self.dense_bytes == 0 {
+            1.0
+        } else {
+            self.stored_bytes as f64 / self.dense_bytes as f64
+        }
+    }
+
+    /// Fold another factorization's statistics into this summary
+    /// (commutative sums plus a max, so tile aggregation order cannot
+    /// change the result).
+    pub fn merge(&mut self, other: &SparseCompressionSummary) {
+        self.panels_eligible += other.panels_eligible;
+        self.panels_compressed += other.panels_compressed;
+        self.dense_bytes += other.dense_bytes;
+        self.stored_bytes += other.stored_bytes;
+        self.max_rank = self.max_rank.max(other.max_rank);
+    }
+}
+
 /// Wall-clock and memory metrics of one solve.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -396,6 +484,9 @@ pub struct Metrics {
     /// The autotuner's block-size decision, `None` when the run used
     /// [`BlockSizes::Fixed`] or a non-blockwise algorithm.
     pub autotune: Option<AutotuneDecision>,
+    /// BLR statistics of the sparse factorization(s), `None` when the
+    /// sparse fronts were kept uncompressed.
+    pub sparse_compression: Option<SparseCompressionSummary>,
 }
 
 /// Aggregated time/bytes/flops of one named phase — the typed replacement
@@ -540,6 +631,7 @@ mod tests {
             n_bem: 20,
             n_fem: 80,
             autotune: None,
+            sparse_compression: None,
         };
         let reports = m.phase_reports();
         // First-occurrence order, one entry per distinct name.
@@ -598,6 +690,60 @@ mod tests {
         expect_invalid(SolverConfig::builder().hmat_leaf(0), "hmat_leaf");
         expect_invalid(SolverConfig::builder().hmat_eta(0.0), "hmat_eta");
         expect_invalid(SolverConfig::builder().mem_budget(Some(0)), "mem_budget");
+        expect_invalid(SolverConfig::builder().sparse_eps(-1e-9), "sparse_eps");
+        expect_invalid(SolverConfig::builder().sparse_eps(f64::NAN), "sparse_eps");
+    }
+
+    #[test]
+    fn sparse_eps_resolution() {
+        // Legacy default: reuse the dense eps while sparse_compression is on.
+        let c = SolverConfig::default();
+        assert_eq!(c.effective_sparse_eps(), Some(c.eps));
+        let c = SolverConfig {
+            sparse_compression: false,
+            ..Default::default()
+        };
+        assert_eq!(c.effective_sparse_eps(), None);
+        // Explicit tolerance decouples from eps and from the legacy switch.
+        let c = SolverConfig::builder()
+            .sparse_compression(false)
+            .sparse_eps(1e-9)
+            .build()
+            .unwrap();
+        assert_eq!(c.effective_sparse_eps(), Some(1e-9));
+        // sparse_eps = 0 forces the exact uncompressed path.
+        let c = SolverConfig::builder().sparse_eps(0.0).build().unwrap();
+        assert_eq!(c.effective_sparse_eps(), None);
+    }
+
+    #[test]
+    fn sparse_compression_summary_merges_commutatively() {
+        let a = SparseCompressionSummary {
+            eps: 1e-9,
+            panels_eligible: 3,
+            panels_compressed: 2,
+            dense_bytes: 1000,
+            stored_bytes: 250,
+            max_rank: 7,
+        };
+        let b = SparseCompressionSummary {
+            eps: 1e-9,
+            panels_eligible: 1,
+            panels_compressed: 1,
+            dense_bytes: 500,
+            stored_bytes: 100,
+            max_rank: 11,
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        ba.eps = ab.eps;
+        assert_eq!(ab, ba);
+        assert_eq!(ab.panels_compressed, 3);
+        assert_eq!(ab.max_rank, 11);
+        assert!((ab.ratio() - 350.0 / 1500.0).abs() < 1e-15);
+        assert_eq!(SparseCompressionSummary::default().ratio(), 1.0);
     }
 
     #[test]

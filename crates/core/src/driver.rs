@@ -9,7 +9,7 @@
 //! are bitwise-identical for every thread count, and peak tracked memory
 //! never exceeds the configured budget (concurrency degrades instead).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use csolve_common::{
     ByteSized, Error, MemTracker, PhaseTimer, Result, Scalar, ScopeTracer, SpanKind, Stopwatch,
@@ -19,13 +19,13 @@ use csolve_dense::{Mat, MatRef};
 use csolve_fembem::{BemOperator, CoupledProblem};
 use csolve_hmat::ClusterTree;
 use csolve_sparse::{
-    factorize, factorize_schur, Coo, Csc, SparseFactorization, SparseOptions,
+    factorize, factorize_schur, Coo, Csc, FactorStats, SparseFactorization, SparseOptions,
     SymbolicFactorization, Symmetry,
 };
 use rayon::prelude::*;
 
 use crate::autotune::{self, AutotuneDecision, BlockSizes, MatrixStats};
-use crate::config::{Algorithm, DenseBackend, Metrics, SolverConfig};
+use crate::config::{Algorithm, DenseBackend, Metrics, SolverConfig, SparseCompressionSummary};
 use crate::pipeline::{Admission, BudgetScheduler, OrderedCommit};
 use crate::schur::{SchurAcc, SchurFactor};
 
@@ -50,6 +50,10 @@ struct Ws<'a, T: Scalar> {
     b_s: Vec<T>,
     tree: ClusterTree,
     symmetric: bool,
+    /// Accumulated BLR statistics of every sparse factorization of the run
+    /// (commutative sums, so concurrent tile aggregation order cannot change
+    /// the result). Read out into [`Metrics::sparse_compression`] at the end.
+    blr: Mutex<SparseCompressionSummary>,
 }
 
 impl<T: Scalar> Ws<'_, T> {
@@ -69,12 +73,25 @@ impl<T: Scalar> Ws<'_, T> {
             } else {
                 Symmetry::UnsymmetricLu
             },
-            blr_eps: cfg.sparse_compression.then_some(cfg.eps),
+            blr_eps: cfg.effective_sparse_eps(),
             tracker: Some(Arc::clone(tracker)),
             panel_nb: cfg.dense_panel_nb,
             tracer: cfg.tracer.clone(),
             trace_seq: None,
         }
+    }
+
+    /// Fold one factorization's BLR statistics into the run aggregate.
+    fn note_factor_stats(&self, stats: &FactorStats) {
+        let mut agg = self.blr.lock().unwrap_or_else(|e| e.into_inner());
+        agg.merge(&SparseCompressionSummary {
+            eps: 0.0,
+            panels_eligible: stats.panels_eligible,
+            panels_compressed: stats.compressed_panels,
+            dense_bytes: stats.panel_dense_bytes,
+            stored_bytes: stats.panel_stored_bytes,
+            max_rank: stats.max_panel_rank,
+        });
     }
 }
 
@@ -252,6 +269,7 @@ fn solve_inner<T: Scalar>(
         b_s: perm.iter().map(|&o| problem.b_s[o]).collect(),
         tree,
         symmetric: problem.symmetric,
+        blr: Mutex::new(SparseCompressionSummary::default()),
     };
 
     let (xv, xs_p, schur_bytes, autotune) = match algo {
@@ -272,6 +290,13 @@ fn solve_inner<T: Scalar>(
     counting.finish(rt);
 
     let xs = ws.tree.to_original_order(&xs_p);
+    // The summary is reported whenever compression was *on*, even if no
+    // panel met the size gate (all-zero counts are informative too).
+    let sparse_compression = cfg.effective_sparse_eps().map(|eps| {
+        let mut s = ws.blr.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        s.eps = eps;
+        s
+    });
     let metrics = Metrics {
         phases: timer
             .phases()
@@ -288,6 +313,7 @@ fn solve_inner<T: Scalar>(
         n_bem: problem.n_bem(),
         n_fem: problem.n_fem(),
         autotune,
+        sparse_compression,
     };
     Ok(Outcome { xv, xs, metrics })
 }
@@ -350,6 +376,7 @@ fn baseline_coupling<T: Scalar>(
     let fact = timer.time("sparse factorization", || {
         factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
     })?;
+    ws.note_factor_stats(fact.stats());
     // The solver works on a permuted copy internally: 2× the dense result.
     let mut y_charge = tracker.charge(
         2 * nv * ns * std::mem::size_of::<T>(),
@@ -457,6 +484,7 @@ fn advanced_coupling<T: Scalar>(
     let (fact_w, x) = timer.time("sparse factorization+Schur", || {
         factorize_schur(&w, &schur_vars, &ws.sparse_opts(cfg, tracker))
     })?;
+    ws.note_factor_stats(fact_w.stats());
     timer.add_bytes("sparse factorization+Schur", x.byte_size());
 
     // S = A_ss + X (X already carries the minus sign).
@@ -519,6 +547,7 @@ fn multi_solve<T: Scalar>(
     let fact = timer.time("sparse factorization", || {
         factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
     })?;
+    ws.note_factor_stats(fact.stats());
     let schur = rt.time(SpanKind::SchurInit, || {
         timer.time("Schur init (A_ss)", || {
             SchurAcc::init(&ws.bem, &ws.tree, cfg, tracker)
@@ -737,7 +766,7 @@ fn multi_factorization<T: Scalar>(
     let w_opts = SparseOptions {
         ordering: cfg.ordering,
         symmetry: Symmetry::UnsymmetricLu,
-        blr_eps: cfg.sparse_compression.then_some(cfg.eps),
+        blr_eps: cfg.effective_sparse_eps(),
         tracker: Some(Arc::clone(tracker)),
         panel_nb: cfg.dense_panel_nb,
         tracer: cfg.tracer.clone(),
@@ -809,6 +838,7 @@ fn multi_factorization<T: Scalar>(
             let (fact_w, x) = timer.time("sparse factorization+Schur", || {
                 factorize_schur(&w, &schur_vars, &tile_opts)
             })?;
+            ws.note_factor_stats(fact_w.stats());
             drop(fact_w);
             timer.add_bytes("sparse factorization+Schur", x.byte_size());
             #[cfg(feature = "fault-inject")]
@@ -889,6 +919,7 @@ fn multi_factorization<T: Scalar>(
     let fact = timer.time("sparse factorization", || {
         factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
     })?;
+    ws.note_factor_stats(fact.stats());
     let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
     Ok((xv, xs, schur_bytes, decision))
 }
@@ -916,8 +947,16 @@ fn tile_internal_bytes<T: Scalar>(ws: &Ws<'_, T>, cfg: &SolverConfig, n_b: usize
     let sym = SymbolicFactorization::analyze(&w, &schur_vars, cfg.ordering)?;
     // W is factored in the unsymmetric (LU) mode regardless of the coupled
     // system's symmetry (the stacked tile is unsymmetric except on the
-    // diagonal).
-    Ok(sym.predicted_numeric_peak_bytes(std::mem::size_of::<T>(), true))
+    // diagonal). With sparse compression on, factor panels are priced by
+    // the BLR rank-profile model instead of dense storage (still an upper
+    // bound via the dense cap per panel, never below the elimination-front
+    // peak).
+    let elem = std::mem::size_of::<T>();
+    Ok(if cfg.effective_sparse_eps().is_some() {
+        sym.predicted_numeric_peak_bytes_blr(elem, true)
+    } else {
+        sym.predicted_numeric_peak_bytes(elem, true)
+    })
 }
 
 /// Record `e` as the pipeline's error in both primitives so every blocked

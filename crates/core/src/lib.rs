@@ -49,6 +49,7 @@ pub mod schur;
 pub use autotune::{AutotuneDecision, BlockSizes, MatrixStats};
 pub use config::{
     Algorithm, DenseBackend, Metrics, PhaseReport, SolverConfig, SolverConfigBuilder,
+    SparseCompressionSummary,
 };
 pub use driver::{solve, Outcome};
 pub use report::{RunReport, SpanAgg};

@@ -11,7 +11,7 @@
 use csolve_common::trace::TRACE_FORMAT_VERSION;
 use csolve_common::{TracePayload, TraceRecord, TraceScope};
 
-use crate::config::{Algorithm, DenseBackend, Metrics, PhaseReport};
+use crate::config::{Algorithm, DenseBackend, Metrics, PhaseReport, SparseCompressionSummary};
 
 /// Aggregate of every trace span of one kind over a whole run.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +77,9 @@ pub struct RunReport {
     /// Distinct pipeline block scopes seen in the trace (0 for the
     /// non-pipelined algorithms or without tracing).
     pub blocks: usize,
+    /// BLR statistics of the sparse factorization(s), `None` when the
+    /// sparse fronts were kept uncompressed.
+    pub sparse_compression: Option<SparseCompressionSummary>,
 }
 
 impl RunReport {
@@ -149,6 +152,7 @@ impl RunReport {
             spans,
             events,
             blocks: blocks.len(),
+            sparse_compression: metrics.sparse_compression.clone(),
         }
     }
 
@@ -217,8 +221,19 @@ impl RunReport {
             ));
         }
         s.push_str("},\n");
-        s.push_str(&format!("  \"blocks\": {}\n", self.blocks));
-        s.push_str("}\n");
+        s.push_str(&format!("  \"blocks\": {}", self.blocks));
+        if let Some(c) = &self.sparse_compression {
+            s.push_str(",\n  \"sparse_compression\": {");
+            s.push_str(&format!("\"eps\": {}", json_f64(c.eps)));
+            s.push_str(&format!(", \"panels_eligible\": {}", c.panels_eligible));
+            s.push_str(&format!(", \"panels_compressed\": {}", c.panels_compressed));
+            s.push_str(&format!(", \"dense_bytes\": {}", c.dense_bytes));
+            s.push_str(&format!(", \"stored_bytes\": {}", c.stored_bytes));
+            s.push_str(&format!(", \"max_rank\": {}", c.max_rank));
+            s.push_str(&format!(", \"ratio\": {}", json_f64(c.ratio())));
+            s.push('}');
+        }
+        s.push_str("\n}\n");
         s
     }
 }
@@ -280,6 +295,14 @@ mod tests {
             n_bem: 200,
             n_fem: 1000,
             autotune: None,
+            sparse_compression: Some(SparseCompressionSummary {
+                eps: 1e-9,
+                panels_eligible: 5,
+                panels_compressed: 3,
+                dense_bytes: 9000,
+                stored_bytes: 1500,
+                max_rank: 12,
+            }),
         }
     }
 
@@ -346,5 +369,25 @@ mod tests {
         assert_eq!(phases[0].get("name").and_then(|v| v.as_str()), Some("SpMM"));
         assert!(phases[0].get("gflops").is_some());
         assert_eq!(doc.get("blocks").and_then(|v| v.as_u64()), Some(0));
+        let sc = doc.get("sparse_compression").unwrap();
+        assert_eq!(
+            sc.get("panels_compressed").and_then(|v| v.as_u64()),
+            Some(3)
+        );
+        assert_eq!(sc.get("max_rank").and_then(|v| v.as_u64()), Some(12));
+        let ratio = sc.get("ratio").and_then(|v| v.as_f64()).unwrap();
+        assert!((ratio - 1500.0 / 9000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncompressed_runs_omit_the_sparse_compression_section() {
+        let m = Metrics {
+            sparse_compression: None,
+            ..sample_metrics()
+        };
+        let r = RunReport::from_parts(Algorithm::MultiSolve, DenseBackend::Spido, &m, &[]);
+        assert!(r.sparse_compression.is_none());
+        let doc = parse_json(&r.to_json()).unwrap();
+        assert!(doc.get("sparse_compression").is_none());
     }
 }

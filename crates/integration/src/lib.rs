@@ -25,6 +25,27 @@
 //! println!("{}", report.to_json());
 //! ```
 //!
+//! Sparse-front BLR compression has its own tolerance, decoupled from the
+//! dense-side `eps` — here end-to-end through the façade, with the
+//! compression statistics read back from the run metrics:
+//!
+//! ```
+//! use csolve::{solve, Algorithm, SolverConfig};
+//!
+//! let problem = csolve::fembem::pipe_problem::<f64>(600);
+//! let cfg = SolverConfig::builder()
+//!     .eps(1e-6)          // dense/H-matrix tolerance
+//!     .sparse_eps(1e-9)   // sparse-front BLR tolerance (0.0 = off)
+//!     .build()
+//!     .unwrap();
+//! let out = solve(&problem, Algorithm::MultiSolve, &cfg).unwrap();
+//! assert!(problem.relative_error(&out.xv, &out.xs) < 1e-5);
+//! // Compression was on, so the summary section is present.
+//! let stats = out.metrics.sparse_compression.as_ref().unwrap();
+//! assert_eq!(stats.eps, 1e-9);
+//! assert!(stats.ratio() <= 1.0);
+//! ```
+//!
 //! Each workspace layer is also reachable as a module alias (`dense`,
 //! `sparse`, `hmat`, …) for code that needs the lower-level kernels.
 
@@ -38,7 +59,7 @@ pub use csolve_common::{
 };
 pub use csolve_coupled::{
     solve, Algorithm, AutotuneDecision, BlockSizes, DenseBackend, MatrixStats, Metrics, Outcome,
-    PhaseReport, RunReport, SolverConfig, SolverConfigBuilder, SpanAgg,
+    PhaseReport, RunReport, SolverConfig, SolverConfigBuilder, SpanAgg, SparseCompressionSummary,
 };
 pub use csolve_fembem::{industrial_problem, pipe_problem, CoupledProblem};
 

@@ -1,0 +1,32 @@
+//! Fault-injection hooks for the sparse layer (feature `fault-inject`).
+//!
+//! Compiled only under the `fault-inject` feature, this global switch lets
+//! the test harness cap the rank of BLR front-panel compression — a failure
+//! mode real inputs essentially never trigger (the production path carries
+//! no cap at all) — and assert that it surfaces as a structured
+//! [`csolve_common::Error::CompressionFailure`] rather than a panic or a
+//! silently inaccurate factorization. Production builds carry none of this.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rank cap imposed on BLR compression of supernodal factor panels in
+/// [`crate::factorize`] / [`crate::factorize_schur`]. `usize::MAX` means
+/// "no fault armed".
+static RANK_CAP: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Arm a rank cap: subsequent front-panel compressions may not exceed rank
+/// `cap` and will return [`csolve_common::Error::CompressionFailure`] when
+/// the cap is binding (the tolerance was not reached).
+pub fn arm_rank_cap(cap: usize) {
+    RANK_CAP.store(cap, Ordering::SeqCst);
+}
+
+/// Disarm all sparse-layer faults.
+pub fn disarm() {
+    RANK_CAP.store(usize::MAX, Ordering::SeqCst);
+}
+
+/// Current rank cap (`usize::MAX` when disarmed).
+pub(crate) fn rank_cap() -> usize {
+    RANK_CAP.load(Ordering::SeqCst)
+}

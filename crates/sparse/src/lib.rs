@@ -28,6 +28,8 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod etree;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod formats;
 pub mod numeric;
 pub mod ordering;
@@ -36,6 +38,7 @@ pub mod symbolic;
 pub use formats::{Coo, Csc};
 pub use numeric::{
     factorize, factorize_schur, FactorStats, SparseFactorization, SparseOptions, Symmetry,
+    BLR_MIN_COLS, BLR_MIN_ROWS,
 };
 pub use ordering::OrderingKind;
 pub use symbolic::SymbolicFactorization;

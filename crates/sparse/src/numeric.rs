@@ -13,12 +13,19 @@
 //! as each front is eliminated — the solver-internal BLR compression the
 //! paper toggles (MUMPS low-rank mode). The Schur output remains dense
 //! regardless, mirroring the real solvers.
+//!
+//! Compression is deterministic across thread counts: whether a panel is
+//! *eligible* depends only on its symbolic shape (the [`BLR_MIN_ROWS`] ×
+//! [`BLR_MIN_COLS`] size gate), and whether the compressed form is *kept*
+//! depends on its numerical rank — which is bitwise identical at any thread
+//! count because each factorization runs its supernode loop on a single
+//! thread in postorder.
 
 use std::sync::Arc;
 
 use csolve_common::{
     ByteSized, Error, MemCharge, MemTracker, RealScalar, Result, Scalar, ScopeTracer, SpanKind,
-    Tracer,
+    TraceEventKind, Tracer,
 };
 use csolve_dense::{gemm, partial_ldlt_nb, partial_lu_nb, trsm_left, Diag, Mat, MatMut, Op, Tri};
 use csolve_lowrank::LowRank;
@@ -26,6 +33,17 @@ use csolve_lowrank::LowRank;
 use crate::formats::Csc;
 use crate::ordering::OrderingKind;
 use crate::symbolic::SymbolicFactorization;
+
+/// Minimum row count of an off-diagonal factor panel for BLR compression to
+/// be attempted. Below this the rank-revealing QR costs more than the dense
+/// panel is worth. Shared with the symbolic cost model
+/// ([`SymbolicFactorization::predicted_numeric_peak_bytes_blr`]) so the
+/// predictor and the numeric phase cannot drift apart.
+pub const BLR_MIN_ROWS: usize = 48;
+
+/// Minimum column count of an off-diagonal factor panel for BLR compression
+/// to be attempted (see [`BLR_MIN_ROWS`]).
+pub const BLR_MIN_COLS: usize = 16;
 
 /// Factorization kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,8 +62,9 @@ pub struct SparseOptions {
     pub ordering: OrderingKind,
     /// LDLᵀ or LU (see [`Symmetry`]).
     pub symmetry: Symmetry,
-    /// BLR panel compression tolerance (relative); `None` disables
-    /// compression.
+    /// BLR panel compression tolerance (relative); `None` — or a
+    /// non-positive value — disables compression, so `Some(0.0)` is the
+    /// exact uncompressed path, not "compress losslessly".
     pub blr_eps: Option<f64>,
     /// Memory tracker/budget all large allocations are charged to.
     pub tracker: Option<Arc<MemTracker>>,
@@ -178,6 +197,15 @@ pub struct FactorStats {
     pub max_front: usize,
     /// Factor panels stored in BLR-compressed form.
     pub compressed_panels: usize,
+    /// Factor panels that met the [`BLR_MIN_ROWS`]×[`BLR_MIN_COLS`] size
+    /// gate (compressed or not); zero when compression was off.
+    pub panels_eligible: usize,
+    /// Bytes the compressed panels would occupy in dense form.
+    pub panel_dense_bytes: usize,
+    /// Bytes the compressed panels actually occupy (`U`+`V` factors).
+    pub panel_stored_bytes: usize,
+    /// Largest numerical rank over all compressed panels.
+    pub max_panel_rank: usize,
     /// Approximate factorization flops.
     pub flops: f64,
 }
@@ -247,6 +275,50 @@ pub fn factorize<T: Scalar>(a: &Csc<T>, opts: &SparseOptions) -> Result<SparseFa
 /// The dense return type is deliberate: it reproduces the API limitation of
 /// fully-featured sparse direct solvers that the paper's multi-solve /
 /// multi-factorization algorithms are designed to work around.
+///
+/// # Example: BLR-compressed factor panels
+///
+/// With [`SparseOptions::blr_eps`] set, off-diagonal panels of each front
+/// that clear the [`BLR_MIN_ROWS`] × [`BLR_MIN_COLS`] size gate are
+/// compressed at that tolerance and kept compressed when the low-rank form
+/// is smaller; [`SparseFactorization::stats`] and
+/// [`SparseFactorization::panel_ranks`] expose the outcome.
+///
+/// ```
+/// use csolve_sparse::{factorize_schur, Coo, SparseOptions};
+///
+/// // 2-D Laplacian on a 48×48 grid, keeping the last 20 variables
+/// // uneliminated (returned as a dense 20×20 Schur complement).
+/// let nx = 48;
+/// let id = |i: usize, j: usize| i * nx + j;
+/// let mut coo = Coo::new(nx * nx, nx * nx);
+/// for i in 0..nx {
+///     for j in 0..nx {
+///         coo.push(id(i, j), id(i, j), 4.0);
+///         if i > 0 {
+///             coo.push(id(i, j), id(i - 1, j), -1.0);
+///             coo.push(id(i - 1, j), id(i, j), -1.0);
+///         }
+///         if j > 0 {
+///             coo.push(id(i, j), id(i, j - 1), -1.0);
+///             coo.push(id(i, j - 1), id(i, j), -1.0);
+///         }
+///     }
+/// }
+/// let schur: Vec<usize> = (nx * nx - 20..nx * nx).collect();
+/// let opts = SparseOptions {
+///     blr_eps: Some(1e-6),
+///     ..Default::default()
+/// };
+/// let (f, s) = factorize_schur(&coo.to_csc(), &schur, &opts).unwrap();
+/// assert_eq!((s.nrows(), s.ncols()), (20, 20));
+///
+/// let stats = f.stats();
+/// assert!(stats.panels_eligible > 0, "some panel cleared the size gate");
+/// assert!(stats.panel_stored_bytes <= stats.panel_dense_bytes);
+/// // Each kept panel's rank is visible in the profile.
+/// assert_eq!(f.panel_ranks().len(), stats.compressed_panels);
+/// ```
 pub fn factorize_schur<T: Scalar>(
     a: &Csc<T>,
     schur_vars: &[usize],
@@ -320,7 +392,10 @@ fn factorize_impl<T: Scalar>(
     // Scratch: global row → front position.
     let mut pos_of = vec![usize::MAX; n];
 
-    let blr_eps = opts.blr_eps.map(T::Real::from_f64_real);
+    let blr_eps = opts
+        .blr_eps
+        .filter(|e| *e > 0.0)
+        .map(T::Real::from_f64_real);
 
     // BLR compression time/bytes are aggregated into one span per
     // factorization (per-supernode spans would swamp the trace).
@@ -445,15 +520,21 @@ fn factorize_impl<T: Scalar>(
         // Optional BLR compression of the panels.
         if let Some(eps) = blr_eps {
             let t0 = tr.is_enabled().then(std::time::Instant::now);
-            compress_panel(&mut lpanel, eps, &mut stats);
-            compress_panel(&mut upanel, eps, &mut stats);
+            let cl = compress_panel(&mut lpanel, eps, &mut stats)?;
+            let cu = compress_panel(&mut upanel, eps, &mut stats)?;
             if let Some(t0) = t0 {
                 compress_time += t0.elapsed();
-                if lpanel.is_compressed() {
-                    compress_bytes += lpanel.byte_size();
-                }
-                if upanel.is_compressed() {
-                    compress_bytes += upanel.byte_size();
+                compress_bytes += cl.stored_bytes + cu.stored_bytes;
+                if cl.compressed || cu.compressed {
+                    // Per-front compression stats; emitted by this (calling)
+                    // thread in postorder, so the event stream is identical
+                    // at any thread count.
+                    tr.event(TraceEventKind::FrontCompress {
+                        front: s,
+                        dense_bytes: cl.dense_bytes + cu.dense_bytes,
+                        stored_bytes: cl.stored_bytes + cu.stored_bytes,
+                        max_rank: cl.rank.max(cu.rank),
+                    });
                 }
             }
         }
@@ -500,20 +581,62 @@ fn factorize_impl<T: Scalar>(
     ))
 }
 
-fn compress_panel<T: Scalar>(panel: &mut Panel<T>, eps: T::Real, stats: &mut FactorStats) {
-    let Panel::Dense(m) = panel else { return };
+/// What [`compress_panel`] did to one panel (all zeros when the panel was
+/// below the size gate or compression did not pay).
+#[derive(Default, Clone, Copy)]
+struct PanelCompression {
+    compressed: bool,
+    rank: usize,
+    dense_bytes: usize,
+    stored_bytes: usize,
+}
+
+fn compress_panel<T: Scalar>(
+    panel: &mut Panel<T>,
+    eps: T::Real,
+    stats: &mut FactorStats,
+) -> Result<PanelCompression> {
+    let Panel::Dense(m) = panel else {
+        return Ok(PanelCompression::default());
+    };
     let (rows, cols) = (m.nrows(), m.ncols());
-    if rows < 48 || cols < 16 {
-        return;
+    if rows < BLR_MIN_ROWS || cols < BLR_MIN_COLS {
+        return Ok(PanelCompression::default());
     }
+    stats.panels_eligible += 1;
     let tol = eps * m.norm_fro();
-    // No rank cap: the compression must reach the tolerance — a capped
-    // factorization would silently lose accuracy. The result is only kept
-    // when it actually saves memory.
-    let lr = LowRank::from_dense(m, tol, rows.min(cols));
+    // No rank cap in production (`rows.min(cols)` is no cap at all): the
+    // compression must reach the tolerance — a capped factorization would
+    // silently lose accuracy. The fault hook lowers the cap so tests can
+    // force the rank-overflow path; `from_dense_checked` then verifies the
+    // tolerance and surfaces a structured `CompressionFailure`.
+    let max_rank = {
+        #[cfg(feature = "fault-inject")]
+        {
+            crate::fault::rank_cap().min(rows.min(cols))
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            rows.min(cols)
+        }
+    };
+    let lr = LowRank::from_dense_checked(m, tol, max_rank)?;
+    // The compressed form is only kept when it actually saves memory.
     if lr.rank() * (rows + cols) < rows * cols {
+        let out = PanelCompression {
+            compressed: true,
+            rank: lr.rank(),
+            dense_bytes: m.byte_size(),
+            stored_bytes: lr.byte_size(),
+        };
         stats.compressed_panels += 1;
+        stats.panel_dense_bytes += out.dense_bytes;
+        stats.panel_stored_bytes += out.stored_bytes;
+        stats.max_panel_rank = stats.max_panel_rank.max(out.rank);
         *panel = Panel::Compressed(lr);
+        Ok(out)
+    } else {
+        Ok(PanelCompression::default())
     }
 }
 
@@ -780,6 +903,23 @@ impl<T: Scalar> SparseFactorization<T> {
                 }
             }
         }
+    }
+
+    /// Numerical ranks of every BLR-compressed factor panel, in supernode
+    /// postorder (the `L` panel before the `U` panel within a front). Empty
+    /// when compression was off or nothing met the size gate; feed it to a
+    /// histogram to see the rank profile the memory win comes from.
+    pub fn panel_ranks(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for sn in &self.sns {
+            if let Panel::Compressed(lr) = &sn.lpanel {
+                out.push(lr.rank());
+            }
+            if let Panel::Compressed(lr) = &sn.upanel {
+                out.push(lr.rank());
+            }
+        }
+        out
     }
 
     /// Fraction of supernode panels stored compressed.

@@ -53,6 +53,14 @@ impl FaultGuard {
         csolve_hmat::fault::arm_factor_failure();
     }
 
+    /// Cap the admissible rank of every BLR-compressed sparse-front panel,
+    /// forcing a rank overflow
+    /// ([`csolve_common::Error::CompressionFailure`]) on any off-diagonal
+    /// panel whose numerical rank exceeds `cap`.
+    pub fn sparse_rank_cap(&self, cap: usize) {
+        csolve_sparse::fault::arm_rank_cap(cap);
+    }
+
     /// Disarm every hook without dropping the guard (e.g. between the fault
     /// run and a follow-up clean run inside the same test).
     pub fn disarm(&self) {
@@ -69,4 +77,5 @@ impl Drop for FaultGuard {
 fn disarm_all() {
     csolve_coupled::fault::disarm();
     csolve_hmat::fault::disarm();
+    csolve_sparse::fault::disarm();
 }

@@ -328,6 +328,136 @@ fn autotuned_blocking_under_memory_budgets() {
     }
 }
 
+/// The sparse-front BLR accuracy/determinism contract, on a pipe problem
+/// large enough that off-diagonal factor panels clear the compression size
+/// gate (`csolve::sparse::BLR_MIN_ROWS` × `csolve::sparse::BLR_MIN_COLS`):
+///
+/// * **accuracy** — for every `sparse_eps` in the sweep the solution stays
+///   within `C·max(sparse_eps, EPS)` of the dense testkit oracle;
+/// * **determinism** — each `(algorithm, sparse_eps)` cell is
+///   bitwise-identical at every thread count, and the per-run compression
+///   summary (panel counts, stored bytes, max rank) is identical too;
+/// * **off means off** — `sparse_eps = 0.0` reproduces the uncompressed
+///   run bitwise, even with the legacy `sparse_compression` switch set;
+/// * the compressed path genuinely ran: at the loosest tolerance at least
+///   one panel compressed.
+#[test]
+fn sparse_eps_contract() {
+    let p = csolve::pipe_problem::<f64>(1_500);
+    let reference = oracle_solve(&p).unwrap();
+    let cfg = |algo: Algorithm, sparse_eps: Option<f64>, threads: usize| {
+        let _ = algo;
+        SolverConfig {
+            sparse_eps,
+            // The legacy switch stays on to prove explicit sparse_eps wins.
+            sparse_compression: true,
+            ..config(DenseBackend::Spido, threads)
+        }
+    };
+    let uncompressed = |threads: usize| SolverConfig {
+        sparse_compression: false,
+        ..config(DenseBackend::Spido, threads)
+    };
+
+    for algo in [Algorithm::MultiSolve, Algorithm::MultiFactorization] {
+        let name = algo.name();
+        // Uncompressed baseline, and the eps = 0 "forced off" run.
+        let base = solve(&p, algo, &uncompressed(1))
+            .unwrap_or_else(|e| panic!("{name}: uncompressed run failed: {e}"));
+        assert!(
+            base.metrics.sparse_compression.is_none(),
+            "{name}: uncompressed run must not record a compression summary"
+        );
+        let zero = solve(&p, algo, &cfg(algo, Some(0.0), 1))
+            .unwrap_or_else(|e| panic!("{name}: sparse_eps=0 run failed: {e}"));
+        assert!(
+            zero.xv == base.xv && zero.xs == base.xs,
+            "{name}: sparse_eps = 0.0 must reproduce the uncompressed run bitwise"
+        );
+
+        for eps in [1e-6_f64, 1e-9, 1e-12] {
+            let tol = 100.0 * eps.max(EPS);
+            let mut baseline: Option<csolve::Outcome<f64>> = None;
+            for &threads in thread_counts() {
+                let cell = format!("{name} / sparse_eps={eps:.0e} / {threads} thr");
+                let out = solve(&p, algo, &cfg(algo, Some(eps), threads))
+                    .unwrap_or_else(|e| panic!("{cell}: solve failed: {e}"));
+                let err = rel_err_l2(&out.xv, &out.xs, &reference.xv, &reference.xs);
+                assert!(
+                    err < tol,
+                    "{cell}: forward error vs oracle {err:.3e} exceeds {tol:.3e}"
+                );
+                let stats = out
+                    .metrics
+                    .sparse_compression
+                    .clone()
+                    .unwrap_or_else(|| panic!("{cell}: no compression summary recorded"));
+                assert_eq!(stats.eps, eps, "{cell}: summary records the wrong eps");
+                assert!(
+                    stats.panels_eligible > 0,
+                    "{cell}: no panel cleared the gate"
+                );
+                match &baseline {
+                    None => baseline = Some(out),
+                    Some(first) => {
+                        assert!(
+                            first.xv == out.xv && first.xs == out.xs,
+                            "{cell}: result is not bitwise-identical across thread counts"
+                        );
+                        assert_eq!(
+                            first.metrics.sparse_compression, out.metrics.sparse_compression,
+                            "{cell}: compression summary drifted across thread counts"
+                        );
+                    }
+                }
+            }
+            if eps == 1e-6 {
+                let stats = baseline.unwrap().metrics.sparse_compression.unwrap();
+                assert!(
+                    stats.panels_compressed > 0,
+                    "{name}: nothing compressed at the loosest tolerance"
+                );
+            }
+        }
+    }
+}
+
+/// With sparse-front compression on, the canonical (scope, kind) trace
+/// signature — `front_compress` events included — is identical at every
+/// thread count: fronts are compressed by the factorizing thread in
+/// postorder, never in a thread-count-dependent order.
+#[test]
+fn compressed_front_traces_are_diffable() {
+    let p = csolve::pipe_problem::<f64>(1_500);
+    let mut signature: Option<Vec<(TraceScope, &'static str)>> = None;
+    for &threads in thread_counts() {
+        let tracer = Tracer::enabled();
+        let cfg = SolverConfig {
+            sparse_eps: Some(1e-9),
+            tracer: tracer.clone(),
+            ..config(DenseBackend::Spido, threads)
+        };
+        solve(&p, Algorithm::MultiFactorization, &cfg).unwrap();
+        let sig: Vec<(TraceScope, &'static str)> = tracer
+            .drain()
+            .iter()
+            .filter(|r| !matches!(r.payload.kind_name(), "budget_degrade" | "poisoned"))
+            .map(|r| (r.scope, r.payload.kind_name()))
+            .collect();
+        assert!(
+            sig.iter().any(|(_, k)| *k == "front_compress"),
+            "{threads} thr: no front_compress event in the trace"
+        );
+        match &signature {
+            None => signature = Some(sig),
+            Some(first) => assert_eq!(
+                *first, sig,
+                "{threads} thr: compressed-front span sequence drifted"
+            ),
+        }
+    }
+}
+
 /// Tracing-enabled cell: recording spans must not change the numerics (the
 /// result stays bitwise-identical to the untraced run of the same cell),
 /// and the canonical (scope, kind) span sequence is identical at every

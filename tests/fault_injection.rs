@@ -133,6 +133,33 @@ fn forced_rank_overflow_is_a_compression_failure() {
 }
 
 #[test]
+fn forced_sparse_front_rank_overflow_is_a_compression_failure() {
+    // A larger FEM volume so at least one supernodal off-diagonal panel
+    // clears the BLR size gate (`csolve_sparse::BLR_MIN_ROWS` ×
+    // `csolve_sparse::BLR_MIN_COLS`); with the rank cap armed at 1 its
+    // compression must overflow with a structured error, not a panic.
+    let p = csolve_fembem::pipe_problem::<f64>(1_500);
+    let cfg = SolverConfig {
+        sparse_eps: Some(1e-9),
+        ..config(DenseBackend::Spido)
+    };
+    let guard = FaultGuard::acquire();
+    guard.sparse_rank_cap(1);
+    let err = solve(&p, Algorithm::MultiSolve, &cfg).unwrap_err();
+    assert!(
+        matches!(err, Error::CompressionFailure { .. }),
+        "[seed {SEED}] expected CompressionFailure, got {err}"
+    );
+    guard.disarm();
+    let out = solve(&p, Algorithm::MultiSolve, &cfg)
+        .unwrap_or_else(|e| panic!("[seed {SEED}] clean re-solve after fault failed: {e}"));
+    assert!(p.relative_error(&out.xv, &out.xs) < 1e-6);
+    // The clean run really exercised the compressed path the fault hit.
+    let stats = out.metrics.sparse_compression.expect("compression was on");
+    assert!(stats.panels_eligible > 0, "no panel cleared the BLR gate");
+}
+
+#[test]
 fn failed_hierarchical_factorization_surfaces_as_err() {
     let p = generate::<f64>(&spec());
     let guard = FaultGuard::acquire();
@@ -155,6 +182,7 @@ fn faults_never_leave_an_armed_hook_behind() {
         guard.admit_oom_at(0);
         guard.poison_panel(PoisonKind::Inf);
         guard.rank_cap(1);
+        guard.sparse_rank_cap(1);
         guard.hlu_factor_failure();
         // Guard dropped with everything still armed.
     }
