@@ -46,9 +46,13 @@ CSOLVE_CONFORMANCE=smoke cargo test -p csolve --offline -q \
 echo "==> csolve façade builds with --no-default-features"
 cargo build --offline -p csolve --no-default-features
 
-echo "==> kernels_report smoke run"
-# Tiny sizes, one rep; writes target/BENCH_kernels_smoke.json so the
-# committed BENCH_kernels.json is never clobbered by CI.
+echo "==> kernels_report smoke run (kernel throughput gate)"
+# Small sizes, few reps; writes target/BENCH_kernels_smoke.json so the
+# committed BENCH_kernels.json is never clobbered by CI. Under --smoke the
+# binary enforces the kernel contract and exits non-zero on regression:
+# c64 blocked-serial GEMM must beat the committed pre-rewrite baseline
+# (11.05 GF/s) by >= 1.3x, and blocked GEMM must never measure below the
+# naive reference at gated sizes.
 cargo run --release --offline -q --bin kernels_report -- --smoke > /dev/null
 
 echo "==> autotune_report smoke run"

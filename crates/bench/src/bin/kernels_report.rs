@@ -1,13 +1,20 @@
 //! Kernel throughput report: sweeps GEMM, TRSM and the blocked
-//! factorizations over a range of sizes, for `f64` and `C64`, serial and
-//! threaded, and prints achieved GF/s next to the naive reference kernel.
+//! factorizations over a range of sizes, for `f64` and `C64`, at a
+//! configurable set of thread counts, and prints achieved GF/s and the
+//! speedup over the one-thread blocked run next to the naive reference
+//! kernel.
 //!
 //! Writes a machine-readable dump (default `BENCH_kernels.json` at the repo
 //! root — see EXPERIMENTS.md for how to read it). Flags:
 //!
 //! - `--sizes 128,256,512` — problem sizes (square, `m = n = k`)
+//! - `--threads 1,2,4`     — thread counts for the blocked variants (1 is
+//!   always measured; it is the speedup reference)
 //! - `--out path.json`     — where to write the JSON dump
-//! - `--smoke`             — tiny sizes, one repetition (CI health check)
+//! - `--smoke`             — small sizes, few repetitions, and the CI gate:
+//!   the run **fails** when c64 blocked-serial GEMM does not beat the
+//!   committed pre-rewrite baseline by ≥ [`C64_GATE_FACTOR`], or when any
+//!   blocked GEMM measures below its naive reference.
 
 use csolve::common::Stopwatch;
 use csolve::dense::{
@@ -17,14 +24,35 @@ use csolve::{Scalar, C64};
 use csolve_bench::Args;
 use rand::SeedableRng;
 
-/// One measured (kernel, scalar, size, variant) cell.
+/// Committed blocked-serial GEMM rates (GF/s, n = 512) of the revision
+/// *before* the split-complex kernel rewrite — the `BENCH_kernels.json`
+/// baseline the smoke gate measures progress against. Frozen here rather
+/// than read from the regenerated dump so the gate keeps pointing at the
+/// pre-rewrite reference.
+const BASELINE_F64_GEMM_GFLOPS: f64 = 20.85;
+/// See [`BASELINE_F64_GEMM_GFLOPS`]; the c64 value the interleaved complex
+/// kernel achieved before the split-plane rewrite.
+const BASELINE_C64_GEMM_GFLOPS: f64 = 11.05;
+/// The smoke gate requires c64 blocked-serial GEMM to beat
+/// [`BASELINE_C64_GEMM_GFLOPS`] by at least this factor.
+const C64_GATE_FACTOR: f64 = 1.3;
+/// The gate only judges sizes where the packed kernels are past their ramp;
+/// tiny matrices never amortize the packing cost.
+const GATE_MIN_N: usize = 192;
+
+/// One measured (kernel, scalar, size, variant, threads) cell.
 struct Entry {
     kernel: &'static str,
     scalar: &'static str,
     n: usize,
     variant: &'static str,
+    /// Thread budget the run executed under (1 for the serial variants).
+    threads: usize,
     seconds: f64,
     gflops: f64,
+    /// Wall-time speedup over the one-thread blocked run of the same
+    /// (kernel, scalar, n); `None` for the naive reference.
+    speedup: Option<f64>,
 }
 
 /// Best (minimum) seconds over `reps` runs of a self-timing closure.
@@ -32,24 +60,40 @@ fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
     (0..reps.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
 }
 
+/// Measure one blocked kernel serially and then across `pools`, pushing one
+/// entry per thread count with the speedup-vs-serial column filled in.
 #[allow(clippy::too_many_arguments)]
-fn push(
+fn measure_blocked(
     out: &mut Vec<Entry>,
     kernel: &'static str,
     scalar: &'static str,
     n: usize,
-    variant: &'static str,
-    seconds: f64,
     flops: f64,
+    reps: usize,
+    pools: &[rayon::ThreadPool],
+    mut run: impl FnMut() -> f64,
 ) {
-    out.push(Entry {
-        kernel,
-        scalar,
-        n,
-        variant,
-        seconds,
-        gflops: flops / seconds / 1e9,
-    });
+    let mut serial_secs = f64::NAN;
+    for pool in pools {
+        let secs = pool.install(|| best_of(reps, &mut run));
+        let threads = pool.current_num_threads();
+        let (variant, speedup) = if threads == 1 {
+            serial_secs = secs;
+            ("blocked-serial", 1.0)
+        } else {
+            ("blocked-threaded", serial_secs / secs)
+        };
+        out.push(Entry {
+            kernel,
+            scalar,
+            n,
+            variant,
+            threads,
+            seconds: secs,
+            gflops: flops / secs / 1e9,
+            speedup: Some(speedup),
+        });
+    }
 }
 
 /// Sweep every kernel at the given sizes for one scalar type.
@@ -61,7 +105,7 @@ fn sweep<T: Scalar>(
     sizes: &[usize],
     reps: usize,
     flop_scale: f64,
-    serial: &rayon::ThreadPool,
+    pools: &[rayon::ThreadPool],
     out: &mut Vec<Entry>,
 ) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
@@ -70,7 +114,8 @@ fn sweep<T: Scalar>(
         let b = Mat::<T>::random(n, n, &mut rng);
         let nf = n as f64;
 
-        // GEMM (C = A·B): naive reference, blocked serial, blocked threaded.
+        // GEMM (C = A·B): naive reference, then the packed kernel across
+        // the thread sweep.
         let gemm_flops = flop_scale * 2.0 * nf * nf * nf;
         let mut c = Mat::<T>::zeros(n, n);
         let run_naive = || {
@@ -87,8 +132,17 @@ fn sweep<T: Scalar>(
             sw.elapsed_secs()
         };
         let s = best_of(reps, run_naive);
-        push(out, "gemm", scalar, n, "naive-serial", s, gemm_flops);
-        let mut run_blocked = || {
+        out.push(Entry {
+            kernel: "gemm",
+            scalar,
+            n,
+            variant: "naive-serial",
+            threads: 1,
+            seconds: s,
+            gflops: gemm_flops / s / 1e9,
+            speedup: None,
+        });
+        measure_blocked(out, "gemm", scalar, n, gemm_flops, reps, pools, || {
             let sw = Stopwatch::start();
             gemm(
                 T::ONE,
@@ -100,11 +154,7 @@ fn sweep<T: Scalar>(
                 c.as_mut(),
             );
             sw.elapsed_secs()
-        };
-        let s = serial.install(|| best_of(reps, &mut run_blocked));
-        push(out, "gemm", scalar, n, "blocked-serial", s, gemm_flops);
-        let s = best_of(reps, &mut run_blocked);
-        push(out, "gemm", scalar, n, "blocked-threaded", s, gemm_flops);
+        });
 
         // TRSM (lower, n RHS columns): diagonally dominant triangle.
         let mut t = a.clone();
@@ -112,7 +162,7 @@ fn sweep<T: Scalar>(
             t[(i, i)] += T::from_f64(2.0 * nf);
         }
         let trsm_flops = flop_scale * nf * nf * nf;
-        let mut run_trsm = || {
+        measure_blocked(out, "trsm", scalar, n, trsm_flops, reps, pools, || {
             let mut x = b.clone();
             let sw = Stopwatch::start();
             trsm_left(
@@ -124,24 +174,16 @@ fn sweep<T: Scalar>(
                 x.as_mut(),
             );
             sw.elapsed_secs()
-        };
-        let s = serial.install(|| best_of(reps, &mut run_trsm));
-        push(out, "trsm", scalar, n, "blocked-serial", s, trsm_flops);
-        let s = best_of(reps, &mut run_trsm);
-        push(out, "trsm", scalar, n, "blocked-threaded", s, trsm_flops);
+        });
 
         // LU (partial pivoting).
         let lu_flops = flop_scale * 2.0 / 3.0 * nf * nf * nf;
-        let mut run_lu = || {
+        measure_blocked(out, "lu", scalar, n, lu_flops, reps, pools, || {
             let m = t.clone();
             let sw = Stopwatch::start();
             lu_in_place_nb(m, 0).expect("LU of dominant matrix");
             sw.elapsed_secs()
-        };
-        let s = serial.install(|| best_of(reps, &mut run_lu));
-        push(out, "lu", scalar, n, "blocked-serial", s, lu_flops);
-        let s = best_of(reps, &mut run_lu);
-        push(out, "lu", scalar, n, "blocked-threaded", s, lu_flops);
+        });
 
         // LDLT on a symmetric dominant matrix.
         let sym = Mat::<T>::from_fn(n, n, |i, j| {
@@ -153,16 +195,12 @@ fn sweep<T: Scalar>(
             }
         });
         let ldlt_flops = flop_scale / 3.0 * nf * nf * nf;
-        let mut run_ldlt = || {
+        measure_blocked(out, "ldlt", scalar, n, ldlt_flops, reps, pools, || {
             let m = sym.clone();
             let sw = Stopwatch::start();
             ldlt_in_place_nb(m, 0).expect("LDLT of dominant matrix");
             sw.elapsed_secs()
-        };
-        let s = serial.install(|| best_of(reps, &mut run_ldlt));
-        push(out, "ldlt", scalar, n, "blocked-serial", s, ldlt_flops);
-        let s = best_of(reps, &mut run_ldlt);
-        push(out, "ldlt", scalar, n, "blocked-threaded", s, ldlt_flops);
+        });
     }
 }
 
@@ -172,21 +210,39 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn write_json(path: &str, threads: usize, entries: &[Entry]) -> std::io::Result<()> {
+fn write_json(path: &str, thread_counts: &[usize], entries: &[Entry]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"tool\": \"kernels_report\",\n");
-    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!(
+        "  \"thread_counts\": [{}],\n",
+        thread_counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!(
+        "  \"baseline\": {{\"note\": \"blocked-serial GEMM GF/s at n=512 before the \
+         split-complex kernel rewrite\", \"f64_gemm_gflops\": {BASELINE_F64_GEMM_GFLOPS}, \
+         \"c64_gemm_gflops\": {BASELINE_C64_GEMM_GFLOPS}}},\n"
+    ));
     s.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        let speedup = match e.speedup {
+            Some(v) if v.is_finite() => format!(", \"speedup_vs_serial\": {v:.4}"),
+            _ => String::new(),
+        };
         s.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"scalar\": \"{}\", \"n\": {}, \"variant\": \"{}\", \"seconds\": {:.6}, \"gflops\": {:.4}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"scalar\": \"{}\", \"n\": {}, \"variant\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \"gflops\": {:.4}{}}}{}\n",
             json_escape_free(e.kernel),
             json_escape_free(e.scalar),
             e.n,
             json_escape_free(e.variant),
+            e.threads,
             e.seconds,
             e.gflops,
+            speedup,
             if i + 1 < entries.len() { "," } else { "" },
         ));
     }
@@ -194,72 +250,164 @@ fn write_json(path: &str, threads: usize, entries: &[Entry]) -> std::io::Result<
     std::fs::write(path, s)
 }
 
+/// The CI health gate run under `--smoke`: the packed kernels must keep
+/// their contract. Returns every violation (empty = pass).
+fn gate(entries: &[Entry]) -> Vec<String> {
+    let mut fails = Vec::new();
+    let find = |kernel: &str, scalar: &str, n: usize, variant: &str| {
+        entries
+            .iter()
+            .find(|e| e.kernel == kernel && e.scalar == scalar && e.n == n && e.variant == variant)
+    };
+    let gated_n = entries
+        .iter()
+        .filter(|e| e.n >= GATE_MIN_N)
+        .map(|e| e.n)
+        .max();
+    let Some(n) = gated_n else {
+        fails.push(format!(
+            "no gated size measured (need one size >= {GATE_MIN_N})"
+        ));
+        return fails;
+    };
+    // Contract 1: the split-complex rewrite must hold its margin over the
+    // committed pre-rewrite baseline.
+    let floor = C64_GATE_FACTOR * BASELINE_C64_GEMM_GFLOPS;
+    match find("gemm", "c64", n, "blocked-serial") {
+        Some(e) if e.gflops >= floor => {}
+        Some(e) => fails.push(format!(
+            "c64 blocked-serial GEMM n={n}: {:.2} GF/s < gate floor {:.2} \
+             ({C64_GATE_FACTOR}x the {BASELINE_C64_GEMM_GFLOPS} GF/s pre-rewrite baseline)",
+            e.gflops, floor
+        )),
+        None => fails.push(format!("c64 blocked-serial GEMM n={n} not measured")),
+    }
+    // Contract 2: at every gated size the packed kernel beats the naive
+    // reference for both scalar types.
+    for e in entries
+        .iter()
+        .filter(|e| e.kernel == "gemm" && e.variant == "blocked-serial" && e.n >= GATE_MIN_N)
+    {
+        if let Some(naive) = find("gemm", e.scalar, e.n, "naive-serial") {
+            if e.gflops < naive.gflops {
+                fails.push(format!(
+                    "{} blocked-serial GEMM n={}: {:.2} GF/s below naive ({:.2})",
+                    e.scalar, e.n, e.gflops, naive.gflops
+                ));
+            }
+        }
+    }
+    fails
+}
+
 fn main() {
     let args = Args::parse();
     let smoke = args.has("--smoke");
-    let sizes: Vec<usize> = match args.get_str("--sizes") {
-        Some(v) => v
-            .split(',')
+    let parse_list = |v: &str| -> Vec<usize> {
+        v.split(',')
             .filter_map(|t| t.trim().parse().ok())
             .filter(|&n| n > 0)
-            .collect(),
-        None if smoke => vec![64],
+            .collect()
+    };
+    let sizes: Vec<usize> = match args.get_str("--sizes") {
+        Some(v) => parse_list(v),
+        // The smoke profile needs one size past the gate threshold; 64
+        // additionally covers the remainder-tile paths.
+        None if smoke => vec![64, 256],
         None => vec![128, 256, 512],
     };
+    // Thread sweep: 1 is always measured first (the speedup reference).
+    let mut thread_counts: Vec<usize> = match args.get_str("--threads") {
+        Some(v) => parse_list(v),
+        None => vec![1, rayon::current_num_threads()],
+    };
+    thread_counts.retain(|&t| t > 1);
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    thread_counts.insert(0, 1);
     let default_out = if smoke {
         "target/BENCH_kernels_smoke.json"
     } else {
         "BENCH_kernels.json"
     };
     let out_path = args.get_str("--out").unwrap_or(default_out).to_string();
-    let reps = if smoke { 1 } else { 3 };
-    let threads = rayon::current_num_threads();
+    let reps = if smoke { 2 } else { 3 };
 
-    let serial = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .expect("serial pool");
+    let pools: Vec<rayon::ThreadPool> = thread_counts
+        .iter()
+        .map(|&t| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("thread pool")
+        })
+        .collect();
 
     let mut entries = Vec::new();
-    sweep::<f64>("f64", &sizes, reps, 1.0, &serial, &mut entries);
-    sweep::<C64>("c64", &sizes, reps, 4.0, &serial, &mut entries);
+    sweep::<f64>("f64", &sizes, reps, 1.0, &pools, &mut entries);
+    sweep::<C64>("c64", &sizes, reps, 4.0, &pools, &mut entries);
 
     println!(
-        "kernel throughput ({} ambient threads; complex counted as 4x real flops)",
-        threads
+        "kernel throughput (thread sweep {:?}; complex counted as 4x real flops)",
+        thread_counts
     );
     println!(
-        "{:<6} {:<4} {:>5} {:<17} {:>10} {:>8}",
-        "kernel", "type", "n", "variant", "time (s)", "GF/s"
+        "{:<6} {:<4} {:>5} {:<16} {:>3} {:>10} {:>8} {:>8}",
+        "kernel", "type", "n", "variant", "thr", "time (s)", "GF/s", "vs 1thr"
     );
     for e in &entries {
+        let speedup = match e.speedup {
+            Some(v) => format!("{v:>7.2}x"),
+            None => format!("{:>8}", "-"),
+        };
         println!(
-            "{:<6} {:<4} {:>5} {:<17} {:>10.4} {:>8.2}",
-            e.kernel, e.scalar, e.n, e.variant, e.seconds, e.gflops
+            "{:<6} {:<4} {:>5} {:<16} {:>3} {:>10.4} {:>8.2} {}",
+            e.kernel, e.scalar, e.n, e.variant, e.threads, e.seconds, e.gflops, speedup
         );
     }
 
-    // Headline number of the blocked-GEMM rewrite: packed vs naive, serial.
-    let gf = |variant: &str, n: usize| {
+    // Headline numbers of the kernel rewrite: packed vs naive (serial), and
+    // c64 vs the committed pre-rewrite baseline.
+    let gf = |scalar: &str, variant: &str, n: usize| {
         entries
             .iter()
-            .find(|e| e.kernel == "gemm" && e.scalar == "f64" && e.n == n && e.variant == variant)
+            .find(|e| e.kernel == "gemm" && e.scalar == scalar && e.n == n && e.variant == variant)
             .map(|e| e.gflops)
     };
     if let Some(&n) = sizes.last() {
-        if let (Some(naive), Some(blocked)) = (gf("naive-serial", n), gf("blocked-serial", n)) {
+        if let (Some(naive), Some(blocked)) =
+            (gf("f64", "naive-serial", n), gf("f64", "blocked-serial", n))
+        {
             println!(
                 "\nf64 GEMM n={n}: blocked/naive serial speedup {:.2}x",
                 blocked / naive
             );
         }
+        if let Some(blocked) = gf("c64", "blocked-serial", n) {
+            println!(
+                "c64 GEMM n={n}: {blocked:.2} GF/s, {:.2}x the pre-rewrite baseline \
+                 ({BASELINE_C64_GEMM_GFLOPS} GF/s)",
+                blocked / BASELINE_C64_GEMM_GFLOPS
+            );
+        }
     }
 
-    match write_json(&out_path, threads, &entries) {
+    match write_json(&out_path, &thread_counts, &entries) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => {
             eprintln!("failed to write {out_path}: {e}");
             std::process::exit(1);
         }
+    }
+
+    if smoke {
+        let fails = gate(&entries);
+        if !fails.is_empty() {
+            for f in &fails {
+                eprintln!("kernel gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("kernel gate OK (c64 gemm >= {C64_GATE_FACTOR}x pre-rewrite baseline; blocked >= naive)");
     }
 }

@@ -90,6 +90,11 @@ pub enum SpanKind {
     HluFactor,
     /// The condensation solve through a partial sparse factorization.
     CoupledSolve,
+    /// Execution of one task-DAG node (a pipeline block's compute or commit
+    /// task) by the lookahead executor. Each block records exactly two
+    /// `task_run` spans — compute first, then commit — so the per-block
+    /// record stream stays identical across thread counts.
+    TaskRun,
 }
 
 impl SpanKind {
@@ -112,6 +117,7 @@ impl SpanKind {
             SpanKind::DenseSolve => "dense_solve",
             SpanKind::HluFactor => "hlu_factor",
             SpanKind::CoupledSolve => "coupled_solve",
+            SpanKind::TaskRun => "task_run",
         }
     }
 }
@@ -184,6 +190,15 @@ pub enum TraceEventKind {
         /// over threads).
         ns: u64,
     },
+    /// A task-DAG node's dependencies were all satisfied and it entered the
+    /// executor's ready queue. Emitted exactly once per node, before the
+    /// node's `task_run` span, in the node's block scope — deterministic per
+    /// block, hence part of the ordering guarantee.
+    TaskReady {
+        /// DAG node id (`2·step` for a block's compute task, `2·step + 1`
+        /// for its commit task).
+        node: usize,
+    },
 }
 
 impl TraceEventKind {
@@ -196,6 +211,7 @@ impl TraceEventKind {
             TraceEventKind::AutotuneSelect { .. } => "autotune_select",
             TraceEventKind::FrontCompress { .. } => "front_compress",
             TraceEventKind::KernelCounters { .. } => "kernel_counters",
+            TraceEventKind::TaskReady { .. } => "task_ready",
         }
     }
 }
@@ -572,6 +588,9 @@ impl TraceRecord {
                              \"matvec_calls\":{matvec_calls},\"flops\":{flops},\"ns\":{ns}"
                         ));
                     }
+                    TraceEventKind::TaskReady { node } => {
+                        s.push_str(&format!(",\"node\":{node}"));
+                    }
                 }
             }
         }
@@ -714,6 +733,8 @@ mod tests {
         assert_eq!(SpanKind::AdmitWait.name(), "admit_wait");
         assert_eq!(SpanKind::CommitWait.name(), "commit_wait");
         assert_eq!(SpanKind::AxpyCommit.name(), "axpy_commit");
+        assert_eq!(SpanKind::TaskRun.name(), "task_run");
+        assert_eq!(TraceEventKind::TaskReady { node: 0 }.name(), "task_ready");
         assert_eq!(
             TraceEventKind::MemHighWater { live: 0, peak: 0 }.name(),
             "mem_high_water"

@@ -45,6 +45,13 @@
 //! *model*, not a bound; the `autotune_report` gate (predicted ≥ measured /
 //! 1.25) covers it empirically for both settings.
 //!
+//! Candidate multi-solve panel widths are additionally quantized down to a
+//! multiple of the calibrated register-tile width of the packed GEMM
+//! ([`csolve_dense::cache::kernel_blocking`] for the problem's scalar
+//! width), so the panels the autotuner picks run the dense kernels without
+//! remainder column strips. The byte model itself is untouched by the
+//! quantization — it stays byte-for-byte the scheduler's admission reserve.
+//!
 //! The predicted run peak is `max(peak so far, live + working set)`: by the
 //! time the autotuner runs (right after the Schur accumulator is
 //! initialized), `live` already covers the sparse factors and `S`, and the
@@ -64,6 +71,7 @@
 //! bitwise determinism contract of the pipelines.
 
 use csolve_common::{Error, MemTracker, Result};
+use csolve_dense::cache::kernel_blocking;
 
 use crate::config::{DenseBackend, SolverConfig};
 
@@ -200,13 +208,23 @@ pub fn plan_multi_solve(
     // A panel wider than the surface never materializes; clamping before
     // the ladder keeps that from counting as a budget degrade.
     let n_s0 = n_s0.min(stats.ns.max(1));
+    // Quantize panel widths down to the calibrated register-tile width of
+    // the packed GEMM (`csolve_dense::cache::kernel_blocking` for this
+    // scalar width): an aligned panel runs the dense AXPY/GEMM commits with
+    // no remainder column strip. Widths at or below one register tile pass
+    // through verbatim, and the quantized configured width is the degrade
+    // baseline — kernel alignment alone is not a budget degrade.
+    let nr = kernel_blocking(stats.elem).nr.max(1);
+    let quant = |w: usize| if w > nr { w / nr * nr } else { w };
+    let n_s0 = quant(n_s0);
     let n_c0 = n_c0.min(n_s0);
     let room = usable_headroom(cfg, tracker);
     // Candidate ladder: configured blocking first, then repeated halving of
     // the Schur panel (the sparse-solve panel follows once it is the wider
-    // of the two).
-    let mut w = n_s0;
+    // of the two), each candidate re-quantized.
+    let mut raw = n_s0;
     loop {
+        let w = quant(raw);
         let n_c = n_c0.min(w);
         let need = multi_solve_panel_bytes(stats, n_c, w);
         if need <= room {
@@ -219,7 +237,7 @@ pub fn plan_multi_solve(
                 degraded: w < n_s0 || n_c < n_c0,
             });
         }
-        if w == 1 {
+        if raw == 1 {
             return Err(Error::OutOfMemory {
                 requested: need,
                 live: tracker.live(),
@@ -227,7 +245,7 @@ pub fn plan_multi_solve(
                 what: "autotuned multi-solve panel (even a 1-column panel exceeds the budget)",
             });
         }
-        w /= 2;
+        raw /= 2;
     }
 }
 
@@ -423,6 +441,36 @@ mod tests {
         let compressed = plan_multi_factorization(&s, &cfg(), &t, |_| Ok(0)).unwrap();
         assert!(compressed.degraded);
         assert!(multi_fact_tile_bytes(&s, compressed.n_b) <= tile - tile / 4);
+    }
+
+    #[test]
+    fn panel_widths_align_to_the_calibrated_register_tile() {
+        // A configured width that is not a multiple of the calibrated NR is
+        // rounded down (kernel alignment), and that rounding alone does not
+        // count as a budget degrade.
+        let nr = kernel_blocking(8).nr;
+        assert!(nr > 1, "register tile must be wider than one column");
+        let s = MatrixStats {
+            ns: 1000 + nr - 1, // forces the clamp-then-quantize path
+            ..stats()
+        };
+        let c = SolverConfig {
+            n_s: s.ns, // deliberately misaligned configured width
+            ..cfg()
+        };
+        let t = MemTracker::unbounded();
+        let d = plan_multi_solve(&s, &c, &t).unwrap();
+        assert_eq!(d.n_s % nr, 0, "selected panel width must be NR-aligned");
+        assert_eq!(d.n_s, s.ns / nr * nr);
+        assert!(!d.degraded, "alignment is not a budget degrade");
+
+        // Under pressure every ladder candidate stays aligned too.
+        let full = multi_solve_panel_bytes(&s, 256, d.n_s);
+        let t = MemTracker::with_budget(full / 3);
+        let d = plan_multi_solve(&s, &c, &t).unwrap();
+        assert!(d.degraded);
+        assert!(d.n_s >= nr);
+        assert_eq!(d.n_s % nr, 0);
     }
 
     #[test]

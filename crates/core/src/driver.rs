@@ -2,15 +2,22 @@
 //! four Schur-complement strategies of the paper.
 //!
 //! The blockwise strategies (multi-solve, multi-factorization) run their
-//! block loops as a task-parallel pipeline: independent block contributions
-//! are computed concurrently across rayon workers, admitted one by one
-//! against the memory budget by a [`BudgetScheduler`], and folded into the
-//! Schur accumulator in a fixed order by an [`OrderedCommit`] — so results
-//! are bitwise-identical for every thread count, and peak tracked memory
-//! never exceeds the configured budget (concurrency degrades instead).
+//! block loops as a lookahead task-DAG pipeline ([`TaskDag`]): each block's
+//! compute and ordered commit are explicit DAG nodes dispatched to worker
+//! threads lowest-id-first, so the next block's compute overlaps the
+//! previous block's Schur commit instead of fork-joining per phase. Blocks
+//! are admitted one by one against the memory budget by a
+//! [`BudgetScheduler`] and folded into the Schur accumulator in a fixed
+//! order by an [`OrderedCommit`] — so results are bitwise-identical for
+//! every thread count, and peak tracked memory never exceeds the configured
+//! budget (concurrency degrades instead).
 
 use std::sync::{Arc, Mutex};
 
+use crate::autotune::{self, AutotuneDecision, BlockSizes, MatrixStats};
+use crate::config::{Algorithm, DenseBackend, Metrics, SolverConfig, SparseCompressionSummary};
+use crate::pipeline::{Admission, BudgetScheduler, OrderedCommit, TaskDag};
+use crate::schur::{SchurAcc, SchurFactor};
 use csolve_common::{
     ByteSized, Error, MemTracker, PhaseTimer, Result, Scalar, ScopeTracer, SpanKind, Stopwatch,
     TraceEventKind, Tracer,
@@ -22,12 +29,6 @@ use csolve_sparse::{
     factorize, factorize_schur, Coo, Csc, FactorStats, SparseFactorization, SparseOptions,
     SymbolicFactorization, Symmetry,
 };
-use rayon::prelude::*;
-
-use crate::autotune::{self, AutotuneDecision, BlockSizes, MatrixStats};
-use crate::config::{Algorithm, DenseBackend, Metrics, SolverConfig, SparseCompressionSummary};
-use crate::pipeline::{Admission, BudgetScheduler, OrderedCommit};
-use crate::schur::{SchurAcc, SchurFactor};
 
 /// Result of a coupled solve.
 #[derive(Debug)]
@@ -610,15 +611,25 @@ fn multi_solve<T: Scalar>(
     let sched = BudgetScheduler::new(Arc::clone(tracker), inflight).with_tracer(cfg.tracer.clone());
     let commit = OrderedCommit::new(schur).with_tracer(cfg.tracer.clone());
     let (fact_r, sched_r, commit_r) = (&fact, &sched, &commit);
+    let panels_r = &panels;
 
-    panels.into_par_iter().for_each(move |(seq, p0, p1)| {
+    // Lookahead task-DAG dispatch: a panel's compute (admission + sparse
+    // solves + SpMM) and its ordered commit are separate DAG nodes, so the
+    // next panel's compute overlaps the previous panel's Schur commit. The
+    // lookahead distance mirrors the in-flight cap (same memory bound).
+    let dag = TaskDag::pipeline(panels.len(), inflight).with_tracer(cfg.tracer.clone());
+    let dag_compute = |seq: usize| {
+        let (_, p0, p1) = panels_r[seq];
         let w = p1 - p0;
         // Worst-case working set of this panel: its Z panel plus one inner
         // sparse solve's Y (the solver uses a permuted internal copy: 2×).
         let reserve = (ns * w + 2 * nv * n_c.min(w)) * elem;
         let mut adm = match sched_r.admit(seq, reserve, "Schur panel Z + Y workspace") {
             Ok(a) => a,
-            Err(e) => return fail(sched_r, commit_r, &e),
+            Err(e) => {
+                fail(sched_r, commit_r, &e);
+                return None;
+            }
         };
         let bt = cfg.tracer.block(seq);
 
@@ -660,13 +671,22 @@ fn multi_solve<T: Scalar>(
         };
         let zpanel = match compute() {
             Ok(z) => z,
-            Err(e) => return fail(sched_r, commit_r, &e),
+            Err(e) => {
+                fail(sched_r, commit_r, &e);
+                return None;
+            }
         };
-        // The Y workspace is gone; park with only the Z panel reserved.
+        // The Y workspace is gone; hand off with only the Z panel reserved.
         if let Err(e) = adm.resize(zpanel.byte_size(), "Schur panel Z") {
-            return fail(sched_r, commit_r, &e);
+            fail(sched_r, commit_r, &e);
+            return None;
         }
         adm.begin_commit();
+        Some((adm, zpanel))
+    };
+    let dag_commit = |seq: usize, (adm, zpanel): (Admission<'_>, Mat<T>)| {
+        let (_, p0, _) = panels_r[seq];
+        let bt = cfg.tracer.block(seq);
         let committed = commit_r.commit(seq, |schur| {
             bt.time(SpanKind::AxpyCommit, || {
                 timer.time("Schur assembly", || {
@@ -678,7 +698,9 @@ fn multi_solve<T: Scalar>(
             Ok(()) => timer.add_bytes("Schur assembly", zpanel.byte_size()),
             Err(e) => sched_r.poison(&e),
         }
-    });
+        drop(adm);
+    };
+    dag.execute(threads.min(panels_r.len().max(1)), dag_compute, dag_commit);
 
     let schur = commit.into_result()?;
     let schur_bytes = schur.bytes();
@@ -792,8 +814,13 @@ fn multi_factorization<T: Scalar>(
     let sched = BudgetScheduler::new(Arc::clone(tracker), inflight).with_tracer(cfg.tracer.clone());
     let commit = OrderedCommit::new(schur).with_tracer(cfg.tracer.clone());
     let (sched_r, commit_r, w_opts_r) = (&sched, &commit, &w_opts);
+    let tiles_r = &tiles;
 
-    tiles.into_par_iter().for_each(move |(seq, ri, rj)| {
+    // Same lookahead task-DAG dispatch as `multi_solve`: tile factorization
+    // overlaps the previous tile's ordered Schur commit.
+    let dag = TaskDag::pipeline(tiles.len(), inflight).with_tracer(cfg.tracer.clone());
+    let dag_compute = |seq: usize| {
+        let (_, ri, rj) = &tiles_r[seq];
         let rows: Vec<usize> = ri.clone().collect();
         let cols: Vec<usize> = rj.clone().collect();
         let a_sv_i = ws.a_sv.submatrix(&rows, &all_v);
@@ -808,7 +835,10 @@ fn multi_factorization<T: Scalar>(
         let mut adm: Option<Admission<'_>> =
             match sched_r.admit(seq, reserve, "stacked W + Schur block X_ij") {
                 Ok(a) => Some(a),
-                Err(e) => return fail(sched_r, commit_r, &e),
+                Err(e) => {
+                    fail(sched_r, commit_r, &e);
+                    return None;
+                }
             };
         let bt = cfg.tracer.block(seq);
         // The sparse solver's internal spans land in this tile's block scope.
@@ -862,32 +892,47 @@ fn multi_factorization<T: Scalar>(
                     drop(adm.take());
                     let stalled = sched_r.wait_for_progress(sched_r.epoch());
                     if stalled && stalled_retry_done {
-                        return fail(sched_r, commit_r, &e);
+                        fail(sched_r, commit_r, &e);
+                        return None;
                     }
                     stalled_retry_done = stalled;
                     match sched_r.readmit(reserve, "stacked W + Schur block X_ij") {
                         Ok(a) => adm = Some(a),
-                        Err(e) => return fail(sched_r, commit_r, &e),
+                        Err(e) => {
+                            fail(sched_r, commit_r, &e);
+                            return None;
+                        }
                     }
                 }
-                Err(e) => return fail(sched_r, commit_r, &e),
+                Err(e) => {
+                    fail(sched_r, commit_r, &e);
+                    return None;
+                }
             }
         };
 
-        let Some(adm) = adm.as_mut() else {
+        let Some(mut adm) = adm.take() else {
             // Unreachable by construction (every loop exit either breaks
             // with an admission held or returns), but a worker thread must
             // never panic: drain the pipeline with a structured error.
             let e = Error::Internal {
                 context: "multi-factorization retry lost its admission",
             };
-            return fail(sched_r, commit_r, &e);
+            fail(sched_r, commit_r, &e);
+            return None;
         };
-        // W is freed; park with only the Schur block reserved.
+        // W is freed; hand off with only the Schur block reserved.
         if let Err(e) = adm.resize(x.byte_size(), "dense Schur block X_ij") {
-            return fail(sched_r, commit_r, &e);
+            fail(sched_r, commit_r, &e);
+            return None;
         }
         adm.begin_commit();
+        Some((adm, x))
+    };
+    let dag_commit = |seq: usize, (adm, x): (Admission<'_>, Mat<T>)| {
+        let (_, ri, rj) = &tiles_r[seq];
+        let (rows, cols) = (ri.len(), rj.len());
+        let bt = cfg.tracer.block(seq);
         let committed = commit_r.commit(seq, |schur| {
             bt.time(SpanKind::AxpyCommit, || {
                 timer.time("Schur assembly", || {
@@ -895,7 +940,7 @@ fn multi_factorization<T: Scalar>(
                         T::ONE,
                         ri.start,
                         rj.start,
-                        x.view(0..rows.len(), 0..cols.len()),
+                        x.view(0..rows, 0..cols),
                         cfg.eps,
                         bt,
                     )
@@ -903,10 +948,12 @@ fn multi_factorization<T: Scalar>(
             })
         });
         match committed {
-            Ok(()) => timer.add_bytes("Schur assembly", rows.len() * cols.len() * elem),
+            Ok(()) => timer.add_bytes("Schur assembly", rows * cols * elem),
             Err(e) => sched_r.poison(&e),
         }
-    });
+        drop(adm);
+    };
+    dag.execute(threads.min(tiles_r.len().max(1)), dag_compute, dag_commit);
 
     let schur = commit.into_result()?;
     let schur_bytes = schur.bytes();

@@ -52,7 +52,7 @@ pub use config::{
     SparseCompressionSummary,
 };
 pub use driver::{solve, Outcome};
-pub use report::{RunReport, SpanAgg};
+pub use report::{KernelCalibration, RunReport, SpanAgg};
 
 #[cfg(test)]
 mod tests;

@@ -23,6 +23,12 @@
 //!   lock. This serializes the compressed AXPYs (thread-safety) *and* pins
 //!   their order (bitwise-identical results for any thread count: the
 //!   commit order equals the sequential algorithm's loop order).
+//! * [`TaskDag`] — lookahead dispatch. The per-block compute and commit
+//!   steps become explicit dependency-DAG nodes pulled by a small worker
+//!   pool in deterministic lowest-id-first order, so the next block's
+//!   compute overlaps the previous block's commit instead of the pipeline
+//!   fork-joining per phase. Scheduling-only: every fold still flows
+//!   through [`OrderedCommit`], so results stay bitwise-identical.
 //!
 //! # Why ordered admission?
 //!
@@ -397,6 +403,195 @@ impl<S> OrderedCommit<S> {
     }
 }
 
+/// Lookahead task-DAG executor for the blockwise pipelines.
+///
+/// Each pipeline step `i` contributes two DAG nodes — `compute(i)` (node id
+/// `2i`: admit + block computation, runs concurrently) and `commit(i)` (node
+/// id `2i + 1`: the ordered fold into the accumulator). The dependency edges
+/// are:
+///
+/// * `commit(i)` ← `compute(i)` — a block folds only after it is computed;
+/// * `commit(i)` ← `commit(i − 1)` — commits form a chain, reproducing the
+///   sequential fold order (the [`OrderedCommit`] below it enforces the same
+///   order, so the DAG edge is what makes commit tasks *dispatchable* in
+///   order rather than parked);
+/// * `compute(i)` ← `commit(i − L)` — the lookahead bound `L`: at most `L`
+///   computes may run ahead of the commit frontier, bounding transient
+///   memory exactly like the admission cap it mirrors.
+///
+/// Workers pull the lowest-id ready node (a deterministic priority), so
+/// `compute(i + 1)` is dispatched while `commit(i)` is still folding — the
+/// panel-factor/Schur-commit overlap the paper's lookahead pipelining
+/// targets — yet a lone worker degenerates to the exact sequential order
+/// `compute(0), commit(0), compute(1), …` because a ready commit always has
+/// a smaller id than any later compute.
+///
+/// # Determinism
+///
+/// Dispatch order affects only *where* and *when* tasks run. Every numeric
+/// fold still flows through the [`OrderedCommit`] chain in block order, so
+/// results are bitwise-identical for any thread count. The tracer records —
+/// one [`TraceEventKind::TaskReady`] event and one [`SpanKind::TaskRun`]
+/// span per node, in the node's block scope — are emitted in a fixed
+/// per-block order (compute's ready/run, then commit's ready/run), keeping
+/// the canonical drained trace thread-count-invariant.
+#[derive(Debug)]
+pub struct TaskDag {
+    state: Mutex<DagState>,
+    cv: Condvar,
+    tracer: Tracer,
+    steps: usize,
+    lookahead: usize,
+}
+
+#[derive(Debug)]
+struct DagState {
+    /// Unmet dependency count per node (`compute(i)` = `2i`,
+    /// `commit(i)` = `2i + 1`).
+    deps: Vec<u8>,
+    /// Ready nodes, pulled lowest-id first.
+    ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>>,
+    /// Completed node count; the executor exits when it reaches `2 · steps`.
+    completed: usize,
+}
+
+impl TaskDag {
+    /// DAG for a `steps`-block pipeline with lookahead `L` (clamped to at
+    /// least 1): `compute(i)` waits for `commit(i − L)`.
+    pub fn pipeline(steps: usize, lookahead: usize) -> Self {
+        let lookahead = lookahead.max(1);
+        let mut deps = vec![0u8; 2 * steps];
+        let mut ready = std::collections::BinaryHeap::new();
+        for i in 0..steps {
+            deps[2 * i] = u8::from(i >= lookahead);
+            deps[2 * i + 1] = 1 + u8::from(i > 0);
+            if i < lookahead {
+                ready.push(std::cmp::Reverse(2 * i));
+            }
+        }
+        Self {
+            state: Mutex::new(DagState {
+                deps,
+                ready,
+                completed: 0,
+            }),
+            cv: Condvar::new(),
+            tracer: Tracer::disabled(),
+            steps,
+            lookahead,
+        }
+    }
+
+    /// Record `task_ready` events and `task_run` spans into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Pull the lowest-id ready node; `None` once every node has completed.
+    fn next_task(&self) -> Option<usize> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(std::cmp::Reverse(id)) = st.ready.pop() {
+                return Some(id);
+            }
+            if st.completed == 2 * self.steps {
+                return None;
+            }
+            self.cv.wait_for(&mut st, WAIT_SLICE);
+        }
+    }
+
+    /// Mark node `id` complete; newly-unblocked dependents enter the ready
+    /// queue (each with its `task_ready` event, emitted in id order).
+    fn complete(&self, id: usize) {
+        let step = id / 2;
+        // Dependents in ascending id order: a compute unblocks its own
+        // commit; a commit unblocks the next commit and the compute
+        // `lookahead` steps ahead.
+        let dependents: [Option<usize>; 2] = if id.is_multiple_of(2) {
+            [Some(2 * step + 1), None]
+        } else {
+            [
+                (step + 1 < self.steps).then_some(2 * step + 3),
+                (step + self.lookahead < self.steps).then_some(2 * (step + self.lookahead)),
+            ]
+        };
+        let mut st = self.state.lock();
+        st.completed += 1;
+        for dep in dependents.into_iter().flatten() {
+            st.deps[dep] -= 1;
+            if st.deps[dep] == 0 {
+                self.tracer
+                    .block(dep / 2)
+                    .event(TraceEventKind::TaskReady { node: dep });
+                st.ready.push(std::cmp::Reverse(dep));
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Run the pipeline on up to `workers` workers.
+    ///
+    /// `compute(i)` produces block `i`'s payload (or `None` after recording
+    /// its error with the scheduler/commit primitives — the DAG keeps
+    /// draining, and downstream commits of missing payloads are skipped);
+    /// `commit(i, payload)` folds it. Both closures' tracer records land in
+    /// block scopes; this executor wraps each in the block's `task_run`
+    /// span. Blocks until every node has run.
+    pub fn execute<P: Send>(
+        &self,
+        workers: usize,
+        compute: impl Fn(usize) -> Option<P> + Sync,
+        commit: impl Fn(usize, P) + Sync,
+    ) {
+        if self.steps == 0 {
+            return;
+        }
+        // Initially-ready computes announce themselves in id order before
+        // any worker starts, so `task_ready` is each block's first record.
+        {
+            let st = self.state.lock();
+            let mut initial: Vec<usize> = st.ready.iter().map(|r| r.0).collect();
+            initial.sort_unstable();
+            for id in initial {
+                self.tracer
+                    .block(id / 2)
+                    .event(TraceEventKind::TaskReady { node: id });
+            }
+        }
+        // Hand-off slots from each compute task to its commit task.
+        let slots: Vec<Mutex<Option<P>>> = (0..self.steps).map(|_| Mutex::new(None)).collect();
+        let worker = || {
+            while let Some(id) = self.next_task() {
+                let step = id / 2;
+                if id % 2 == 0 {
+                    let payload = {
+                        let _run = self.tracer.block(step).span(SpanKind::TaskRun);
+                        compute(step)
+                    };
+                    if let Some(p) = payload {
+                        *slots[step].lock() = Some(p);
+                    }
+                } else if let Some(p) = slots[step].lock().take() {
+                    let _run = self.tracer.block(step).span(SpanKind::TaskRun);
+                    commit(step, p);
+                }
+                self.complete(id);
+            }
+        };
+        rayon::scope(|s| {
+            // One worker runs inline on this thread (the scope'd spawns may
+            // all degrade to inline execution under permit pressure; any
+            // single worker can drain the whole DAG alone).
+            for _ in 1..workers.max(1) {
+                s.spawn(|_| worker());
+            }
+            worker();
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,5 +772,127 @@ mod tests {
         let sched = BudgetScheduler::new(tracker, 2);
         // No worker computing: stalled immediately.
         assert!(sched.wait_for_progress(sched.epoch()));
+    }
+
+    #[test]
+    fn task_dag_lone_worker_degenerates_to_sequential_order() {
+        let order = Mutex::new(Vec::new());
+        let dag = TaskDag::pipeline(4, 2);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            dag.execute(
+                1,
+                |i| {
+                    order.lock().push(format!("c{i}"));
+                    Some(i)
+                },
+                |i, _| order.lock().push(format!("m{i}")),
+            );
+        });
+        // A ready commit always outranks any later compute (smaller node id),
+        // so one worker reproduces the sequential loop exactly.
+        assert_eq!(
+            *order.lock(),
+            vec!["c0", "m0", "c1", "m1", "c2", "m2", "c3", "m3"]
+        );
+    }
+
+    #[test]
+    fn task_dag_respects_lookahead_and_commit_order() {
+        let committed = Mutex::new(Vec::new());
+        let frontier = AtomicUsize::new(0);
+        let dag = TaskDag::pipeline(6, 2);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            dag.execute(
+                4,
+                |i| {
+                    // compute(i) may only start once commit(i - 2) is done.
+                    assert!(
+                        frontier.load(Ordering::SeqCst) + 2 > i,
+                        "lookahead violated at {i}"
+                    );
+                    Some(i)
+                },
+                |i, _| {
+                    committed.lock().push(i);
+                    frontier.store(i + 1, Ordering::SeqCst);
+                },
+            );
+        });
+        assert_eq!(*committed.lock(), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_dag_drains_after_compute_failure() {
+        let committed = Mutex::new(Vec::new());
+        let dag = TaskDag::pipeline(4, 2);
+        dag.execute(
+            2,
+            |i| if i == 1 { None } else { Some(i) },
+            |i, _| committed.lock().push(i),
+        );
+        // Block 1's commit is skipped (no payload); the executor still
+        // drains every node and returns instead of hanging.
+        assert_eq!(*committed.lock(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn task_dag_overlaps_next_compute_with_previous_commit() {
+        use csolve_common::{TracePayload, TraceScope};
+        // With two workers and lookahead 2, compute(1) is dispatched at
+        // start while commit(0) runs later — its task_run span must open
+        // before commit(0)'s closes. Permit contention from concurrently
+        // running tests can serialize a round; retry a few times.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        for attempt in 0..10 {
+            let tracer = Tracer::enabled();
+            let dag = TaskDag::pipeline(3, 2).with_tracer(tracer.clone());
+            pool.install(|| {
+                dag.execute(
+                    2,
+                    |i| {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Some(i)
+                    },
+                    |_, _| std::thread::sleep(std::time::Duration::from_millis(20)),
+                );
+            });
+            let records = tracer.drain();
+            // Per block: task_run spans in order (compute, commit).
+            let runs = |b: usize| -> Vec<(u64, u64)> {
+                records
+                    .iter()
+                    .filter(|r| r.scope == TraceScope::Block(b))
+                    .filter_map(|r| match &r.payload {
+                        TracePayload::Span {
+                            kind,
+                            start_ns,
+                            dur_ns,
+                            ..
+                        } if *kind == SpanKind::TaskRun => Some((*start_ns, *start_ns + *dur_ns)),
+                        _ => None,
+                    })
+                    .collect()
+            };
+            let (b0, b1) = (runs(0), runs(1));
+            assert_eq!(b0.len(), 2, "block 0 must run compute + commit");
+            assert_eq!(b1.len(), 2, "block 1 must run compute + commit");
+            let compute1_open = b1[0].0;
+            let commit0_close = b0[1].1;
+            if compute1_open < commit0_close {
+                return; // overlap observed
+            }
+            assert!(attempt < 9, "no compute/commit overlap in 10 attempts");
+        }
     }
 }

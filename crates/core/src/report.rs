@@ -10,6 +10,7 @@
 
 use csolve_common::trace::TRACE_FORMAT_VERSION;
 use csolve_common::{TracePayload, TraceRecord, TraceScope};
+use csolve_dense::cache::{cache_info, kernel_blocking, CacheInfo, KernelBlocking};
 
 use crate::config::{Algorithm, DenseBackend, Metrics, PhaseReport, SparseCompressionSummary};
 
@@ -37,6 +38,32 @@ impl SpanAgg {
             Some(self.flops as f64 / self.seconds / 1e9)
         } else {
             None
+        }
+    }
+}
+
+/// The measured-cache calibration the packed kernels of this process run
+/// with (detected once per process; see [`csolve_dense::cache`]). Recorded
+/// in every report so a surprising kernel rate or autotuned blocking can be
+/// traced back to the hierarchy it was derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCalibration {
+    /// Detected cache hierarchy and which tier produced it.
+    pub cache: CacheInfo,
+    /// Blocking for 8-byte scalars (`f64` and the packed real planes of
+    /// split-complex `C32`).
+    pub real: KernelBlocking,
+    /// Blocking for 16-byte scalars (`C64`).
+    pub complex: KernelBlocking,
+}
+
+impl KernelCalibration {
+    /// Snapshot the process-wide calibration.
+    pub fn current() -> Self {
+        KernelCalibration {
+            cache: *cache_info(),
+            real: kernel_blocking(8),
+            complex: kernel_blocking(16),
         }
     }
 }
@@ -80,6 +107,8 @@ pub struct RunReport {
     /// BLR statistics of the sparse factorization(s), `None` when the
     /// sparse fronts were kept uncompressed.
     pub sparse_compression: Option<SparseCompressionSummary>,
+    /// The measured-cache kernel calibration of this process.
+    pub kernel_calibration: KernelCalibration,
 }
 
 impl RunReport {
@@ -153,6 +182,7 @@ impl RunReport {
             events,
             blocks: blocks.len(),
             sparse_compression: metrics.sparse_compression.clone(),
+            kernel_calibration: KernelCalibration::current(),
         }
     }
 
@@ -178,6 +208,23 @@ impl RunReport {
         ));
         s.push_str(&format!("  \"peak_bytes\": {},\n", self.peak_bytes));
         s.push_str(&format!("  \"schur_bytes\": {},\n", self.schur_bytes));
+        let kc = &self.kernel_calibration;
+        let blocking_json = |b: &KernelBlocking| {
+            format!(
+                "{{\"mc\": {}, \"kc\": {}, \"nc\": {}, \"mr\": {}, \"nr\": {}}}",
+                b.mc, b.kc, b.nc, b.mr, b.nr
+            )
+        };
+        s.push_str(&format!(
+            "  \"kernel_blocking\": {{\"cache_source\": {}, \"l1d_bytes\": {}, \"l2_bytes\": {}, \
+             \"l3_bytes\": {}, \"f64\": {}, \"c64\": {}}},\n",
+            json_str(kc.cache.source.name()),
+            kc.cache.l1d_bytes,
+            kc.cache.l2_bytes,
+            kc.cache.l3_bytes,
+            blocking_json(&kc.real),
+            blocking_json(&kc.complex),
+        ));
         s.push_str("  \"phases\": [\n");
         for (i, p) in self.phases.iter().enumerate() {
             s.push_str(&format!(
@@ -377,6 +424,24 @@ mod tests {
         assert_eq!(sc.get("max_rank").and_then(|v| v.as_u64()), Some(12));
         let ratio = sc.get("ratio").and_then(|v| v.as_f64()).unwrap();
         assert!((ratio - 1500.0 / 9000.0).abs() < 1e-12);
+
+        // The measured-cache calibration always rides along.
+        let kb = doc.get("kernel_blocking").unwrap();
+        assert!(kb.get("cache_source").and_then(|v| v.as_str()).is_some());
+        for width in ["f64", "c64"] {
+            let b = kb.get(width).unwrap();
+            for field in ["mc", "kc", "nc", "mr", "nr"] {
+                assert!(
+                    b.get(field).and_then(|v| v.as_u64()).unwrap() > 0,
+                    "{width}.{field} missing or zero"
+                );
+            }
+        }
+        assert_eq!(
+            r.kernel_calibration,
+            KernelCalibration::current(),
+            "report snapshots the process-wide calibration"
+        );
     }
 
     #[test]

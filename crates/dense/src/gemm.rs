@@ -18,11 +18,16 @@
 //! kernel retained both as the reference implementation for property tests
 //! and as the low-overhead path where packing would not amortize.
 
+use std::cell::Cell;
+
 use csolve_common::Scalar;
 use rayon::prelude::*;
 
 use crate::mat::{Mat, MatMut, MatRef};
-use crate::pack::{blocking, macro_kernel, pack_a, pack_b, MR_CPLX, MR_REAL, NR_CPLX, NR_REAL};
+use crate::pack::{
+    blocking, macro_kernel, macro_kernel_split, pack_a, pack_a_split, pack_b, pack_b_split,
+    MR_REAL, MR_SPLIT, NR_REAL, NR_SPLIT,
+};
 
 /// Transposition operator applied to a GEMM operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,11 +51,47 @@ impl Op {
     }
 }
 
-/// Flop count above which a kernel forks into rayon tasks. Shared by the GEMM
-/// macro-tile dispatch, [`matvec`], the triangular solves and the factorization
-/// trailing updates, so the serial/parallel switchover is consistent across
-/// the whole BLAS-3 layer.
+/// Flop count above which the bandwidth-bound kernels ([`matvec`], the
+/// triangular-solve base case) fork into rayon tasks. The packed GEMM uses
+/// the much larger, calibration-derived [`gemm_par_flop_threshold`] instead:
+/// compute-bound macro-tiles only amortize a fork when there are at least a
+/// couple of cache-sized tiles of work.
 pub const PAR_FLOP_THRESHOLD: f64 = 2e5;
+
+/// Flop count above which the packed GEMM forks its macro-tiles into rayon
+/// tasks, derived from the calibrated cache blocking: `2 · MC · KC · NC` is
+/// the flop count of two full macro-column tasks, the smallest amount of
+/// work for which shipping tiles to another worker has been observed to beat
+/// running them in place (below it, threaded GEMM used to run *at* serial
+/// speed while burning extra CPU). `elem_bytes` selects the per-scalar-width
+/// blocking (8 for reals, 16 for `C64`).
+pub fn gemm_par_flop_threshold(elem_bytes: usize) -> f64 {
+    let b = crate::cache::kernel_blocking(elem_bytes);
+    2.0 * b.mc as f64 * b.kc as f64 * b.nc as f64
+}
+
+thread_local! {
+    static FORCE_SERIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` with every kernel on this thread pinned to its serial path
+/// (macro-tiles, matvec chunks and triangular-solve columns all stay on the
+/// calling thread). Used by the factorizations to route sub-threshold
+/// problems past rayon entirely instead of paying fork/join overhead on
+/// every small trailing update; results are bitwise identical either way.
+pub fn with_serial<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_SERIAL.with(|s| {
+        let prev = s.replace(true);
+        let out = f();
+        s.set(prev);
+        out
+    })
+}
+
+/// True when kernels invoked from this thread must not fork.
+pub(crate) fn serial_forced() -> bool {
+    FORCE_SERIAL.with(Cell::get)
+}
 
 /// Below this many flops the packed engine cannot amortize its pack/copy
 /// traffic and the naive kernel wins.
@@ -190,6 +231,81 @@ fn gemm_macro_tile<T: Scalar, const MR: usize, const NR: usize>(
     }
 }
 
+/// Split-complex macro-tile: identical structure to [`gemm_macro_tile`] but
+/// packs the operand slabs into separate re/im real planes and drives the
+/// 4-real-FMA microkernel. Same fixed KC-slab order, so per-element rounding
+/// is independent of the tile geometry and the thread count.
+#[allow(clippy::too_many_arguments)]
+fn gemm_macro_tile_split<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    opa: Op,
+    b: MatRef<'_, T>,
+    opb: Op,
+    beta: T,
+    mut c: MatMut<'_, T>,
+    i0: usize,
+    j0: usize,
+    kdim: usize,
+    kc_max: usize,
+) {
+    scale_block(beta, &mut c);
+    let mc = c.nrows();
+    let nc = c.ncols();
+    let (mut are, mut aim) = (Vec::new(), Vec::new());
+    let (mut bre, mut bim) = (Vec::new(), Vec::new());
+    let mut p0 = 0;
+    while p0 < kdim {
+        let kc = kc_max.min(kdim - p0);
+        pack_b_split::<T, NR>(b, opb, p0, j0, kc, nc, &mut bre, &mut bim);
+        pack_a_split::<T, MR>(a, opa, i0, p0, mc, kc, &mut are, &mut aim);
+        macro_kernel_split::<T, MR, NR>(alpha, (&are, &aim), (&bre, &bim), mc, nc, kc, &mut c);
+        p0 += kc;
+    }
+}
+
+/// Cut `C` into the macro-tile grid: row blocks of at most `mc`, column
+/// blocks of at most `col_step`. The geometry never influences the numerical
+/// result (each element accumulates its KC slabs in the same fixed `k`
+/// order regardless of which tile owns it), so the column step is free to
+/// shrink below NC for parallel grain without touching determinism.
+fn tile_grid<T: Scalar>(
+    c: MatMut<'_, T>,
+    mc: usize,
+    col_step: usize,
+) -> Vec<(usize, usize, MatMut<'_, T>)> {
+    let mut tiles = Vec::new();
+    let mut rest_cols = c;
+    let mut j0 = 0;
+    while rest_cols.ncols() > 0 {
+        let w = col_step.min(rest_cols.ncols());
+        let (colblk, tail) = rest_cols.split_at_col(w);
+        let mut rest_rows = colblk;
+        let mut i0 = 0;
+        while rest_rows.nrows() > 0 {
+            let h = mc.min(rest_rows.nrows());
+            let (blk, tail_r) = rest_rows.split_at_row(h);
+            tiles.push((i0, j0, blk));
+            rest_rows = tail_r;
+            i0 += h;
+        }
+        rest_cols = tail;
+        j0 += w;
+    }
+    tiles
+}
+
+/// Whether a blocked product of `flops` should fork, and the macro-tile
+/// column step to use. Parallel runs split the NC blocks four ways so a
+/// product of only one or two macro-columns still feeds every worker.
+fn par_plan<T: Scalar>(flops: f64, nc: usize, nr: usize) -> (bool, usize) {
+    let par = flops >= gemm_par_flop_threshold(std::mem::size_of::<T>())
+        && rayon::current_num_threads() > 1
+        && !serial_forced();
+    let col_step = if par { (nc / 4).max(4 * nr) } else { nc };
+    (par, col_step)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked<T: Scalar, const MR: usize, const NR: usize>(
     alpha: T,
@@ -203,33 +319,46 @@ fn gemm_blocked<T: Scalar, const MR: usize, const NR: usize>(
     flops: f64,
 ) {
     let bs = blocking::<T>();
-    // Fixed macro-tile grid over C: (jc, ic) blocks of at most NC × MC.
-    // The grid depends only on shape and blocking constants (determinism).
-    let mut tiles = Vec::new();
-    let mut rest_cols = c;
-    let mut j0 = 0;
-    while rest_cols.ncols() > 0 {
-        let w = bs.nc.min(rest_cols.ncols());
-        let (colblk, tail) = rest_cols.split_at_col(w);
-        let mut rest_rows = colblk;
-        let mut i0 = 0;
-        while rest_rows.nrows() > 0 {
-            let h = bs.mc.min(rest_rows.nrows());
-            let (blk, tail_r) = rest_rows.split_at_row(h);
-            tiles.push((i0, j0, blk));
-            rest_rows = tail_r;
-            i0 += h;
-        }
-        rest_cols = tail;
-        j0 += w;
-    }
-    if flops < PAR_FLOP_THRESHOLD || rayon::current_num_threads() == 1 || tiles.len() == 1 {
+    let (par, col_step) = par_plan::<T>(flops, bs.nc, NR);
+    let tiles = tile_grid(c, bs.mc, col_step);
+    if !par || tiles.len() == 1 {
         for (i0, j0, blk) in tiles {
             gemm_macro_tile::<T, MR, NR>(alpha, a, opa, b, opb, beta, blk, i0, j0, kdim, bs.kc);
         }
     } else {
         tiles.into_par_iter().for_each(|(i0, j0, blk)| {
             gemm_macro_tile::<T, MR, NR>(alpha, a, opa, b, opb, beta, blk, i0, j0, kdim, bs.kc);
+        });
+    }
+}
+
+/// Split-complex twin of [`gemm_blocked`].
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_split<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    opa: Op,
+    b: MatRef<'_, T>,
+    opb: Op,
+    beta: T,
+    c: MatMut<'_, T>,
+    kdim: usize,
+    flops: f64,
+) {
+    let bs = blocking::<T>();
+    let (par, col_step) = par_plan::<T>(flops, bs.nc, NR);
+    let tiles = tile_grid(c, bs.mc, col_step);
+    if !par || tiles.len() == 1 {
+        for (i0, j0, blk) in tiles {
+            gemm_macro_tile_split::<T, MR, NR>(
+                alpha, a, opa, b, opb, beta, blk, i0, j0, kdim, bs.kc,
+            );
+        }
+    } else {
+        tiles.into_par_iter().for_each(|(i0, j0, blk)| {
+            gemm_macro_tile_split::<T, MR, NR>(
+                alpha, a, opa, b, opb, beta, blk, i0, j0, kdim, bs.kc,
+            );
         });
     }
 }
@@ -284,11 +413,13 @@ pub fn gemm<T: Scalar>(
         crate::stats::record(crate::stats::Route::Naive, flops as u64, t0);
         return;
     }
-    // Microkernel shape per scalar width (8-byte reals vs 16-byte complex).
-    if std::mem::size_of::<T>() <= 8 {
-        gemm_blocked::<T, MR_REAL, NR_REAL>(alpha, a, opa, b, opb, beta, c, ak, flops);
+    // Complex scalars take the split re/im-plane path (4 real FMAs per
+    // complex multiply-add on full-width real vectors); reals use the plain
+    // packed kernel.
+    if T::IS_COMPLEX {
+        gemm_blocked_split::<T, MR_SPLIT, NR_SPLIT>(alpha, a, opa, b, opb, beta, c, ak, flops);
     } else {
-        gemm_blocked::<T, MR_CPLX, NR_CPLX>(alpha, a, opa, b, opb, beta, c, ak, flops);
+        gemm_blocked::<T, MR_REAL, NR_REAL>(alpha, a, opa, b, opb, beta, c, ak, flops);
     }
     crate::stats::record(crate::stats::Route::Packed, flops as u64, t0);
 }
@@ -317,7 +448,7 @@ pub fn matvec<T: Scalar>(alpha: T, a: MatRef<'_, T>, opa: Op, x: &[T], beta: T, 
         return;
     }
     let flops = 2.0 * m as f64 * k as f64;
-    if flops < PAR_FLOP_THRESHOLD || rayon::current_num_threads() == 1 {
+    if flops < PAR_FLOP_THRESHOLD || rayon::current_num_threads() == 1 || serial_forced() {
         matvec_chunk(alpha, a, opa, x, 0, y);
         return;
     }

@@ -22,6 +22,7 @@
 // and are kept for readability of the numeric kernels.
 #![allow(clippy::needless_range_loop)]
 
+pub mod cache;
 pub mod factor;
 pub mod gemm;
 pub mod mat;
@@ -30,11 +31,15 @@ pub mod solve;
 pub mod stats;
 pub mod trsm;
 
+pub use cache::{cache_info, kernel_blocking, CacheInfo, CacheSource, KernelBlocking};
 pub use factor::{
     ldlt_in_place, ldlt_in_place_nb, lu_in_place, lu_in_place_nb, partial_ldlt, partial_ldlt_nb,
     partial_lu, partial_lu_nb, symmetrize_from_lower, LdltFactors, LuFactors, DEFAULT_PANEL_NB,
 };
-pub use gemm::{gemm, gemm_into, gemm_naive, matvec, Op, PAR_FLOP_THRESHOLD};
+pub use gemm::{
+    gemm, gemm_into, gemm_naive, gemm_par_flop_threshold, matvec, with_serial, Op,
+    PAR_FLOP_THRESHOLD,
+};
 pub use mat::{Mat, MatMut, MatRef};
 pub use solve::{
     apply_row_swaps_fwd, ldlt_solve_in_place, lu_solve_in_place, lu_solve_transpose_in_place,

@@ -22,9 +22,19 @@
 //! registers and performs `kc` rank-1 updates on it — with `MR`/`NR` as const
 //! generics the loops fully unroll and compile to FMA-friendly straight-line
 //! code for both `f64` and complex scalars.
+//!
+//! Complex scalars take a dedicated *split* path (`pack_a_split` /
+//! `pack_b_split` / `macro_kernel_split`): the packed micro-panels hold the
+//! real and imaginary parts in two separate real planes, and the microkernel
+//! performs the complex multiply-add as four real FMAs per element
+//! (`re += ar·br − ai·bi`, `im += ar·bi + ai·br`) on full-width real vectors
+//! — no shuffle-heavy interleaved lanes, and conjugation is again resolved at
+//! pack time by negating the imaginary plane. Blocking parameters come from
+//! the measured-cache calibration in [`crate::cache`].
 
-use csolve_common::Scalar;
+use csolve_common::{RealScalar, Scalar};
 
+use crate::cache::{kernel_blocking, KernelBlocking};
 use crate::gemm::Op;
 use crate::mat::{MatMut, MatRef};
 
@@ -32,39 +42,21 @@ use crate::mat::{MatMut, MatRef};
 pub(crate) const MR_REAL: usize = 8;
 /// Register tile width for 8-byte scalars.
 pub(crate) const NR_REAL: usize = 4;
-/// Register tile height for 16-byte scalars (`C64`): complex arithmetic uses
-/// twice the registers per element, so the tile is half as tall.
-pub(crate) const MR_CPLX: usize = 4;
-/// Register tile width for 16-byte scalars.
-pub(crate) const NR_CPLX: usize = 4;
+/// Register tile height of the split-complex microkernel. The kernel works
+/// on separate re/im *real* planes, so the tile is as tall as the real one —
+/// a full 8-lane `f64` vector per plane — instead of the half-height tile an
+/// interleaved complex kernel would be forced into.
+pub(crate) const MR_SPLIT: usize = 8;
+/// Register tile width of the split-complex microkernel.
+pub(crate) const NR_SPLIT: usize = 4;
 
-/// Cache blocking parameters of the MC/KC/NC loop nest, in *elements*.
-pub(crate) struct Blocking {
-    /// Rows of the `op(A)` block packed at once (L2-resident panel height).
-    pub mc: usize,
-    /// Inner (`k`) depth of one packed slab (keeps `A`-panel ≈ L1/L2 sized).
-    pub kc: usize,
-    /// Columns of the `op(B)` block packed at once (L3-resident panel width).
-    pub nc: usize,
-}
-
-/// Blocking constants per scalar width. These are *fixed per type* — never
-/// derived from the runtime thread count — which is what makes the macro-tile
-/// grid, and therefore the result, identical for any number of threads.
-pub(crate) fn blocking<T>() -> Blocking {
-    if std::mem::size_of::<T>() <= 8 {
-        Blocking {
-            mc: 128,
-            kc: 256,
-            nc: 512,
-        }
-    } else {
-        Blocking {
-            mc: 64,
-            kc: 192,
-            nc: 256,
-        }
-    }
+/// Cache blocking of the MC/KC/NC loop nest for scalar type `T`, in
+/// elements. Calibrated once per process from the measured cache hierarchy
+/// (see [`crate::cache`]); *fixed per type* — never derived from the runtime
+/// thread count — which is what keeps the per-element accumulation schedule,
+/// and therefore the result, identical for any number of threads.
+pub(crate) fn blocking<T>() -> KernelBlocking {
+    kernel_blocking(std::mem::size_of::<T>())
 }
 
 /// Pack the `mc × kc` block of `op(A)` starting at logical row `i0`, logical
@@ -286,6 +278,282 @@ fn macro_kernel_impl<T: Scalar, const MR: usize, const NR: usize>(
                 let col = &mut c.col_mut(c0 + j)[r0..r0 + mr_eff];
                 for (ci, &v) in col.iter_mut().zip(&accj[..mr_eff]) {
                     *ci += alpha * v;
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Split-complex path: packed re/im planes + 4-real-FMA microkernel.
+// --------------------------------------------------------------------------
+
+/// Split-plane variant of [`pack_a`]: packs the `mc × kc` block of `op(A)`
+/// into two real micro-panel buffers holding the real and imaginary parts.
+/// Layout per plane is identical to `pack_a`'s; conjugation is resolved here
+/// by negating the imaginary plane.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_a_split<T: Scalar, const MR: usize>(
+    a: MatRef<'_, T>,
+    opa: Op,
+    i0: usize,
+    p0: usize,
+    mc: usize,
+    kc: usize,
+    dst_re: &mut Vec<T::Real>,
+    dst_im: &mut Vec<T::Real>,
+) {
+    let npanels = mc.div_ceil(MR);
+    dst_re.clear();
+    dst_re.resize(npanels * kc * MR, T::Real::RZERO);
+    dst_im.clear();
+    dst_im.resize(npanels * kc * MR, T::Real::RZERO);
+    match opa {
+        Op::NoTrans => {
+            for ip in 0..npanels {
+                let r0 = ip * MR;
+                let mr_eff = MR.min(mc - r0);
+                let pre = &mut dst_re[ip * kc * MR..(ip + 1) * kc * MR];
+                let pim = &mut dst_im[ip * kc * MR..(ip + 1) * kc * MR];
+                for kk in 0..kc {
+                    let src = &a.col(p0 + kk)[i0 + r0..i0 + r0 + mr_eff];
+                    for (r, &v) in src.iter().enumerate() {
+                        pre[kk * MR + r] = v.real();
+                        pim[kk * MR + r] = v.imag();
+                    }
+                }
+            }
+        }
+        Op::Trans | Op::ConjTrans => {
+            let conj = opa == Op::ConjTrans;
+            for ip in 0..npanels {
+                let r0 = ip * MR;
+                let mr_eff = MR.min(mc - r0);
+                let pre = &mut dst_re[ip * kc * MR..(ip + 1) * kc * MR];
+                let pim = &mut dst_im[ip * kc * MR..(ip + 1) * kc * MR];
+                for r in 0..mr_eff {
+                    let src = &a.col(i0 + r0 + r)[p0..p0 + kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        pre[kk * MR + r] = v.real();
+                        pim[kk * MR + r] = if conj { -v.imag() } else { v.imag() };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Split-plane variant of [`pack_b`]: packs the `kc × nc` block of `op(B)`
+/// into real/imaginary micro-panel planes (layout per plane as in `pack_b`,
+/// conjugation folded into the imaginary plane).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_b_split<T: Scalar, const NR: usize>(
+    b: MatRef<'_, T>,
+    opb: Op,
+    p0: usize,
+    j0: usize,
+    kc: usize,
+    nc: usize,
+    dst_re: &mut Vec<T::Real>,
+    dst_im: &mut Vec<T::Real>,
+) {
+    let npanels = nc.div_ceil(NR);
+    dst_re.clear();
+    dst_re.resize(npanels * kc * NR, T::Real::RZERO);
+    dst_im.clear();
+    dst_im.resize(npanels * kc * NR, T::Real::RZERO);
+    match opb {
+        Op::NoTrans => {
+            for jp in 0..npanels {
+                let c0 = jp * NR;
+                let nr_eff = NR.min(nc - c0);
+                let pre = &mut dst_re[jp * kc * NR..(jp + 1) * kc * NR];
+                let pim = &mut dst_im[jp * kc * NR..(jp + 1) * kc * NR];
+                for c in 0..nr_eff {
+                    let src = &b.col(j0 + c0 + c)[p0..p0 + kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        pre[kk * NR + c] = v.real();
+                        pim[kk * NR + c] = v.imag();
+                    }
+                }
+            }
+        }
+        Op::Trans | Op::ConjTrans => {
+            let conj = opb == Op::ConjTrans;
+            for jp in 0..npanels {
+                let c0 = jp * NR;
+                let nr_eff = NR.min(nc - c0);
+                let pre = &mut dst_re[jp * kc * NR..(jp + 1) * kc * NR];
+                let pim = &mut dst_im[jp * kc * NR..(jp + 1) * kc * NR];
+                for kk in 0..kc {
+                    let src = &b.col(p0 + kk)[j0 + c0..j0 + c0 + nr_eff];
+                    for (c, &v) in src.iter().enumerate() {
+                        pre[kk * NR + c] = v.real();
+                        pim[kk * NR + c] = if conj { -v.imag() } else { v.imag() };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Split-complex microkernel: `kc` rank-1 updates of two `MR × NR` *real*
+/// accumulators (re/im planes) using four real multiply-adds per complex
+/// element:
+///
+/// ```text
+/// acc_re += ar·br − ai·bi        acc_im += ar·bi + ai·br
+/// ```
+///
+/// All four streams are contiguous real micro-panels, so every operation is
+/// a full-width real vector FMA — the interleaved-lane shuffles of a complex
+/// kernel disappear entirely. The accumulation order per element is fixed by
+/// the `kk` loop, independent of blocking geometry and thread count.
+#[inline(always)]
+fn microkernel_split<R: RealScalar, const MR: usize, const NR: usize>(
+    ar: &[R],
+    ai: &[R],
+    br: &[R],
+    bi: &[R],
+    kc: usize,
+) -> ([[R; MR]; NR], [[R; MR]; NR]) {
+    // Compute the four real products as four *independent* passes over the
+    // packed planes, each with the exact loop shape of the real `microkernel`
+    // above. Mixing both planes (or both product terms) in a single k-loop
+    // baits LLVM's SLP vectorizer into shuffle-heavy cross-lane code
+    // (`vpermt2pd`/`vpunpck*` soup at ~half the f64 rate); four plain
+    // rank-1-update loops each vectorize into clean full-width
+    // broadcast-multiply-add over the MR axis, and the packed panels are
+    // L1-resident so the extra traversals are essentially free.
+    let arbr = microkernel_real::<R, MR, NR>(ar, br, kc);
+    let aibi = microkernel_real::<R, MR, NR>(ai, bi, kc);
+    let arbi = microkernel_real::<R, MR, NR>(ar, bi, kc);
+    let aibr = microkernel_real::<R, MR, NR>(ai, br, kc);
+    let mut acc_re = arbr;
+    let mut acc_im = arbi;
+    for j in 0..NR {
+        for i in 0..MR {
+            acc_re[j][i] -= aibi[j][i];
+            acc_im[j][i] += aibr[j][i];
+        }
+    }
+    (acc_re, acc_im)
+}
+
+/// Real-plane rank-`kc` product: identical loop shape to [`microkernel`] but
+/// over a [`RealScalar`] plane. Must stay `#[inline(always)]` so the body is
+/// compiled under the caller's `#[target_feature]` set (AVX-512/AVX2) rather
+/// than the portable baseline.
+#[inline(always)]
+fn microkernel_real<R: RealScalar, const MR: usize, const NR: usize>(
+    ap: &[R],
+    bp: &[R],
+    kc: usize,
+) -> [[R; MR]; NR] {
+    let mut acc = [[R::RZERO; MR]; NR];
+    for kk in 0..kc {
+        let a: &[R; MR] = ap[kk * MR..kk * MR + MR].try_into().unwrap();
+        let b: &[R; NR] = bp[kk * NR..kk * NR + NR].try_into().unwrap();
+        for j in 0..NR {
+            let bj = b[j];
+            for i in 0..MR {
+                acc[j][i] += a[i] * bj;
+            }
+        }
+    }
+    acc
+}
+
+/// Split-complex macro-kernel: multiply packed re/im planes of the `mc × kc`
+/// A block and the `kc × nc` B block, accumulating
+/// `C += α · Apack · Bpack` micro-tile by micro-tile (β already applied by
+/// the caller). Same per-CPU SIMD dispatch as [`macro_kernel`]; the complex
+/// `α` is applied once per output element at write-back.
+pub(crate) fn macro_kernel_split<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    a_planes: (&[T::Real], &[T::Real]),
+    b_planes: (&[T::Real], &[T::Real]),
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    c: &mut MatMut<'_, T>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature presence just checked.
+            return unsafe {
+                macro_kernel_split_avx512::<T, MR, NR>(alpha, a_planes, b_planes, mc, nc, kc, c)
+            };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: feature presence just checked.
+            return unsafe {
+                macro_kernel_split_avx2::<T, MR, NR>(alpha, a_planes, b_planes, mc, nc, kc, c)
+            };
+        }
+    }
+    macro_kernel_split_impl::<T, MR, NR>(alpha, a_planes, b_planes, mc, nc, kc, c)
+}
+
+/// `macro_kernel_split_impl` recompiled with 512-bit vectors + FMA available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,fma")]
+unsafe fn macro_kernel_split_avx512<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    a_planes: (&[T::Real], &[T::Real]),
+    b_planes: (&[T::Real], &[T::Real]),
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    c: &mut MatMut<'_, T>,
+) {
+    macro_kernel_split_impl::<T, MR, NR>(alpha, a_planes, b_planes, mc, nc, kc, c)
+}
+
+/// `macro_kernel_split_impl` recompiled with 256-bit vectors + FMA available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn macro_kernel_split_avx2<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    a_planes: (&[T::Real], &[T::Real]),
+    b_planes: (&[T::Real], &[T::Real]),
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    c: &mut MatMut<'_, T>,
+) {
+    macro_kernel_split_impl::<T, MR, NR>(alpha, a_planes, b_planes, mc, nc, kc, c)
+}
+
+#[inline(always)]
+fn macro_kernel_split_impl<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    (are, aim): (&[T::Real], &[T::Real]),
+    (bre, bim): (&[T::Real], &[T::Real]),
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    c: &mut MatMut<'_, T>,
+) {
+    let mpanels = mc.div_ceil(MR);
+    let npanels = nc.div_ceil(NR);
+    for jp in 0..npanels {
+        let c0 = jp * NR;
+        let nr_eff = NR.min(nc - c0);
+        let bpr = &bre[jp * kc * NR..(jp + 1) * kc * NR];
+        let bpi = &bim[jp * kc * NR..(jp + 1) * kc * NR];
+        for ip in 0..mpanels {
+            let r0 = ip * MR;
+            let mr_eff = MR.min(mc - r0);
+            let apr = &are[ip * kc * MR..(ip + 1) * kc * MR];
+            let api = &aim[ip * kc * MR..(ip + 1) * kc * MR];
+            let (acc_re, acc_im) = microkernel_split::<T::Real, MR, NR>(apr, api, bpr, bpi, kc);
+            for j in 0..nr_eff {
+                let col = &mut c.col_mut(c0 + j)[r0..r0 + mr_eff];
+                for (i, ci) in col.iter_mut().enumerate() {
+                    *ci += alpha * T::from_parts(acc_re[j][i], acc_im[j][i]);
                 }
             }
         }

@@ -126,7 +126,11 @@ fn solve_col<T: Scalar>(tri: Tri, op: Op, diag: Diag, t: MatRef<'_, T>, x: &mut 
 fn trsm_left_base<T: Scalar>(tri: Tri, op: Op, diag: Diag, t: MatRef<'_, T>, mut b: MatMut<'_, T>) {
     let n = b.ncols();
     let work = t.nrows() as f64 * t.nrows() as f64 * n as f64;
-    if work < PAR_FLOP_THRESHOLD || rayon::current_num_threads() == 1 || n == 1 {
+    if work < PAR_FLOP_THRESHOLD
+        || rayon::current_num_threads() == 1
+        || n == 1
+        || crate::gemm::serial_forced()
+    {
         for j in 0..n {
             solve_col(tri, op, diag, t, b.col_mut(j));
         }

@@ -58,8 +58,9 @@ pub use csolve_common::{
     TraceScope, Tracer, C32, C64,
 };
 pub use csolve_coupled::{
-    solve, Algorithm, AutotuneDecision, BlockSizes, DenseBackend, MatrixStats, Metrics, Outcome,
-    PhaseReport, RunReport, SolverConfig, SolverConfigBuilder, SpanAgg, SparseCompressionSummary,
+    solve, Algorithm, AutotuneDecision, BlockSizes, DenseBackend, KernelCalibration, MatrixStats,
+    Metrics, Outcome, PhaseReport, RunReport, SolverConfig, SolverConfigBuilder, SpanAgg,
+    SparseCompressionSummary,
 };
 pub use csolve_fembem::{industrial_problem, pipe_problem, CoupledProblem};
 

@@ -136,6 +136,29 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// The split-complex packed path (two real planes, four real-plane
+    /// passes per micro-tile) at sizes past the blocked threshold, with
+    /// strided views and every Op combination — including `ConjTrans`,
+    /// whose conjugation is folded into the plane packing.
+    #[test]
+    fn split_complex_blocked_path_matches_naive_with_strides(
+        mnk in (96usize..160, 96usize..160, 96usize..200),
+        ops in (0usize..3, 0usize..3),
+        ps in (1usize..5, 0u64..1_000),
+    ) {
+        let ((m, n, k), (ia, ib), (pad, seed)) = (mnk, ops, ps);
+        let err = max_err::<C64>(
+            m, n, k,
+            op_of(ia), op_of(ib),
+            C64::new(1.25, -0.75), C64::new(0.5, 0.25),
+            pad, seed,
+        );
+        prop_assert!(err < 1e-9, "C64 strided err {err:.3e} at m={m} n={n} k={k} pad={pad}");
+    }
+}
+
 /// Degenerate shapes: any of m/n/k zero must not touch memory it should not,
 /// and `k == 0` must still apply β (including the β = 0 NaN-clearing rule).
 #[test]
@@ -143,6 +166,18 @@ fn degenerate_dims_match_naive() {
     for &(m, n, k) in &[(0usize, 7usize, 5usize), (7, 0, 5), (7, 5, 0), (0, 0, 0)] {
         let err = max_err::<f64>(m, n, k, Op::NoTrans, Op::Trans, 2.0, 0.5, 1, 7);
         assert_eq!(err, 0.0, "degenerate ({m},{n},{k})");
+        let err = max_err::<C64>(
+            m,
+            n,
+            k,
+            Op::ConjTrans,
+            Op::NoTrans,
+            C64::new(2.0, -1.0),
+            C64::new(0.5, 0.5),
+            1,
+            7,
+        );
+        assert_eq!(err, 0.0, "C64 degenerate ({m},{n},{k})");
     }
     // k == 0 with β == 0 overwrites: NaN garbage in C must not survive.
     let a = Mat::<f64>::zeros(4, 0);

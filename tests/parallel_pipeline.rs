@@ -63,6 +63,46 @@ fn multi_factorization_is_bitwise_identical_for_1_2_4_threads() {
     }
 }
 
+/// The task-DAG executor's determinism cell: even when memory pressure
+/// forces the admission scheduler to degrade concurrency mid-run (in-flight
+/// caps shrink, the DAG's lookahead edges change), the ordered commits must
+/// still fold the panel contributions identically — the solution stays
+/// bitwise-identical across 1/2/4 threads *under a tight budget*.
+#[test]
+fn task_dag_is_bitwise_identical_across_threads_under_budget_pressure() {
+    let p = pipe_problem::<f64>(2_000);
+    let mut sequential = cfg(1);
+    let budget = (18..34)
+        .map(|shift| 1usize << shift)
+        .find(|&b| {
+            sequential.mem_budget = Some(b);
+            match solve(&p, Algorithm::MultiSolve, &sequential) {
+                Ok(_) => true,
+                Err(e) if e.is_oom() => false,
+                Err(e) => panic!("unexpected error at budget {b}: {e}"),
+            }
+        })
+        .expect("some budget fits the sequential run");
+
+    let reference = solve(&p, Algorithm::MultiSolve, &sequential).unwrap();
+    for threads in [2usize, 4] {
+        let mut pressured = cfg(threads);
+        pressured.mem_budget = Some(budget);
+        let out = solve(&p, Algorithm::MultiSolve, &pressured)
+            .unwrap_or_else(|e| panic!("{threads} threads under budget {budget}: {e}"));
+        assert_eq!(
+            bits(&out.xv),
+            bits(&reference.xv),
+            "x_v diverged with {threads} threads under pressure"
+        );
+        assert_eq!(
+            bits(&out.xs),
+            bits(&reference.xs),
+            "x_s diverged with {threads} threads under pressure"
+        );
+    }
+}
+
 /// With several blocks in flight, the admission scheduler must keep the
 /// tracked peak under the budget — concurrency degrades instead of
 /// overshooting. The budget is chosen as the smallest power of two the

@@ -78,18 +78,20 @@ fn span_sequence_is_identical_across_thread_counts() {
 }
 
 #[test]
-fn block_scopes_are_contiguous_and_start_with_admit_wait() {
+fn block_scopes_are_contiguous_and_start_with_task_ready() {
     let (_, records) = traced_solve(Algorithm::MultiSolve, DenseBackend::Hmat, 4);
     let mut blocks: Vec<usize> = Vec::new();
     for r in &records {
         if let TraceScope::Block(seq) = r.scope {
             if !blocks.contains(&seq) {
                 // Canonical order: first sighting of a block is its first
-                // record, and blocks appear in ascending seq order.
+                // record — the DAG executor's readiness announcement of the
+                // block's compute task — and blocks appear in ascending seq
+                // order.
                 assert_eq!(
                     r.payload.kind_name(),
-                    "admit_wait",
-                    "block {seq}: first record is not the admission wait"
+                    "task_ready",
+                    "block {seq}: first record is not the task-ready event"
                 );
                 blocks.push(seq);
             }
@@ -98,6 +100,15 @@ fn block_scopes_are_contiguous_and_start_with_admit_wait() {
     assert!(blocks.len() > 1, "expected several pipeline blocks");
     let expect: Vec<usize> = (0..blocks.len()).collect();
     assert_eq!(blocks, expect, "block scopes not contiguous from 0");
+    // Each block runs exactly two DAG nodes: compute then commit.
+    for &b in &blocks {
+        let runs = records
+            .iter()
+            .filter(|r| r.scope == TraceScope::Block(b))
+            .filter(|r| r.payload.kind_name() == SpanKind::TaskRun.name())
+            .count();
+        assert_eq!(runs, 2, "block {b}: expected compute + commit task_run");
+    }
 }
 
 #[test]
@@ -246,6 +257,19 @@ fn run_report_has_the_documented_shape() {
             kinds.contains(&want),
             "span kind {want:?} missing: {kinds:?}"
         );
+    }
+
+    // The measured-cache kernel calibration is recorded with every report.
+    let kb = doc.get("kernel_blocking").expect("kernel_blocking section");
+    assert!(kb.get("cache_source").and_then(|v| v.as_str()).is_some());
+    for width in ["f64", "c64"] {
+        let b = kb.get(width).unwrap();
+        for field in ["mc", "kc", "nc"] {
+            assert!(
+                b.get(field).and_then(|v| v.as_u64()).unwrap() > 0,
+                "calibrated {width}.{field} missing or zero"
+            );
+        }
     }
 
     // Kernel counters and a memory high-water sample are always emitted by

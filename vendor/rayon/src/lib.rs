@@ -153,6 +153,52 @@ where
     }
 }
 
+/// A fork-join scope handing out spawns bounded by the thread budget (the
+/// rayon `scope` API subset used by this workspace).
+///
+/// Unlike real rayon there is no task queue: each [`Scope::spawn`] either
+/// takes a helper-thread permit and runs on a scoped OS thread, or degrades
+/// to *inline* execution on the spawning thread. Spawned closures therefore
+/// must tolerate running to completion before later spawns are issued —
+/// which holds for the worker-loop pattern the solver's task-DAG executor
+/// uses (any single worker can drain the whole DAG alone).
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    limit: usize,
+}
+
+/// Create a fork-join scope: every closure spawned on it completes before
+/// `scope` returns. The current thread budget propagates to helper threads.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    let limit = current_num_threads();
+    std::thread::scope(|s| f(Scope { std: s, limit }))
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Run `f` on a helper thread when a permit is available under the
+    /// budget, inline on the calling thread otherwise. `f` receives a copy
+    /// of the scope (rayon passes `&Scope`; a `|_|` closure works for both).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let sc = *self;
+        match try_spawn_permit() {
+            Some(permit) => {
+                self.std.spawn(move || {
+                    let _permit = permit;
+                    with_limit(sc.limit, || f(sc));
+                });
+            }
+            None => f(sc),
+        }
+    }
+}
+
 /// Error returned by [`ThreadPoolBuilder::build`]. Construction never fails
 /// in this shim; the type exists for API compatibility.
 #[derive(Debug)]
@@ -267,6 +313,20 @@ mod tests {
             .into_par_iter()
             .for_each(|i| drop(hits[i].fetch_add(1, Ordering::Relaxed)));
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn scope_spawn_runs_every_closure() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| drop(hits.fetch_add(1, Ordering::Relaxed)));
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
     }
 
     #[test]
