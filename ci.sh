@@ -72,6 +72,14 @@ echo "==> blr_report smoke run"
 # the committed BENCH_blr.json is never clobbered by CI.
 cargo run --release --offline -q --bin blr_report -- --smoke > /dev/null
 
+echo "==> session_report smoke run"
+# Tier-2 assertion baked into the binary: the session's batched multi-RHS
+# path must reach >= 1.5x the throughput of one full solve per RHS at panel
+# width >= 4, and a cache hit must beat a full re-solve. Writes
+# target/BENCH_session_smoke.json so the committed BENCH_session.json is
+# never clobbered by CI.
+cargo run --release --offline -q --bin session_report -- --smoke > /dev/null
+
 echo "==> trace smoke run"
 # Quickstart through the façade with tracing on (writes + re-parses the
 # JSONL trace and the run report), then the dedicated smoke binary:

@@ -199,6 +199,39 @@ pub enum TraceEventKind {
         /// for its commit task).
         node: usize,
     },
+    /// A session cache lookup found a resident factorization for the
+    /// request's fingerprint. Emitted from the session's submitting thread,
+    /// so for a fixed request sequence the event stream is identical at any
+    /// solver thread count (part of the ordering guarantee).
+    SessionCacheHit {
+        /// The matrix fingerprint hash (seeded, data-derived — stable
+        /// across runs and thread counts).
+        fingerprint: u64,
+    },
+    /// A session cache lookup missed and a factorization was built (or
+    /// rebuilt after eviction). Same determinism contract as
+    /// [`TraceEventKind::SessionCacheHit`].
+    SessionCacheMiss {
+        /// The matrix fingerprint hash.
+        fingerprint: u64,
+    },
+    /// The session evicted a least-recently-used cache entry to make room
+    /// under its memory budget. Emitted from the evicting (submitting)
+    /// thread in deterministic LRU order for a fixed request sequence.
+    SessionEvict {
+        /// Fingerprint hash of the evicted entry.
+        fingerprint: u64,
+        /// Bytes the entry's factors accounted for.
+        bytes: usize,
+    },
+    /// The session solved one coalesced right-hand-side panel. `width` is
+    /// the panel width actually achieved after any budget degradation.
+    SessionBatch {
+        /// Columns in the solved panel.
+        width: usize,
+        /// Individually-submitted requests demuxed from the panel.
+        requests: usize,
+    },
 }
 
 impl TraceEventKind {
@@ -212,6 +245,10 @@ impl TraceEventKind {
             TraceEventKind::FrontCompress { .. } => "front_compress",
             TraceEventKind::KernelCounters { .. } => "kernel_counters",
             TraceEventKind::TaskReady { .. } => "task_ready",
+            TraceEventKind::SessionCacheHit { .. } => "session_cache_hit",
+            TraceEventKind::SessionCacheMiss { .. } => "session_cache_miss",
+            TraceEventKind::SessionEvict { .. } => "session_evict",
+            TraceEventKind::SessionBatch { .. } => "session_batch",
         }
     }
 }
@@ -591,6 +628,16 @@ impl TraceRecord {
                     TraceEventKind::TaskReady { node } => {
                         s.push_str(&format!(",\"node\":{node}"));
                     }
+                    TraceEventKind::SessionCacheHit { fingerprint }
+                    | TraceEventKind::SessionCacheMiss { fingerprint } => {
+                        s.push_str(&format!(",\"fingerprint\":{fingerprint}"));
+                    }
+                    TraceEventKind::SessionEvict { fingerprint, bytes } => {
+                        s.push_str(&format!(",\"fingerprint\":{fingerprint},\"bytes\":{bytes}"));
+                    }
+                    TraceEventKind::SessionBatch { width, requests } => {
+                        s.push_str(&format!(",\"width\":{width},\"requests\":{requests}"));
+                    }
                 }
             }
         }
@@ -748,6 +795,30 @@ mod tests {
             }
             .name(),
             "front_compress"
+        );
+        assert_eq!(
+            TraceEventKind::SessionCacheHit { fingerprint: 0 }.name(),
+            "session_cache_hit"
+        );
+        assert_eq!(
+            TraceEventKind::SessionCacheMiss { fingerprint: 0 }.name(),
+            "session_cache_miss"
+        );
+        assert_eq!(
+            TraceEventKind::SessionEvict {
+                fingerprint: 0,
+                bytes: 0
+            }
+            .name(),
+            "session_evict"
+        );
+        assert_eq!(
+            TraceEventKind::SessionBatch {
+                width: 1,
+                requests: 1
+            }
+            .name(),
+            "session_batch"
         );
     }
 }

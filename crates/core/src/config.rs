@@ -277,6 +277,53 @@ impl SolverConfig {
             None => self.sparse_compression.then_some(self.eps),
         }
     }
+
+    /// The configuration knobs that change what a factorization *computes*,
+    /// encoded as a fixed-length word list for the session fingerprint (see
+    /// `SolverSession`): `eps`, the resolved sparse-compression tolerance,
+    /// the dense backend, the blocking parameters (`n_c`, `n_s`, `n_b`,
+    /// fixed-vs-auto, `dense_panel_nb`), the sparse ordering and the
+    /// H-matrix geometry (`hmat_leaf`, `hmat_eta`). Two configs with equal
+    /// knob words produce bitwise-identical factors for the same matrix (at
+    /// a fixed thread count the solver is deterministic, and across thread
+    /// counts it is bitwise-invariant by contract). Purely observational
+    /// knobs — `mem_budget`, `num_threads`, `max_inflight_blocks`, the
+    /// tracer — are deliberately excluded so they cannot cause spurious
+    /// cache misses.
+    pub fn fingerprint_knobs(&self) -> [u64; 10] {
+        let eps_bits = self.eps.to_bits();
+        // Option<f64> folded into one word: NaN never appears (validated),
+        // so the all-ones pattern is free to mean "compression off".
+        let sparse_bits = match self.effective_sparse_eps() {
+            Some(e) => e.to_bits(),
+            None => u64::MAX,
+        };
+        let backend = match self.dense_backend {
+            DenseBackend::Spido => 0u64,
+            DenseBackend::Hmat => 1u64,
+        };
+        let ordering = match self.ordering {
+            OrderingKind::Natural => 0u64,
+            OrderingKind::Rcm => 1u64,
+            OrderingKind::NestedDissection => 2u64,
+        };
+        let auto = match self.block_sizes {
+            BlockSizes::Fixed => 0u64,
+            BlockSizes::Auto => 1u64,
+        };
+        [
+            eps_bits,
+            sparse_bits,
+            backend,
+            ordering,
+            auto,
+            self.n_c as u64,
+            self.n_s as u64,
+            self.n_b as u64,
+            self.dense_panel_nb as u64,
+            (self.hmat_leaf as u64) ^ self.hmat_eta.to_bits().rotate_left(17),
+        ]
+    }
 }
 
 /// Builder for [`SolverConfig`] with fail-fast validation; see

@@ -130,7 +130,7 @@ fn assert_factorization_shareable<T: Scalar>() {
 
 /// Worker threads the solve will use: the explicit knob, or the ambient
 /// rayon thread count when the knob is 0.
-fn effective_threads(cfg: &SolverConfig) -> usize {
+pub(crate) fn effective_threads(cfg: &SolverConfig) -> usize {
     if cfg.num_threads > 0 {
         cfg.num_threads
     } else {
@@ -241,6 +241,287 @@ pub fn solve<T: Scalar>(
 /// (permuted) surface solutions, the Schur storage bytes for `Metrics`, and
 /// the autotuner's decision when `BlockSizes::Auto` ran.
 type BlockwiseOut<T> = (Vec<T>, Vec<T>, usize, Option<AutotuneDecision>);
+
+/// What each blockwise `*_factors` phase hands back: the reusable sparse and
+/// Schur factors, the Schur storage bytes, and the autotune decision.
+type FactorsOut<T> = (
+    SparseFactorization<T>,
+    SchurFactor<T>,
+    usize,
+    Option<AutotuneDecision>,
+);
+
+/// The reusable factorization state behind a solve: either `A_vv` factored
+/// on its own plus the factored Schur complement (baseline, multi-solve,
+/// multi-factorization — consumed by [`finish_solution`]'s equations), or
+/// the stacked-`W` partial factorization of the advanced coupling (consumed
+/// by [`condensed_solution`]).
+enum FactorState<T: Scalar> {
+    Direct {
+        fact: SparseFactorization<T>,
+        sf: SchurFactor<T>,
+    },
+    Condensed {
+        fact_w: SparseFactorization<T>,
+        sf: SchurFactor<T>,
+    },
+}
+
+/// Everything `SolverSession` needs to serve repeated right-hand sides for
+/// one factorized coupled matrix, detached from the problem's borrowed
+/// data: the factor state, the cluster permutation, and the permuted
+/// coupling blocks. The sparse and Schur factors hold their `MemCharge`s,
+/// so a cached `SessionFactors` keeps its bytes accounted on the tracker it
+/// was factorized against until it is dropped.
+pub(crate) struct SessionFactors<T: Scalar> {
+    state: FactorState<T>,
+    tree: ClusterTree,
+    a_sv: Csc<T>,
+    a_vs: Csc<T>,
+    nv: usize,
+    ns: usize,
+    /// Metrics of the factorization run (no solution phases).
+    pub(crate) metrics: Metrics,
+}
+
+impl<T: Scalar> SessionFactors<T> {
+    pub(crate) fn nv(&self) -> usize {
+        self.nv
+    }
+
+    pub(crate) fn ns(&self) -> usize {
+        self.ns
+    }
+
+    /// Bytes this entry pins while cached: the factor storage plus the
+    /// permuted coupling blocks and the cluster tree. (Used for the LRU
+    /// bookkeeping and the `session_evict` events; the authoritative
+    /// accounting is the `MemCharge`s the factors hold.)
+    pub(crate) fn entry_bytes(&self) -> usize {
+        let state = match &self.state {
+            FactorState::Direct { fact, sf } | FactorState::Condensed { fact_w: fact, sf } => {
+                fact.byte_size() + schur_factor_bytes(sf)
+            }
+        };
+        state + self.side_bytes()
+    }
+
+    /// Bytes of the entry's side structures (the permuted coupling blocks
+    /// and the cluster permutation) that are *not* already charged to the
+    /// tracker through the factors' own `MemCharge`s. The session charges
+    /// these explicitly when it caches the entry.
+    pub(crate) fn side_bytes(&self) -> usize {
+        self.a_sv.byte_size()
+            + self.a_vs.byte_size()
+            + self.tree.perm.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Solve a `w`-column right-hand-side panel. `b_v` is `nv × w` and
+    /// `b_s` is `ns × w`, both column-major in the *original* index order;
+    /// the returned `(xv, xs)` panels use the same layout and ordering.
+    ///
+    /// The whole panel runs under [`csolve_dense::with_colwise_det`], so
+    /// column `j` of the result is bitwise-identical to a one-shot
+    /// [`solve`] of that right-hand side with the same configuration and
+    /// factors — the demuxed per-request solutions match the sequential
+    /// one-RHS path bit for bit at every thread count.
+    pub(crate) fn solve_panel(
+        &self,
+        b_v: &[T],
+        b_s: &[T],
+        cfg: &SolverConfig,
+        timer: &PhaseTimer,
+    ) -> Result<(Vec<T>, Vec<T>)> {
+        let (nv, ns) = (self.nv, self.ns);
+        if nv == 0 || !b_v.len().is_multiple_of(nv) || b_v.len() / nv * ns != b_s.len() {
+            return Err(Error::DimensionMismatch {
+                context: "session panel solve",
+                expected: (nv, ns),
+                got: (b_v.len(), b_s.len()),
+            });
+        }
+        let w = b_v.len() / nv;
+        // Surface parts into cluster order, column by column.
+        let mut b_s_p = Vec::with_capacity(ns * w);
+        for j in 0..w {
+            let col = &b_s[j * ns..(j + 1) * ns];
+            b_s_p.extend(self.tree.perm.iter().map(|&o| col[o]));
+        }
+        let (xv, xs_p) = csolve_dense::with_colwise_det(|| match &self.state {
+            FactorState::Direct { fact, sf } => {
+                finish_solution_panel(b_v, &b_s_p, fact, sf, &self.a_sv, &self.a_vs, cfg, timer)
+            }
+            FactorState::Condensed { fact_w, sf } => {
+                condensed_solution(b_v, &b_s_p, fact_w, sf, nv, ns, cfg, timer)
+            }
+        })?;
+        let mut xs = Vec::with_capacity(ns * w);
+        for j in 0..w {
+            xs.extend(self.tree.to_original_order(&xs_p[j * ns..(j + 1) * ns]));
+        }
+        Ok((xv, xs))
+    }
+}
+
+/// Byte size of a factored Schur complement (for session LRU bookkeeping).
+fn schur_factor_bytes<T: Scalar>(sf: &SchurFactor<T>) -> usize {
+    match sf {
+        SchurFactor::DenseLdlt { f, .. } => f.byte_size(),
+        SchurFactor::DenseLu { f, .. } => f.byte_size(),
+        SchurFactor::HLu { f, .. } => f.byte_size(),
+    }
+}
+
+/// Build the reusable factorization state for a session cache entry: the
+/// chosen algorithm's factorization phase without the solution phase.
+/// Runs on the caller's rayon pool (the session installs its own) and
+/// charges everything against `tracker` — including the factor storage,
+/// whose charges the returned [`SessionFactors`] keeps holding.
+pub(crate) fn factorize_session<T: Scalar>(
+    problem: &CoupledProblem<T>,
+    algo: Algorithm,
+    cfg: &SolverConfig,
+    tracker: &Arc<MemTracker>,
+) -> Result<SessionFactors<T>> {
+    cfg.validate()?;
+    let timer = PhaseTimer::new();
+    let sw = Stopwatch::start();
+    let counting = KernelCounting::start(&cfg.tracer);
+
+    let tree = ClusterTree::build(&problem.bem.points, cfg.hmat_leaf);
+    let perm = tree.perm.clone();
+    let all_v: Vec<usize> = (0..problem.n_fem()).collect();
+    let ws = Ws {
+        a_vv: &problem.a_vv,
+        a_sv: problem.a_sv.submatrix(&perm, &all_v),
+        a_vs: problem.a_vs.submatrix(&all_v, &perm),
+        bem: problem.bem.permuted(&perm),
+        b_v: &problem.b_v,
+        b_s: perm.iter().map(|&o| problem.b_s[o]).collect(),
+        tree,
+        symmetric: problem.symmetric,
+        blr: Mutex::new(SparseCompressionSummary::default()),
+    };
+
+    let (state, schur_bytes, autotune) = match algo {
+        Algorithm::BaselineCoupling => {
+            let (fact, sf, sb) = baseline_factors(&ws, cfg, tracker, &timer)?;
+            (FactorState::Direct { fact, sf }, sb, None)
+        }
+        Algorithm::AdvancedCoupling => {
+            let (fact_w, sf, sb) = advanced_factors(&ws, cfg, tracker, &timer)?;
+            (FactorState::Condensed { fact_w, sf }, sb, None)
+        }
+        Algorithm::MultiSolve => {
+            let (fact, sf, sb, d) = multi_solve_factors(&ws, cfg, tracker, &timer)?;
+            (FactorState::Direct { fact, sf }, sb, d)
+        }
+        Algorithm::MultiFactorization => {
+            let (fact, sf, sb, d) = multi_factorization_factors(&ws, cfg, tracker, &timer)?;
+            (FactorState::Direct { fact, sf }, sb, d)
+        }
+    };
+
+    let rt = cfg.tracer.run();
+    mem_sample(rt, tracker);
+    counting.finish(rt);
+    let sparse_compression = cfg.effective_sparse_eps().map(|eps| {
+        let mut s = ws.blr.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        s.eps = eps;
+        s
+    });
+    let metrics = Metrics {
+        phases: timer
+            .phases()
+            .into_iter()
+            .map(|(n, d)| (n, d.as_secs_f64()))
+            .collect(),
+        total_seconds: sw.elapsed_secs(),
+        peak_bytes: tracker.peak(),
+        schur_bytes,
+        phase_bytes: timer.bytes(),
+        phase_flops: timer.flops(),
+        threads: rayon::current_num_threads(),
+        n_total: problem.n_total(),
+        n_bem: problem.n_bem(),
+        n_fem: problem.n_fem(),
+        autotune,
+        sparse_compression,
+    };
+    let (nv, ns) = (ws.nv(), ws.ns());
+    let Ws {
+        a_sv, a_vs, tree, ..
+    } = ws;
+    Ok(SessionFactors {
+        state,
+        tree,
+        a_sv,
+        a_vs,
+        nv,
+        ns,
+        metrics,
+    })
+}
+
+/// Panel-width generalization of [`finish_solution`], operating on owned
+/// slices instead of the `Ws` workspace: `b_v` (`nv × w`) and `b_s_p`
+/// (`ns × w`, cluster order), both column-major. The factor traversals run
+/// on the full panel (`solve_in_place` is multi-RHS); the sparse coupling
+/// products run per column through the same `matvec` calls as the one-RHS
+/// path. The returned surface panel stays in cluster order.
+#[allow(clippy::too_many_arguments)]
+fn finish_solution_panel<T: Scalar>(
+    b_v: &[T],
+    b_s_p: &[T],
+    fact: &SparseFactorization<T>,
+    sf: &SchurFactor<T>,
+    a_sv: &Csc<T>,
+    a_vs: &Csc<T>,
+    cfg: &SolverConfig,
+    timer: &PhaseTimer,
+) -> Result<(Vec<T>, Vec<T>)> {
+    let nv = fact.n();
+    let ns = a_sv.nrows;
+    let w = b_v.len() / nv.max(1);
+    let rt = cfg.tracer.run();
+    // T = A_vv⁻¹ B_v
+    let mut t = Mat::from_col_major(nv, w, b_v.to_vec());
+    rt.time(SpanKind::SparseSolve, || {
+        timer.time("sparse solve (rhs)", || fact.solve_in_place(&mut t))
+    })?;
+    // RHS_s = B_s − A_sv T (per column: same matvec as the one-RHS path).
+    let mut xs = Mat::from_col_major(ns, w, b_s_p.to_vec());
+    for j in 0..w {
+        let mut rhs_s = xs.col(j).to_vec();
+        a_sv.matvec(-T::ONE, t.col(j), T::ONE, &mut rhs_s);
+        xs.col_mut(j).copy_from_slice(&rhs_s);
+    }
+    // X_s = S⁻¹ RHS_s
+    rt.time(SpanKind::DenseSolve, || {
+        timer.time("dense solve", || sf.solve_in_place(xs.as_mut()))
+    });
+    if cfg.dense_backend == DenseBackend::Spido {
+        timer.add_flops("dense solve", 2 * (ns as u64) * (ns as u64) * (w as u64));
+    }
+    // X_v = A_vv⁻¹ (B_v − A_vs X_s)
+    let mut bv2 = Mat::from_col_major(nv, w, b_v.to_vec());
+    for j in 0..w {
+        let x = xs.col(j).to_vec();
+        let mut tmp = bv2.col_mut(j).to_vec();
+        a_vs.matvec(-T::ONE, &x, T::ONE, &mut tmp);
+        bv2.col_mut(j).copy_from_slice(&tmp);
+    }
+    rt.time(SpanKind::SparseSolve, || {
+        timer.time("sparse solve (back)", || fact.solve_in_place(&mut bv2))
+    })?;
+    let mut xv = Vec::with_capacity(nv * w);
+    let mut xsv = Vec::with_capacity(ns * w);
+    for j in 0..w {
+        xv.extend_from_slice(bv2.col(j));
+        xsv.extend_from_slice(xs.col(j));
+    }
+    Ok((xv, xsv))
+}
 
 fn solve_inner<T: Scalar>(
     problem: &CoupledProblem<T>,
@@ -372,6 +653,21 @@ fn baseline_coupling<T: Scalar>(
     tracker: &Arc<MemTracker>,
     timer: &PhaseTimer,
 ) -> Result<(Vec<T>, Vec<T>, usize)> {
+    let (fact, sf, schur_bytes) = baseline_factors(ws, cfg, tracker, timer)?;
+    let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
+    Ok((xv, xs, schur_bytes))
+}
+
+/// Factorization phase of [`baseline_coupling`]: everything up to (and
+/// including) the Schur factorization, with the solution phase left to the
+/// caller — `solve` runs it once, the session layer keeps the factors and
+/// runs it per request panel.
+fn baseline_factors<T: Scalar>(
+    ws: &Ws<'_, T>,
+    cfg: &SolverConfig,
+    tracker: &Arc<MemTracker>,
+    timer: &PhaseTimer,
+) -> Result<(SparseFactorization<T>, SchurFactor<T>, usize)> {
     let (nv, ns) = (ws.nv(), ws.ns());
     let rt = cfg.tracer.run();
     let fact = timer.time("sparse factorization", || {
@@ -431,8 +727,7 @@ fn baseline_coupling<T: Scalar>(
     add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
     mem_sample(rt, tracker);
     let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
-    let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
-    Ok((xv, xs, schur_bytes))
+    Ok((fact, sf, schur_bytes))
 }
 
 /// Shared epilogue of every algorithm: factor the accumulated Schur
@@ -461,6 +756,20 @@ fn advanced_coupling<T: Scalar>(
     tracker: &Arc<MemTracker>,
     timer: &PhaseTimer,
 ) -> Result<(Vec<T>, Vec<T>, usize)> {
+    let (fact_w, sf, schur_bytes) = advanced_factors(ws, cfg, tracker, timer)?;
+    let (xv, xs) = condensed_solution(ws.b_v, &ws.b_s, &fact_w, &sf, ws.nv(), ws.ns(), cfg, timer)?;
+    Ok((xv, xs, schur_bytes))
+}
+
+/// Factorization phase of [`advanced_coupling`]: the stacked-`W` partial
+/// factorization plus the factored Schur complement, both reusable across
+/// solves ([`SparseFactorization::condense_and_solve`] takes `&self`).
+fn advanced_factors<T: Scalar>(
+    ws: &Ws<'_, T>,
+    cfg: &SolverConfig,
+    tracker: &Arc<MemTracker>,
+    timer: &PhaseTimer,
+) -> Result<(SparseFactorization<T>, SchurFactor<T>, usize)> {
     let (nv, ns) = (ws.nv(), ws.ns());
     let n = nv + ns;
     let rt = cfg.tracer.run();
@@ -507,11 +816,32 @@ fn advanced_coupling<T: Scalar>(
     add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
     mem_sample(rt, tracker);
     let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
+    Ok((fact_w, sf, schur_bytes))
+}
 
-    // One condensation solve through the partial factorization.
-    let mut b = Mat::<T>::zeros(n, 1);
-    b.col_mut(0)[..nv].copy_from_slice(ws.b_v);
-    b.col_mut(0)[nv..].copy_from_slice(&ws.b_s);
+/// Solution phase of the advanced coupling: one condensation solve through
+/// the partial `W` factorization, generalized to a `w`-column panel.
+/// `b_v`/`b_s` are column-major (`b_s` already in cluster order); the
+/// returned surface part stays in cluster order (the caller unpermutes).
+#[allow(clippy::too_many_arguments)]
+fn condensed_solution<T: Scalar>(
+    b_v: &[T],
+    b_s: &[T],
+    fact_w: &SparseFactorization<T>,
+    sf: &SchurFactor<T>,
+    nv: usize,
+    ns: usize,
+    cfg: &SolverConfig,
+    timer: &PhaseTimer,
+) -> Result<(Vec<T>, Vec<T>)> {
+    let n = nv + ns;
+    let w = b_v.len() / nv.max(1);
+    let rt = cfg.tracer.run();
+    let mut b = Mat::<T>::zeros(n, w);
+    for j in 0..w {
+        b.col_mut(j)[..nv].copy_from_slice(&b_v[j * nv..(j + 1) * nv]);
+        b.col_mut(j)[nv..].copy_from_slice(&b_s[j * ns..(j + 1) * ns]);
+    }
     rt.time(SpanKind::CoupledSolve, || {
         timer.time("coupled solve", || {
             fact_w.condense_and_solve(&mut b, |xs_block| {
@@ -520,9 +850,13 @@ fn advanced_coupling<T: Scalar>(
             })
         })
     })?;
-    let xv = b.col(0)[..nv].to_vec();
-    let xs = b.col(0)[nv..].to_vec();
-    Ok((xv, xs, schur_bytes))
+    let mut xv = Vec::with_capacity(nv * w);
+    let mut xs = Vec::with_capacity(ns * w);
+    for j in 0..w {
+        xv.extend_from_slice(&b.col(j)[..nv]);
+        xs.extend_from_slice(&b.col(j)[nv..]);
+    }
+    Ok((xv, xs))
 }
 
 /// §IV-A — multi-solve: factor `A_vv` once, then assemble `S` by panels of
@@ -542,6 +876,19 @@ fn multi_solve<T: Scalar>(
     tracker: &Arc<MemTracker>,
     timer: &PhaseTimer,
 ) -> Result<BlockwiseOut<T>> {
+    let (fact, sf, schur_bytes, decision) = multi_solve_factors(ws, cfg, tracker, timer)?;
+    let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
+    Ok((xv, xs, schur_bytes, decision))
+}
+
+/// Factorization phase of [`multi_solve`] (the blockwise Schur pipeline up
+/// to the factored `S`), reusable by the session layer.
+fn multi_solve_factors<T: Scalar>(
+    ws: &Ws<'_, T>,
+    cfg: &SolverConfig,
+    tracker: &Arc<MemTracker>,
+    timer: &PhaseTimer,
+) -> Result<FactorsOut<T>> {
     let (nv, ns) = (ws.nv(), ws.ns());
     let elem = std::mem::size_of::<T>();
     let rt = cfg.tracer.run();
@@ -708,8 +1055,7 @@ fn multi_solve<T: Scalar>(
     add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
     mem_sample(rt, tracker);
     let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
-    let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
-    Ok((xv, xs, schur_bytes, decision))
+    Ok((fact, sf, schur_bytes, decision))
 }
 
 /// §IV-B — multi-factorization: `n_b × n_b` factorization+Schur calls on
@@ -734,6 +1080,21 @@ fn multi_factorization<T: Scalar>(
     tracker: &Arc<MemTracker>,
     timer: &PhaseTimer,
 ) -> Result<BlockwiseOut<T>> {
+    let (fact, sf, schur_bytes, decision) = multi_factorization_factors(ws, cfg, tracker, timer)?;
+    let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
+    Ok((xv, xs, schur_bytes, decision))
+}
+
+/// Factorization phase of [`multi_factorization`]: the tile pipeline, the
+/// Schur factorization, and the final plain factorization of `A_vv` that
+/// the solution phase (and the session layer) consumes — the per-tile `W`
+/// factorizations are not reusable through the solver API.
+fn multi_factorization_factors<T: Scalar>(
+    ws: &Ws<'_, T>,
+    cfg: &SolverConfig,
+    tracker: &Arc<MemTracker>,
+    timer: &PhaseTimer,
+) -> Result<FactorsOut<T>> {
     let (nv, ns) = (ws.nv(), ws.ns());
     let elem = std::mem::size_of::<T>();
     let rt = cfg.tracer.run();
@@ -967,8 +1328,7 @@ fn multi_factorization<T: Scalar>(
         factorize(ws.a_vv, &ws.sparse_opts(cfg, tracker))
     })?;
     ws.note_factor_stats(fact.stats());
-    let (xv, xs) = finish_solution(ws, &fact, &sf, cfg, timer)?;
-    Ok((xv, xs, schur_bytes, decision))
+    Ok((fact, sf, schur_bytes, decision))
 }
 
 /// Predicted solver-internal tracked bytes (fronts, contribution blocks,

@@ -12,7 +12,7 @@
 //! serialized (the testkit's `FaultGuard` holds a global lock for exactly
 //! this reason) and disarmed afterwards.
 
-use std::sync::atomic::{AtomicIsize, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU8, Ordering};
 
 use csolve_common::Scalar;
 use csolve_dense::Mat;
@@ -23,6 +23,15 @@ static ADMIT_OOM_AT: AtomicIsize = AtomicIsize::new(-1);
 
 /// Panel poison: 0 = disarmed, 1 = NaN, 2 = +∞. Consumed on trigger.
 static PANEL_POISON: AtomicU8 = AtomicU8::new(0);
+
+/// When set, every session matrix fingerprint collapses to a single
+/// constant — forcing cache-key collisions so tests can prove the structure
+/// summary guard keeps distinct systems from aliasing each other's factors.
+static FP_COLLIDE: AtomicBool = AtomicBool::new(false);
+
+/// When set, the session cache evicts *everything* before each admission —
+/// maximal churn, for stressing the eviction/re-factorization path.
+static EVICT_ALL: AtomicBool = AtomicBool::new(false);
 
 /// The kind of non-finite value to inject into a Schur panel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,10 +57,34 @@ pub fn arm_panel_poison(kind: PoisonKind) {
     PANEL_POISON.store(v, Ordering::SeqCst);
 }
 
+/// Arm persistent fingerprint collisions: every session cache key hashes to
+/// the same constant until [`disarm`].
+pub fn arm_fingerprint_collision() {
+    FP_COLLIDE.store(true, Ordering::SeqCst);
+}
+
+/// Arm persistent evict-everything churn in the session cache until
+/// [`disarm`].
+pub fn arm_session_evict_all() {
+    EVICT_ALL.store(true, Ordering::SeqCst);
+}
+
 /// Disarm all coupled-solver faults.
 pub fn disarm() {
     ADMIT_OOM_AT.store(-1, Ordering::SeqCst);
     PANEL_POISON.store(0, Ordering::SeqCst);
+    FP_COLLIDE.store(false, Ordering::SeqCst);
+    EVICT_ALL.store(false, Ordering::SeqCst);
+}
+
+/// Is the fingerprint-collision fault armed? (Not consumed — persistent.)
+pub(crate) fn fingerprint_collision_armed() -> bool {
+    FP_COLLIDE.load(Ordering::SeqCst)
+}
+
+/// Is the evict-everything fault armed? (Not consumed — persistent.)
+pub(crate) fn session_evict_all_armed() -> bool {
+    EVICT_ALL.load(Ordering::SeqCst)
 }
 
 /// Consume the admit-OOM fault if it is armed for block `seq`.

@@ -45,6 +45,7 @@ pub mod fault;
 pub mod pipeline;
 pub mod report;
 pub mod schur;
+pub mod session;
 
 pub use autotune::{AutotuneDecision, BlockSizes, MatrixStats};
 pub use config::{
@@ -53,6 +54,9 @@ pub use config::{
 };
 pub use driver::{solve, Outcome};
 pub use report::{KernelCalibration, RunReport, SpanAgg};
+pub use session::{
+    RequestId, RequestInfo, SessionBuilder, SessionSolve, SessionStats, SolverSession,
+};
 
 #[cfg(test)]
 mod tests;

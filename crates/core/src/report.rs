@@ -13,6 +13,7 @@ use csolve_common::{TracePayload, TraceRecord, TraceScope};
 use csolve_dense::cache::{cache_info, kernel_blocking, CacheInfo, KernelBlocking};
 
 use crate::config::{Algorithm, DenseBackend, Metrics, PhaseReport, SparseCompressionSummary};
+use crate::session::SessionStats;
 
 /// Aggregate of every trace span of one kind over a whole run.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +110,10 @@ pub struct RunReport {
     pub sparse_compression: Option<SparseCompressionSummary>,
     /// The measured-cache kernel calibration of this process.
     pub kernel_calibration: KernelCalibration,
+    /// Session-layer telemetry (cache hits/misses, batching, queue
+    /// waits), `None` for one-shot solves. Attached with
+    /// [`RunReport::with_session`].
+    pub session: Option<SessionStats>,
 }
 
 impl RunReport {
@@ -183,7 +188,15 @@ impl RunReport {
             blocks: blocks.len(),
             sparse_compression: metrics.sparse_compression.clone(),
             kernel_calibration: KernelCalibration::current(),
+            session: None,
         }
+    }
+
+    /// Attach session-layer telemetry (exported as the report's `session`
+    /// JSON section).
+    pub fn with_session(mut self, stats: SessionStats) -> Self {
+        self.session = Some(stats);
+        self
     }
 
     /// Serialize as a self-contained JSON document (multi-line, stable key
@@ -278,6 +291,23 @@ impl RunReport {
             s.push_str(&format!(", \"stored_bytes\": {}", c.stored_bytes));
             s.push_str(&format!(", \"max_rank\": {}", c.max_rank));
             s.push_str(&format!(", \"ratio\": {}", json_f64(c.ratio())));
+            s.push('}');
+        }
+        if let Some(sess) = &self.session {
+            s.push_str(",\n  \"session\": {");
+            s.push_str(&format!("\"requests\": {}", sess.requests));
+            s.push_str(&format!(", \"cache_hits\": {}", sess.cache_hits));
+            s.push_str(&format!(", \"cache_misses\": {}", sess.cache_misses));
+            s.push_str(&format!(", \"evictions\": {}", sess.evictions));
+            s.push_str(&format!(", \"batches\": {}", sess.batches));
+            s.push_str(&format!(", \"max_batch_width\": {}", sess.max_batch_width));
+            s.push_str(&format!(
+                ", \"total_queue_wait_secs\": {}",
+                json_f64(sess.total_queue_wait_secs)
+            ));
+            s.push_str(&format!(", \"cache_entries\": {}", sess.cache_entries));
+            s.push_str(&format!(", \"cache_bytes\": {}", sess.cache_bytes));
+            s.push_str(&format!(", \"peak_bytes\": {}", sess.peak_bytes));
             s.push('}');
         }
         s.push_str("\n}\n");
@@ -442,6 +472,46 @@ mod tests {
             KernelCalibration::current(),
             "report snapshots the process-wide calibration"
         );
+    }
+
+    #[test]
+    fn session_section_round_trips_and_is_absent_by_default() {
+        let r = RunReport::from_parts(
+            Algorithm::MultiSolve,
+            DenseBackend::Spido,
+            &sample_metrics(),
+            &[],
+        );
+        assert!(r.session.is_none());
+        assert!(parse_json(&r.to_json()).unwrap().get("session").is_none());
+
+        let r = r.with_session(SessionStats {
+            requests: 10,
+            cache_hits: 7,
+            cache_misses: 3,
+            evictions: 2,
+            batches: 4,
+            max_batch_width: 4,
+            total_queue_wait_secs: 0.25,
+            cache_entries: 1,
+            cache_bytes: 4096,
+            peak_bytes: 1 << 20,
+        });
+        let doc = parse_json(&r.to_json()).expect("session report must be valid JSON");
+        let sess = doc.get("session").unwrap();
+        assert_eq!(sess.get("requests").and_then(|v| v.as_u64()), Some(10));
+        assert_eq!(sess.get("cache_hits").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(sess.get("cache_misses").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(sess.get("evictions").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(
+            sess.get("max_batch_width").and_then(|v| v.as_u64()),
+            Some(4)
+        );
+        let wait = sess
+            .get("total_queue_wait_secs")
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!((wait - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -93,6 +93,36 @@ pub(crate) fn serial_forced() -> bool {
     FORCE_SERIAL.with(Cell::get)
 }
 
+thread_local! {
+    static COLWISE_DET: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` with every GEMM issued from this thread routed column by column
+/// through [`matvec`], regardless of the product's width.
+///
+/// A width-`w` product computed this way is bitwise-identical to `w`
+/// separate single-column products with the same operands: each column `j`
+/// gathers `op(B)`'s column exactly like the `bn == 1` fast path and runs
+/// the same fixed-`k`-order matvec. The session layer wraps its batched
+/// panel solves in this mode so a multi-RHS solve demuxes into per-request
+/// solutions that match the one-RHS path bit for bit — the packed kernel's
+/// FMA/slab accumulation order would not. The flag is thread-local: it
+/// cannot leak into concurrent solves on other threads, and the solve
+/// paths issue all their GEMMs from the calling thread.
+pub fn with_colwise_det<R>(f: impl FnOnce() -> R) -> R {
+    COLWISE_DET.with(|s| {
+        let prev = s.replace(true);
+        let out = f();
+        s.set(prev);
+        out
+    })
+}
+
+/// True when GEMMs invoked from this thread must run column-wise.
+pub(crate) fn colwise_det_forced() -> bool {
+    COLWISE_DET.with(Cell::get)
+}
+
 /// Below this many flops the packed engine cannot amortize its pack/copy
 /// traffic and the naive kernel wins.
 const SMALL_GEMM_FLOPS: f64 = 1.6e4;
@@ -395,15 +425,19 @@ pub fn gemm<T: Scalar>(
     // Kernel-counter hook: reads the clock only while a tracer holds an
     // enable token (one relaxed atomic load otherwise).
     let t0 = crate::stats::start();
-    if bn == 1 {
+    if bn == 1 || colwise_det_forced() {
         // Single-column product: a serial GEMM here would leave an `m·k`-sized
         // product on one core — route through the (parallelized) matvec.
-        let x: Vec<T> = match opb {
-            Op::NoTrans => b.col(0).to_vec(),
-            Op::Trans => (0..ak).map(|kk| b.get(0, kk)).collect(),
-            Op::ConjTrans => (0..ak).map(|kk| b.get(0, kk).conj()).collect(),
-        };
-        matvec(alpha, a, opa, &x, beta, c.col_mut(0));
+        // Under [`with_colwise_det`] every column takes this exact path, so a
+        // width-`bn` product is bitwise-equal to `bn` single-column calls.
+        for j in 0..bn {
+            let x: Vec<T> = match opb {
+                Op::NoTrans => b.col(j).to_vec(),
+                Op::Trans => (0..ak).map(|kk| b.get(j, kk)).collect(),
+                Op::ConjTrans => (0..ak).map(|kk| b.get(j, kk).conj()).collect(),
+            };
+            matvec(alpha, a, opa, &x, beta, c.col_mut(j));
+        }
         crate::stats::record(crate::stats::Route::Matvec, flops as u64, t0);
         return;
     }
@@ -740,6 +774,99 @@ mod tests {
             let want = naive_ref(&a, Op::NoTrans, &bcol, Op::NoTrans);
             assert_close_f64(&c, &want, 1e-11);
         }
+    }
+
+    #[test]
+    fn colwise_det_matches_single_column_calls_bitwise() {
+        // Under `with_colwise_det`, a width-w product must be bitwise equal
+        // to w separate single-column products — even at sizes where the
+        // plain dispatch would take the packed path. Cover f64 and C64, all
+        // opb shapes, and α/β scaling.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let a = Mat::<f64>::random(96, 80, &mut rng);
+        let b = Mat::<f64>::random(80, 7, &mut rng);
+        let bt = b.transpose();
+        let c0 = Mat::<f64>::random(96, 7, &mut rng);
+        for &(bm, opb) in &[(&b, Op::NoTrans), (&bt, Op::Trans)] {
+            for &opa in &[Op::NoTrans, Op::Trans] {
+                let a_use = if opa == Op::NoTrans {
+                    a.clone()
+                } else {
+                    a.transpose()
+                };
+                let mut c = c0.clone();
+                with_colwise_det(|| {
+                    gemm(1.5, a_use.as_ref(), opa, bm.as_ref(), opb, 0.5, c.as_mut())
+                });
+                // Reference: one bn == 1 call per column (plain dispatch).
+                let mut want = c0.clone();
+                for j in 0..7 {
+                    let bj = b.view(0..80, j..j + 1);
+                    gemm(
+                        1.5,
+                        a_use.as_ref(),
+                        opa,
+                        bj,
+                        Op::NoTrans,
+                        0.5,
+                        want.view_mut(0..96, j..j + 1),
+                    );
+                }
+                for j in 0..7 {
+                    for (u, v) in c.col(j).iter().zip(want.col(j)) {
+                        assert_eq!(u.to_bits(), v.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn colwise_det_matches_single_column_calls_bitwise_c64() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let a = Mat::<C64>::random(64, 56, &mut rng);
+        let b = Mat::<C64>::random(56, 5, &mut rng);
+        let mut c = Mat::<C64>::zeros(64, 5);
+        with_colwise_det(|| {
+            gemm(
+                C64::ONE,
+                a.as_ref(),
+                Op::NoTrans,
+                b.as_ref(),
+                Op::NoTrans,
+                C64::ZERO,
+                c.as_mut(),
+            )
+        });
+        let mut want = Mat::<C64>::zeros(64, 5);
+        for j in 0..5 {
+            gemm(
+                C64::ONE,
+                a.as_ref(),
+                Op::NoTrans,
+                b.view(0..56, j..j + 1),
+                Op::NoTrans,
+                C64::ZERO,
+                want.view_mut(0..64, j..j + 1),
+            );
+        }
+        for j in 0..5 {
+            for (u, v) in c.col(j).iter().zip(want.col(j)) {
+                assert_eq!(u.re.to_bits(), v.re.to_bits());
+                assert_eq!(u.im.to_bits(), v.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn colwise_det_flag_restores_on_exit() {
+        assert!(!colwise_det_forced());
+        with_colwise_det(|| {
+            assert!(colwise_det_forced());
+            with_colwise_det(|| assert!(colwise_det_forced()));
+            assert!(colwise_det_forced());
+        });
+        assert!(!colwise_det_forced());
     }
 
     #[test]

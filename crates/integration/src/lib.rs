@@ -59,7 +59,8 @@ pub use csolve_common::{
 };
 pub use csolve_coupled::{
     solve, Algorithm, AutotuneDecision, BlockSizes, DenseBackend, KernelCalibration, MatrixStats,
-    Metrics, Outcome, PhaseReport, RunReport, SolverConfig, SolverConfigBuilder, SpanAgg,
+    Metrics, Outcome, PhaseReport, RequestId, RequestInfo, RunReport, SessionBuilder, SessionSolve,
+    SessionStats, SolverConfig, SolverConfigBuilder, SolverSession, SpanAgg,
     SparseCompressionSummary,
 };
 pub use csolve_fembem::{industrial_problem, pipe_problem, CoupledProblem};

@@ -53,6 +53,20 @@ impl FaultGuard {
         csolve_hmat::fault::arm_factor_failure();
     }
 
+    /// Collapse every session matrix fingerprint to one constant, forcing
+    /// cache-key collisions: tests use this to prove the session's
+    /// structural summary guard keeps distinct systems from aliasing each
+    /// other's cached factors. Persistent until disarmed.
+    pub fn fingerprint_collision(&self) {
+        csolve_coupled::fault::arm_fingerprint_collision();
+    }
+
+    /// Make the session cache evict everything before each admission —
+    /// maximal eviction/re-factorization churn. Persistent until disarmed.
+    pub fn session_evict_all(&self) {
+        csolve_coupled::fault::arm_session_evict_all();
+    }
+
     /// Cap the admissible rank of every BLR-compressed sparse-front panel,
     /// forcing a rank overflow
     /// ([`csolve_common::Error::CompressionFailure`]) on any off-diagonal

@@ -1,16 +1,19 @@
-//! Quickstart: build a coupled FEM/BEM system and solve it with the
-//! compressed-Schur multi-solve algorithm (the paper's most scalable
-//! method), through the `csolve` façade.
+//! Quickstart: build a coupled FEM/BEM system and solve it for several
+//! right-hand sides through a [`SolverSession`] — the factorization is done
+//! once, cached, and amortized over every solve, instead of being redone
+//! per right-hand side as a naive `solve()` loop would.
 //!
 //! Run with: `cargo run --release --example quickstart`
 //!
 //! Set `CSOLVE_TRACE_OUT=<prefix>` to record a span trace of the solve and
 //! write `<prefix>.trace.jsonl` (one JSON record per span/event) plus
-//! `<prefix>.report.json` (the aggregated machine-readable run report).
+//! `<prefix>.report.json` (the aggregated machine-readable run report,
+//! including the session's cache/batching telemetry).
 //! `CSOLVE_QUICKSTART_N` overrides the problem size (CI uses a small one).
 
 use csolve::{
-    pipe_problem, solve, to_jsonl, Algorithm, DenseBackend, RunReport, SolverConfig, Tracer,
+    pipe_problem, to_jsonl, Algorithm, DenseBackend, RunReport, SessionBuilder, SolverConfig,
+    Tracer,
 };
 
 fn main() {
@@ -52,23 +55,48 @@ fn main() {
         .build()
         .expect("invalid solver configuration");
 
-    let out = solve(&problem, Algorithm::MultiSolve, &cfg).expect("solve failed");
+    // The session owns the factorization cache: the first solve factorizes
+    // (a cache miss), every further solve of the same system reuses the
+    // cached factors and only runs the cheap triangular solves.
+    let mut session = SessionBuilder::new(cfg.clone(), Algorithm::MultiSolve)
+        .build::<f64>()
+        .expect("invalid solver configuration");
 
+    let out = session
+        .solve(&problem, &problem.b_v, &problem.b_s)
+        .expect("solve failed");
     println!(
         "relative error vs. manufactured solution: {:.3e} (must be < eps = {:.0e})",
         problem.relative_error(&out.xv, &out.xs),
         cfg.eps
     );
-    println!("{}", out.metrics.summary());
+
+    // Two more right-hand sides on the same matrix: submitted together,
+    // they ride one BLAS-3 panel through the cached factors.
+    for k in 0..2u64 {
+        let scale = 0.5 + k as f64;
+        let b_v: Vec<f64> = problem.b_v.iter().map(|x| scale * x).collect();
+        let b_s: Vec<f64> = problem.b_s.iter().map(|x| scale * x).collect();
+        session.submit(&problem, &b_v, &b_s).expect("submit failed");
+    }
+    let batch = session.flush().expect("batched solve failed");
+    for solved in &batch {
+        assert!(solved.info.cache_hit, "same matrix must reuse the factors");
+    }
+
+    let stats = session.stats();
+    println!(
+        "session: {} solves, {} factorization(s), {} served from cache (batch width up to {})",
+        stats.requests, stats.cache_misses, stats.cache_hits, stats.max_batch_width
+    );
+    let metrics = session.last_metrics().expect("a factorization happened");
+    println!("{}", metrics.summary());
 
     if let Some(prefix) = trace_out {
         let records = tracer.drain();
-        let report = RunReport::from_parts(
-            Algorithm::MultiSolve,
-            DenseBackend::Hmat,
-            &out.metrics,
-            &records,
-        );
+        let report =
+            RunReport::from_parts(Algorithm::MultiSolve, DenseBackend::Hmat, metrics, &records)
+                .with_session(stats);
         let trace_path = format!("{prefix}.trace.jsonl");
         let report_path = format!("{prefix}.report.json");
         std::fs::write(&trace_path, to_jsonl(&records)).expect("write trace");
