@@ -57,10 +57,11 @@
 //! initialized), `live` already covers the sparse factors and `S`, and the
 //! scheduler degrades concurrency to one block under pressure — so a
 //! blocking is *feasible* exactly when a single block's working set fits in
-//! the remaining headroom. With the HMAT backend, a quarter of that
-//! headroom is first set aside for the compressed Schur accumulator, which
-//! is allowed to grow by that much between recompression flushes (the
-//! `byte_cap` policy of `schur.rs`).
+//! the remaining headroom. With the compressed backends (HMAT, H²), a
+//! quarter of that headroom is first set aside for the compressed Schur
+//! accumulator, which is allowed to grow by that much between recompression
+//! flushes (the `byte_cap` policy of `schur.rs`, exposed to the planner
+//! through [`crate::backend::BackendPolicy::predicted_bytes`]).
 //!
 //! # Determinism
 //!
@@ -73,7 +74,7 @@
 use csolve_common::{Error, MemTracker, Result};
 use csolve_dense::cache::kernel_blocking;
 
-use crate::config::{DenseBackend, SolverConfig};
+use crate::config::SolverConfig;
 
 /// How the blockwise algorithms choose their block sizes.
 #[non_exhaustive]
@@ -158,10 +159,7 @@ pub fn multi_fact_tile_bytes(stats: &MatrixStats, n_b: usize) -> usize {
 /// HMAT backend buffers `n_s ≥ n_c` columns per compressed AXPY.
 pub fn fixed_multi_solve_blocking(cfg: &SolverConfig) -> (usize, usize) {
     let n_c = cfg.n_c.max(1);
-    let n_s = match cfg.dense_backend {
-        DenseBackend::Spido => n_c,
-        DenseBackend::Hmat => cfg.n_s.max(n_c),
-    };
+    let n_s = cfg.dense_backend.policy().fixed_schur_panel(n_c, cfg.n_s);
     (n_c, n_s)
 }
 
@@ -176,17 +174,16 @@ fn headroom(tracker: &MemTracker) -> usize {
     }
 }
 
-/// Headroom the *block* working sets may claim. The HMAT backend's Schur
-/// accumulator is allowed to grow by a quarter of the remaining headroom
-/// between recompression flushes (`byte_cap` in `schur.rs`), so blockwise
-/// working sets must fit in the other three quarters; the dense backend
-/// keeps `S` at a fixed size and gets the full headroom.
+/// Headroom the *block* working sets may claim, as predicted by the
+/// backend's [`crate::backend::BackendPolicy`]: the compressed backends'
+/// Schur accumulators are allowed to grow by a quarter of the remaining
+/// headroom between recompression flushes (`byte_cap` in `schur.rs`), so
+/// blockwise working sets must fit in the other three quarters; the dense
+/// backend keeps `S` at a fixed size and gets the full headroom.
 fn usable_headroom(cfg: &SolverConfig, tracker: &MemTracker) -> usize {
-    let room = headroom(tracker);
-    match cfg.dense_backend {
-        DenseBackend::Hmat if room != usize::MAX => room - room / 4,
-        _ => room,
-    }
+    cfg.dense_backend
+        .policy()
+        .predicted_bytes(headroom(tracker))
 }
 
 fn predicted_peak(tracker: &MemTracker, block_bytes: usize) -> usize {
@@ -297,6 +294,7 @@ pub fn plan_multi_factorization(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DenseBackend;
 
     fn stats() -> MatrixStats {
         MatrixStats {

@@ -78,19 +78,29 @@ pub enum DenseBackend {
     /// Hierarchical low-rank solver (the paper's HMAT): `S` and `A_ss` kept
     /// compressed, Schur blocks folded in through compressed AXPYs.
     Hmat,
+    /// Nested-basis (H²/recursive-skeletonization) solver: far-field blocks
+    /// share per-cluster skeleton bases linked by transfer matrices, for
+    /// near-O(N) storage where the flat H-matrix is O(k·N log N). Same
+    /// cluster tree, admissibility and accuracy contract as [`Hmat`];
+    /// only the far-field representation differs.
+    ///
+    /// [`Hmat`]: DenseBackend::Hmat
+    H2,
 }
 
 impl DenseBackend {
-    /// Solver name as used in the paper ("SPIDO" / "HMAT").
+    /// Solver name as used in the paper ("SPIDO" / "HMAT") or, for the
+    /// nested-basis extension, "H2".
     pub fn name(&self) -> &'static str {
         match self {
             DenseBackend::Spido => "SPIDO",
             DenseBackend::Hmat => "HMAT",
+            DenseBackend::H2 => "H2",
         }
     }
 
     /// Every backend.
-    pub const ALL: [DenseBackend; 2] = [DenseBackend::Spido, DenseBackend::Hmat];
+    pub const ALL: [DenseBackend; 3] = [DenseBackend::Spido, DenseBackend::Hmat, DenseBackend::H2];
 }
 
 impl FromStr for DenseBackend {
@@ -301,6 +311,7 @@ impl SolverConfig {
         let backend = match self.dense_backend {
             DenseBackend::Spido => 0u64,
             DenseBackend::Hmat => 1u64,
+            DenseBackend::H2 => 2u64,
         };
         let ordering = match self.ordering {
             OrderingKind::Natural => 0u64,
@@ -603,33 +614,6 @@ impl Metrics {
         self.phase_reports().into_iter().find(|r| r.name == name)
     }
 
-    /// Total seconds recorded for one phase, zero if absent.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `phase_reports()` / `phase(name)` instead"
-    )]
-    pub fn phase_seconds(&self, name: &str) -> f64 {
-        self.phase(name).map_or(0.0, |r| r.seconds)
-    }
-
-    /// Bytes recorded for one phase, zero if absent.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `phase_reports()` / `phase(name)` instead"
-    )]
-    pub fn bytes_of(&self, name: &str) -> usize {
-        self.phase(name).map_or(0, |r| r.bytes)
-    }
-
-    /// Analytic flops recorded for one phase, zero if absent.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `phase_reports()` / `phase(name)` instead"
-    )]
-    pub fn flops_of(&self, name: &str) -> u64 {
-        self.phase(name).map_or(0, |r| r.flops)
-    }
-
     /// Compact single-line report.
     pub fn summary(&self) -> String {
         let phases = self
@@ -693,16 +677,6 @@ mod tests {
         let g = reports[0].gflops().unwrap();
         assert!((g - 2e6 / 1.5 / 1e9).abs() < 1e-12);
         assert_eq!(reports[1].gflops(), None, "no flops recorded for b");
-        // The deprecated wrappers stay as thin views over the same data.
-        #[allow(deprecated)]
-        {
-            assert_eq!(m.phase_seconds("a"), 1.5);
-            assert_eq!(m.phase_seconds("missing"), 0.0);
-            assert_eq!(m.bytes_of("a"), 4096);
-            assert_eq!(m.bytes_of("missing"), 0);
-            assert_eq!(m.flops_of("a"), 2_000_000);
-            assert_eq!(m.flops_of("missing"), 0);
-        }
         assert!(m.summary().contains("N=100"));
         assert!(m.summary().contains("2 threads"));
     }
@@ -835,6 +809,8 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Algorithm::MultiSolve.name(), "multi-solve");
         assert_eq!(DenseBackend::Hmat.name(), "HMAT");
+        assert_eq!(DenseBackend::H2.name(), "H2");
         assert_eq!(Algorithm::ALL.len(), 4);
+        assert_eq!(DenseBackend::ALL.len(), 3);
     }
 }

@@ -15,7 +15,7 @@
 use std::sync::{Arc, Mutex};
 
 use crate::autotune::{self, AutotuneDecision, BlockSizes, MatrixStats};
-use crate::config::{Algorithm, DenseBackend, Metrics, SolverConfig, SparseCompressionSummary};
+use crate::config::{Algorithm, Metrics, SolverConfig, SparseCompressionSummary};
 use crate::pipeline::{Admission, BudgetScheduler, OrderedCommit, TaskDag};
 use crate::schur::{SchurAcc, SchurFactor};
 use csolve_common::{
@@ -96,25 +96,11 @@ impl<T: Scalar> Ws<'_, T> {
     }
 }
 
-/// Analytic flop count of factoring the dense `n_s × n_s` Schur complement
-/// (zero for the H-matrix backend, whose compressed cost has no closed form).
-fn dense_factor_flops(cfg: &SolverConfig, symmetric: bool, ns: usize) -> u64 {
-    match cfg.dense_backend {
-        DenseBackend::Spido => {
-            let n = ns as u64;
-            if symmetric {
-                n * n * n / 3
-            } else {
-                2 * n * n * n / 3
-            }
-        }
-        DenseBackend::Hmat => 0,
-    }
-}
-
-/// Record the dense-factorization flops when a closed form exists.
-fn add_dense_factor_flops(timer: &PhaseTimer, cfg: &SolverConfig, symmetric: bool, ns: usize) {
-    let f = dense_factor_flops(cfg, symmetric, ns);
+/// Record the Schur factorization flops when the backend reports a closed
+/// form (the compressed backends report 0 and add no entry, keeping the
+/// metric keys stable per backend).
+fn add_dense_factor_flops<T: Scalar>(timer: &PhaseTimer, schur: &SchurAcc<T>, symmetric: bool) {
+    let f = schur.factor_flops(symmetric);
     if f > 0 {
         timer.add_flops("dense factorization", f);
     }
@@ -300,7 +286,7 @@ impl<T: Scalar> SessionFactors<T> {
     pub(crate) fn entry_bytes(&self) -> usize {
         let state = match &self.state {
             FactorState::Direct { fact, sf } | FactorState::Condensed { fact_w: fact, sf } => {
-                fact.byte_size() + schur_factor_bytes(sf)
+                fact.byte_size() + sf.byte_size()
             }
         };
         state + self.side_bytes()
@@ -360,15 +346,6 @@ impl<T: Scalar> SessionFactors<T> {
             xs.extend(self.tree.to_original_order(&xs_p[j * ns..(j + 1) * ns]));
         }
         Ok((xv, xs))
-    }
-}
-
-/// Byte size of a factored Schur complement (for session LRU bookkeeping).
-fn schur_factor_bytes<T: Scalar>(sf: &SchurFactor<T>) -> usize {
-    match sf {
-        SchurFactor::DenseLdlt { f, .. } => f.byte_size(),
-        SchurFactor::DenseLu { f, .. } => f.byte_size(),
-        SchurFactor::HLu { f, .. } => f.byte_size(),
     }
 }
 
@@ -500,8 +477,9 @@ fn finish_solution_panel<T: Scalar>(
     rt.time(SpanKind::DenseSolve, || {
         timer.time("dense solve", || sf.solve_in_place(xs.as_mut()))
     });
-    if cfg.dense_backend == DenseBackend::Spido {
-        timer.add_flops("dense solve", 2 * (ns as u64) * (ns as u64) * (w as u64));
+    let solve_flops = sf.solve_flops(w);
+    if solve_flops > 0 {
+        timer.add_flops("dense solve", solve_flops);
     }
     // X_v = A_vv⁻¹ (B_v − A_vs X_s)
     let mut bv2 = Mat::from_col_major(nv, w, b_v.to_vec());
@@ -625,10 +603,11 @@ fn finish_solution<T: Scalar>(
     rt.time(SpanKind::DenseSolve, || {
         timer.time("dense solve", || sf.solve_in_place(xs.as_mut()))
     });
-    // Two triangular solves on the n_s × n_s factor (dense backend only —
-    // the compressed backend has no closed-form count).
-    if cfg.dense_backend == DenseBackend::Spido {
-        timer.add_flops("dense solve", 2 * (ns as u64) * (ns as u64));
+    // Two triangular solves on the n_s × n_s factor (backends without a
+    // closed-form count report 0 and add no entry).
+    let solve_flops = sf.solve_flops(1);
+    if solve_flops > 0 {
+        timer.add_flops("dense solve", solve_flops);
     }
     // x_v = A_vv⁻¹ (b_v − A_vs x_s)
     let mut bv2 = Mat::from_col_major(nv, 1, ws.b_v.to_vec());
@@ -724,7 +703,7 @@ fn baseline_factors<T: Scalar>(
     drop(y_charge);
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
-    add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
+    add_dense_factor_flops(timer, &schur, ws.symmetric);
     mem_sample(rt, tracker);
     let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
     Ok((fact, sf, schur_bytes))
@@ -742,7 +721,7 @@ fn factor_schur_traced<T: Scalar>(
 ) -> Result<SchurFactor<T>> {
     let mut sp = rt.span(SpanKind::DenseFactorization);
     sp.add_bytes(schur.bytes());
-    sp.add_flops(dense_factor_flops(cfg, ws.symmetric, ws.ns()));
+    sp.add_flops(schur.factor_flops(ws.symmetric));
     timer.time("dense factorization", || {
         schur.factor_traced(ws.symmetric, cfg.eps, cfg.dense_panel_nb, rt)
     })
@@ -813,7 +792,7 @@ fn advanced_factors<T: Scalar>(
     drop(x_charge);
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
-    add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
+    add_dense_factor_flops(timer, &schur, ws.symmetric);
     mem_sample(rt, tracker);
     let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
     Ok((fact_w, sf, schur_bytes))
@@ -1052,7 +1031,7 @@ fn multi_solve_factors<T: Scalar>(
     let schur = commit.into_result()?;
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
-    add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
+    add_dense_factor_flops(timer, &schur, ws.symmetric);
     mem_sample(rt, tracker);
     let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
     Ok((fact, sf, schur_bytes, decision))
@@ -1319,7 +1298,7 @@ fn multi_factorization_factors<T: Scalar>(
     let schur = commit.into_result()?;
     let schur_bytes = schur.bytes();
     timer.add_bytes("dense factorization", schur_bytes);
-    add_dense_factor_flops(timer, cfg, ws.symmetric, ns);
+    add_dense_factor_flops(timer, &schur, ws.symmetric);
     mem_sample(rt, tracker);
     let sf = factor_schur_traced(schur, ws, cfg, timer, rt)?;
     // A final plain factorization of A_vv for the solution phase (the W

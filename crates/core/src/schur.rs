@@ -1,12 +1,19 @@
-//! The Schur complement accumulator: a dense matrix (SPIDO backend) or an
-//! H-matrix (HMAT backend, the compressed-Schur variants of the paper).
+//! The Schur complement accumulator and its backend implementations.
+//!
+//! [`SchurAcc`] / [`SchurFactor`] are thin wrappers over the
+//! [`CompressionBackend`] / [`FactoredSchur`] trait objects of
+//! [`crate::backend`]: the wrapper performs the validation shared by every
+//! backend (zero-size no-ops, `eps` sanity, NaN screening of contributions)
+//! and delegates storage decisions to the selected implementation. Backend
+//! selection happens once, in `init_backend` ([`crate::backend`]) — no
+//! `DenseBackend` dispatch exists here or in the driver.
 //!
 //! All storage is charged against the run's memory budget; the compressed
-//! AXPY (`axpy_block`) re-syncs the charge after each recompression, so an
-//! algorithm fails with a clean out-of-memory error at exactly the point
-//! where the corresponding real solver would die.
+//! AXPY re-syncs the charge after each recompression, so an algorithm fails
+//! with a clean out-of-memory error at exactly the point where the
+//! corresponding real solver would die.
 //!
-//! The compressed accumulator recompresses lazily: block contributions are
+//! The compressed accumulators recompress lazily: block contributions are
 //! folded in as *formal* low-rank sums (cheap), and the truncating
 //! recompression runs only when a leaf's accumulated rank exceeds the flush
 //! threshold, when the accumulator's footprint crosses its byte cap (set
@@ -23,103 +30,45 @@ use csolve_common::{
 };
 use csolve_dense::{ldlt_in_place_nb, lu_in_place_nb, Mat, MatMut, MatRef};
 use csolve_fembem::BemOperator;
-use csolve_hmat::{ClusterTree, HLu, HMatrix, HOptions};
+use csolve_hmat::{ClusterTree, H2Matrix, H2Options, HLu, HMatrix, HOptions};
 
-use crate::config::{DenseBackend, SolverConfig};
+use crate::backend::{CompressionBackend, FactoredSchur};
+use crate::config::SolverConfig;
 
 /// Accumulator for `S = A_ss − Σ (Schur contributions)`, initialized with
-/// `A_ss` itself.
-pub enum SchurAcc<T: Scalar> {
-    /// SPIDO backend: `S` stored as one dense matrix.
-    Dense {
-        /// The dense accumulator.
-        mat: Mat<T>,
-        /// Budget charge covering `mat`.
-        charge: MemCharge,
-    },
-    /// HMAT backend: `S` kept compressed, contributions folded in through
-    /// compressed AXPYs with deferred (policy-driven) recompression.
-    Hmat {
-        /// The hierarchical accumulator.
-        h: HMatrix<T>,
-        /// Budget charge re-synced after every recompression.
-        charge: MemCharge,
-        /// A leaf recompresses itself as soon as its accumulated formal
-        /// rank exceeds this (see
-        /// [`HMatrix::try_axpy_dense_block_deferred`]).
-        flush_rank: usize,
-        /// All leaves recompress when the accumulator's byte size crosses
-        /// this cap. Derived from the budget headroom at init
-        /// (`usize::MAX` on unbounded runs: the rank trigger alone bounds
-        /// growth).
-        byte_cap: usize,
-        /// Formal updates folded in since the last full recompression; a
-        /// final flush runs before the factorization when set.
-        dirty: bool,
-    },
+/// `A_ss` itself. Wraps the configured [`CompressionBackend`].
+pub struct SchurAcc<T: Scalar> {
+    inner: Box<dyn CompressionBackend<T>>,
 }
 
 impl<T: Scalar> SchurAcc<T> {
     /// Build the accumulator holding `A_ss` (surface unknowns already in
-    /// cluster order).
+    /// cluster order) with the backend selected by
+    /// `cfg.dense_backend`.
     pub fn init(
         bem: &BemOperator<T>,
         tree: &ClusterTree,
         cfg: &SolverConfig,
         tracker: &Arc<MemTracker>,
     ) -> Result<Self> {
-        let ns = bem.n();
-        match cfg.dense_backend {
-            DenseBackend::Spido => {
-                let bytes = ns * ns * std::mem::size_of::<T>();
-                let charge = tracker.charge(bytes, "dense Schur/A_ss")?;
-                // Block-wise assembly keeps cache behaviour sane.
-                let mut mat = Mat::<T>::zeros(ns, ns);
-                const BLK: usize = 512;
-                let mut c0 = 0;
-                while c0 < ns {
-                    let c1 = (c0 + BLK).min(ns);
-                    let blk = bem.assemble_block(0..ns, c0..c1);
-                    mat.view_mut(0..ns, c0..c1).copy_from(blk.as_ref());
-                    c0 = c1;
-                }
-                Ok(SchurAcc::Dense { mat, charge })
-            }
-            DenseBackend::Hmat => {
-                let opts = HOptions {
-                    eps: cfg.eps,
-                    eta: cfg.hmat_eta,
-                    max_rank: 512,
-                    method: csolve_hmat::AssembleMethod::Aca,
-                };
-                let oracle = |i: usize, j: usize| bem.eval(i, j);
-                let h = HMatrix::assemble_root(tree, tree, &oracle, &opts);
-                let charge = tracker.charge(h.byte_size(), "compressed Schur/A_ss")?;
-                // Deferred-recompression policy, fixed deterministically at
-                // init: leaves accumulate formal rank up to half the leaf
-                // size before paying for a truncation, and the whole
-                // accumulator flushes when it has grown into a quarter of
-                // the budget headroom measured here.
-                let flush_rank = (cfg.hmat_leaf / 2).max(4);
-                let byte_cap = if tracker.budget() == usize::MAX {
-                    usize::MAX
-                } else {
-                    let headroom = tracker.budget().saturating_sub(tracker.live());
-                    h.byte_size().saturating_add(headroom / 4)
-                };
-                Ok(SchurAcc::Hmat {
-                    h,
-                    charge,
-                    flush_rank,
-                    byte_cap,
-                    dirty: false,
-                })
-            }
-        }
+        Ok(Self {
+            inner: crate::backend::init_backend(bem, tree, cfg, tracker)?,
+        })
+    }
+
+    /// Wrap an externally constructed backend (tests / custom policies).
+    pub fn from_backend(inner: Box<dyn CompressionBackend<T>>) -> Self {
+        Self { inner }
+    }
+
+    /// Stable name of the active backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.name()
     }
 
     /// `S[r0.., c0..] += α·panel` — direct write for the dense backend, the
-    /// paper's *compressed AXPY* (compress + truncated add) for HMAT.
+    /// paper's *compressed AXPY* (compress + truncated add) for the
+    /// compressed backends.
     ///
     /// Zero-sized panels are a no-op. The panel is screened for NaN/Inf
     /// before it is folded in: a poisoned contribution would otherwise
@@ -164,62 +113,24 @@ impl<T: Scalar> SchurAcc<T> {
                 context: "Schur block contribution",
             });
         }
-        match self {
-            SchurAcc::Dense { mat, .. } => {
-                if r0 + pm > mat.nrows() || c0 + pn > mat.ncols() {
-                    return Err(Error::DimensionMismatch {
-                        context: "SchurAcc::axpy_block",
-                        expected: (mat.nrows(), mat.ncols()),
-                        got: (r0 + pm, c0 + pn),
-                    });
-                }
-                let mut dst = mat.view_mut(r0..r0 + pm, c0..c0 + pn);
-                dst.axpy(alpha, panel);
-                Ok(())
-            }
-            SchurAcc::Hmat {
-                h,
-                charge,
-                flush_rank,
-                byte_cap,
-                dirty,
-            } => {
-                let mut span = tr.span(SpanKind::Compress);
-                h.try_axpy_dense_block_deferred(
-                    alpha,
-                    r0,
-                    c0,
-                    panel,
-                    T::Real::from_f64_real(eps),
-                    *flush_rank,
-                )?;
-                *dirty = true;
-                if h.byte_size() > *byte_cap {
-                    // The accumulator has outgrown its share of the budget:
-                    // recompress everything now rather than carrying the
-                    // formal sums to the next contribution.
-                    h.recompress_leaves(T::Real::from_f64_real(eps));
-                    *dirty = false;
-                }
-                span.add_bytes(h.byte_size());
-                span.finish();
-                charge.resize(h.byte_size(), "compressed Schur/A_ss")
-            }
-        }
+        self.inner.axpy_block(alpha, r0, c0, panel, eps, tr)
     }
 
     /// Current storage footprint of `S`.
     pub fn bytes(&self) -> usize {
-        match self {
-            SchurAcc::Dense { mat, .. } => mat.byte_size(),
-            SchurAcc::Hmat { h, .. } => h.byte_size(),
-        }
+        self.inner.bytes()
+    }
+
+    /// Closed-form flop count of factoring `S`, or 0 when the backend's
+    /// compressed factorization has no closed form.
+    pub fn factor_flops(&self, symmetric: bool) -> u64 {
+        self.inner.factor_flops(symmetric)
     }
 
     /// Factor `S` (consuming the accumulator). `panel_nb` is the blocked
     /// factorization's panel width for the dense backend (`0` is *clamped*
     /// to the dense layer's default, [`csolve_dense::DEFAULT_PANEL_NB`]);
-    /// the compressed backend ignores it. `eps` (the compressed backend's
+    /// the compressed backends ignore it. `eps` (the compressed backends'
     /// recompression tolerance) must be finite and positive.
     pub fn factor(self, symmetric: bool, eps: f64, panel_nb: usize) -> Result<SchurFactor<T>> {
         self.factor_traced(symmetric, eps, panel_nb, ScopeTracer::disabled())
@@ -240,71 +151,429 @@ impl<T: Scalar> SchurAcc<T> {
                 "SchurAcc::factor: eps must be finite and > 0, got {eps}"
             )));
         }
-        match self {
-            SchurAcc::Dense { mat, charge } => {
-                if symmetric {
-                    let f = ldlt_in_place_nb(mat, panel_nb)?;
-                    Ok(SchurFactor::DenseLdlt { f, _charge: charge })
-                } else {
-                    let f = lu_in_place_nb(mat, panel_nb)?;
-                    Ok(SchurFactor::DenseLu { f, _charge: charge })
-                }
-            }
-            SchurAcc::Hmat {
-                mut h,
-                mut charge,
-                dirty,
-                ..
-            } => {
-                if dirty {
-                    // Final flush: the factorization must see the truncated
-                    // representation, not the formal accumulated sums.
-                    let mut span = tr.span(SpanKind::Compress);
-                    h.recompress_leaves(T::Real::from_f64_real(eps));
-                    span.add_bytes(h.byte_size());
-                    span.finish();
-                    charge.resize(h.byte_size(), "compressed Schur/A_ss")?;
-                }
-                let f = HLu::factor_traced(h, T::Real::from_f64_real(eps), tr)?;
-                charge.resize(f.byte_size(), "compressed Schur factors")?;
-                Ok(SchurFactor::HLu { f, _charge: charge })
-            }
-        }
+        Ok(SchurFactor {
+            inner: self.inner.factor(symmetric, eps, panel_nb, tr)?,
+        })
     }
 }
 
-/// Factored Schur complement, ready for multi-RHS solves.
-pub enum SchurFactor<T: Scalar> {
-    /// Dense LDLᵀ factors (SPIDO backend, symmetric systems).
-    DenseLdlt {
-        /// The factorization.
-        f: csolve_dense::LdltFactors<T>,
-        /// Budget charge held until the factors are dropped.
-        _charge: MemCharge,
-    },
-    /// Dense LU factors (SPIDO backend, unsymmetric systems).
-    DenseLu {
-        /// The factorization.
-        f: csolve_dense::LuFactors<T>,
-        /// Budget charge held until the factors are dropped.
-        _charge: MemCharge,
-    },
-    /// Hierarchical LU factors (HMAT backend).
-    HLu {
-        /// The factorization.
-        f: HLu<T>,
-        /// Budget charge held until the factors are dropped.
-        _charge: MemCharge,
-    },
+/// Factored Schur complement, ready for multi-RHS solves. Wraps the
+/// backend's [`FactoredSchur`].
+pub struct SchurFactor<T: Scalar> {
+    inner: Box<dyn FactoredSchur<T>>,
 }
 
 impl<T: Scalar> SchurFactor<T> {
     /// Solve `S·X = B` in place (cluster-ordered surface indices).
     pub fn solve_in_place(&self, b: MatMut<'_, T>) {
-        match self {
-            SchurFactor::DenseLdlt { f, .. } => csolve_dense::ldlt_solve_in_place(f, b),
-            SchurFactor::DenseLu { f, .. } => csolve_dense::lu_solve_in_place(f, b),
-            SchurFactor::HLu { f, .. } => f.solve_in_place(b),
+        self.inner.solve_in_place(b)
+    }
+
+    /// Storage pinned by the factors.
+    pub fn byte_size(&self) -> usize {
+        self.inner.byte_size()
+    }
+
+    /// Closed-form flop count of a `width`-column solve, or 0 when the
+    /// backend has none.
+    pub fn solve_flops(&self, width: usize) -> u64 {
+        self.inner.solve_flops(width)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SPIDO backend: one plain dense matrix.
+// ---------------------------------------------------------------------------
+
+/// Uncompressed dense accumulator (`DenseBackend::Spido`).
+pub(crate) struct DenseSchurAcc<T: Scalar> {
+    mat: Mat<T>,
+    charge: MemCharge,
+}
+
+impl<T: Scalar> DenseSchurAcc<T> {
+    pub(crate) fn init(bem: &BemOperator<T>, tracker: &Arc<MemTracker>) -> Result<Self> {
+        let ns = bem.n();
+        let bytes = ns * ns * std::mem::size_of::<T>();
+        let charge = tracker.charge(bytes, "dense Schur/A_ss")?;
+        // Block-wise assembly keeps cache behaviour sane.
+        let mut mat = Mat::<T>::zeros(ns, ns);
+        const BLK: usize = 512;
+        let mut c0 = 0;
+        while c0 < ns {
+            let c1 = (c0 + BLK).min(ns);
+            let blk = bem.assemble_block(0..ns, c0..c1);
+            mat.view_mut(0..ns, c0..c1).copy_from(blk.as_ref());
+            c0 = c1;
         }
+        Ok(Self { mat, charge })
+    }
+}
+
+impl<T: Scalar> CompressionBackend<T> for DenseSchurAcc<T> {
+    fn name(&self) -> &'static str {
+        "Spido"
+    }
+
+    fn axpy_block(
+        &mut self,
+        alpha: T,
+        r0: usize,
+        c0: usize,
+        panel: MatRef<'_, T>,
+        _eps: f64,
+        _tr: ScopeTracer<'_>,
+    ) -> Result<()> {
+        let (pm, pn) = (panel.nrows(), panel.ncols());
+        if r0 + pm > self.mat.nrows() || c0 + pn > self.mat.ncols() {
+            return Err(Error::DimensionMismatch {
+                context: "SchurAcc::axpy_block",
+                expected: (self.mat.nrows(), self.mat.ncols()),
+                got: (r0 + pm, c0 + pn),
+            });
+        }
+        let mut dst = self.mat.view_mut(r0..r0 + pm, c0..c0 + pn);
+        dst.axpy(alpha, panel);
+        Ok(())
+    }
+
+    fn bytes(&self) -> usize {
+        self.mat.byte_size()
+    }
+
+    fn factor_flops(&self, symmetric: bool) -> u64 {
+        let n = self.mat.nrows() as u64;
+        if symmetric {
+            n * n * n / 3
+        } else {
+            2 * n * n * n / 3
+        }
+    }
+
+    fn factor(
+        self: Box<Self>,
+        symmetric: bool,
+        _eps: f64,
+        panel_nb: usize,
+        _tr: ScopeTracer<'_>,
+    ) -> Result<Box<dyn FactoredSchur<T>>> {
+        let this = *self;
+        let n = this.mat.nrows();
+        if symmetric {
+            let f = ldlt_in_place_nb(this.mat, panel_nb)?;
+            Ok(Box::new(DenseLdltFactor {
+                f,
+                n,
+                _charge: this.charge,
+            }))
+        } else {
+            let f = lu_in_place_nb(this.mat, panel_nb)?;
+            Ok(Box::new(DenseLuFactor {
+                f,
+                n,
+                _charge: this.charge,
+            }))
+        }
+    }
+}
+
+struct DenseLdltFactor<T: Scalar> {
+    f: csolve_dense::LdltFactors<T>,
+    n: usize,
+    _charge: MemCharge,
+}
+
+impl<T: Scalar> FactoredSchur<T> for DenseLdltFactor<T> {
+    fn solve_in_place(&self, b: MatMut<'_, T>) {
+        csolve_dense::ldlt_solve_in_place(&self.f, b)
+    }
+
+    fn byte_size(&self) -> usize {
+        self.f.byte_size()
+    }
+
+    fn solve_flops(&self, width: usize) -> u64 {
+        // Two triangular solves on the n×n factor per column.
+        2 * (self.n as u64) * (self.n as u64) * (width as u64)
+    }
+}
+
+struct DenseLuFactor<T: Scalar> {
+    f: csolve_dense::LuFactors<T>,
+    n: usize,
+    _charge: MemCharge,
+}
+
+impl<T: Scalar> FactoredSchur<T> for DenseLuFactor<T> {
+    fn solve_in_place(&self, b: MatMut<'_, T>) {
+        csolve_dense::lu_solve_in_place(&self.f, b)
+    }
+
+    fn byte_size(&self) -> usize {
+        self.f.byte_size()
+    }
+
+    fn solve_flops(&self, width: usize) -> u64 {
+        2 * (self.n as u64) * (self.n as u64) * (width as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat H-matrix backend.
+// ---------------------------------------------------------------------------
+
+/// Compute the deferred-recompression policy shared by the compressed
+/// backends, fixed deterministically at init: leaves accumulate formal rank
+/// up to half the leaf size before paying for a truncation, and the whole
+/// accumulator flushes when it has grown into a quarter of the budget
+/// headroom measured here.
+fn flush_policy(cfg: &SolverConfig, tracker: &MemTracker, base_bytes: usize) -> (usize, usize) {
+    let flush_rank = (cfg.hmat_leaf / 2).max(4);
+    let byte_cap = if tracker.budget() == usize::MAX {
+        usize::MAX
+    } else {
+        let headroom = tracker.budget().saturating_sub(tracker.live());
+        base_bytes.saturating_add(headroom / 4)
+    };
+    (flush_rank, byte_cap)
+}
+
+/// Flat hierarchical accumulator (`DenseBackend::Hmat`).
+pub(crate) struct HmatSchurAcc<T: Scalar> {
+    h: HMatrix<T>,
+    charge: MemCharge,
+    flush_rank: usize,
+    byte_cap: usize,
+    dirty: bool,
+}
+
+impl<T: Scalar> HmatSchurAcc<T> {
+    pub(crate) fn init(
+        bem: &BemOperator<T>,
+        tree: &ClusterTree,
+        cfg: &SolverConfig,
+        tracker: &Arc<MemTracker>,
+    ) -> Result<Self> {
+        let opts = HOptions {
+            eps: cfg.eps,
+            eta: cfg.hmat_eta,
+            max_rank: 512,
+            method: csolve_hmat::AssembleMethod::Aca,
+        };
+        let oracle = |i: usize, j: usize| bem.eval(i, j);
+        let h = HMatrix::assemble_root(tree, tree, &oracle, &opts);
+        let charge = tracker.charge(h.byte_size(), "compressed Schur/A_ss")?;
+        let (flush_rank, byte_cap) = flush_policy(cfg, tracker, h.byte_size());
+        Ok(Self {
+            h,
+            charge,
+            flush_rank,
+            byte_cap,
+            dirty: false,
+        })
+    }
+}
+
+impl<T: Scalar> CompressionBackend<T> for HmatSchurAcc<T> {
+    fn name(&self) -> &'static str {
+        "Hmat"
+    }
+
+    fn axpy_block(
+        &mut self,
+        alpha: T,
+        r0: usize,
+        c0: usize,
+        panel: MatRef<'_, T>,
+        eps: f64,
+        tr: ScopeTracer<'_>,
+    ) -> Result<()> {
+        let mut span = tr.span(SpanKind::Compress);
+        self.h.try_axpy_dense_block_deferred(
+            alpha,
+            r0,
+            c0,
+            panel,
+            T::Real::from_f64_real(eps),
+            self.flush_rank,
+        )?;
+        self.dirty = true;
+        if self.h.byte_size() > self.byte_cap {
+            // The accumulator has outgrown its share of the budget:
+            // recompress everything now rather than carrying the formal
+            // sums to the next contribution.
+            self.h.recompress_leaves(T::Real::from_f64_real(eps));
+            self.dirty = false;
+        }
+        span.add_bytes(self.h.byte_size());
+        span.finish();
+        self.charge
+            .resize(self.h.byte_size(), "compressed Schur/A_ss")
+    }
+
+    fn bytes(&self) -> usize {
+        self.h.byte_size()
+    }
+
+    fn factor_flops(&self, _symmetric: bool) -> u64 {
+        // The hierarchical factorization's cost is data-dependent.
+        0
+    }
+
+    fn factor(
+        self: Box<Self>,
+        _symmetric: bool,
+        eps: f64,
+        _panel_nb: usize,
+        tr: ScopeTracer<'_>,
+    ) -> Result<Box<dyn FactoredSchur<T>>> {
+        let mut this = *self;
+        if this.dirty {
+            // Final flush: the factorization must see the truncated
+            // representation, not the formal accumulated sums.
+            let mut span = tr.span(SpanKind::Compress);
+            this.h.recompress_leaves(T::Real::from_f64_real(eps));
+            span.add_bytes(this.h.byte_size());
+            span.finish();
+            this.charge
+                .resize(this.h.byte_size(), "compressed Schur/A_ss")?;
+        }
+        let f = HLu::factor_traced(this.h, T::Real::from_f64_real(eps), tr)?;
+        let mut charge = this.charge;
+        charge.resize(f.byte_size(), "compressed Schur factors")?;
+        Ok(Box::new(HluFactor { f, _charge: charge }))
+    }
+}
+
+struct HluFactor<T: Scalar> {
+    f: HLu<T>,
+    _charge: MemCharge,
+}
+
+impl<T: Scalar> FactoredSchur<T> for HluFactor<T> {
+    fn solve_in_place(&self, b: MatMut<'_, T>) {
+        self.f.solve_in_place(b)
+    }
+
+    fn byte_size(&self) -> usize {
+        self.f.byte_size()
+    }
+
+    fn solve_flops(&self, _width: usize) -> u64 {
+        // The hierarchical solve's cost has no closed form.
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nested-basis (H²) backend.
+// ---------------------------------------------------------------------------
+
+/// Nested-basis accumulator (`DenseBackend::H2`): far-field blocks share
+/// per-cluster skeleton bases (see [`csolve_hmat::h2`]); pending updates
+/// buffer in the flat layer and fold into the nested form at flush points.
+pub(crate) struct H2SchurAcc<T: Scalar> {
+    h2: H2Matrix<T>,
+    charge: MemCharge,
+    flush_rank: usize,
+    byte_cap: usize,
+    dirty: bool,
+}
+
+impl<T: Scalar> H2SchurAcc<T> {
+    pub(crate) fn init(
+        bem: &BemOperator<T>,
+        tree: &ClusterTree,
+        cfg: &SolverConfig,
+        tracker: &Arc<MemTracker>,
+    ) -> Result<Self> {
+        let opts = H2Options {
+            eps: cfg.eps,
+            eta: cfg.hmat_eta,
+            max_rank: 512,
+        };
+        let oracle = |i: usize, j: usize| bem.eval(i, j);
+        let h2 = H2Matrix::assemble(tree, &oracle, &opts);
+        let charge = tracker.charge(h2.byte_size(), "compressed Schur/A_ss")?;
+        let (flush_rank, byte_cap) = flush_policy(cfg, tracker, h2.byte_size());
+        Ok(Self {
+            h2,
+            charge,
+            flush_rank,
+            byte_cap,
+            dirty: false,
+        })
+    }
+}
+
+impl<T: Scalar> CompressionBackend<T> for H2SchurAcc<T> {
+    fn name(&self) -> &'static str {
+        "H2"
+    }
+
+    fn axpy_block(
+        &mut self,
+        alpha: T,
+        r0: usize,
+        c0: usize,
+        panel: MatRef<'_, T>,
+        eps: f64,
+        tr: ScopeTracer<'_>,
+    ) -> Result<()> {
+        let mut span = tr.span(SpanKind::Compress);
+        self.h2.try_axpy_dense_block_deferred(
+            alpha,
+            r0,
+            c0,
+            panel,
+            T::Real::from_f64_real(eps),
+            self.flush_rank,
+        )?;
+        self.dirty = true;
+        if self.h2.byte_size() > self.byte_cap {
+            // Full flush: fold pending updates into the nested bases and
+            // re-skeletonize (sequential, deterministic trigger).
+            self.h2.recompress(T::Real::from_f64_real(eps));
+            self.dirty = false;
+        }
+        span.add_bytes(self.h2.byte_size());
+        span.finish();
+        self.charge
+            .resize(self.h2.byte_size(), "compressed Schur/A_ss")
+    }
+
+    fn bytes(&self) -> usize {
+        self.h2.byte_size()
+    }
+
+    fn factor_flops(&self, _symmetric: bool) -> u64 {
+        0
+    }
+
+    fn factor(
+        self: Box<Self>,
+        _symmetric: bool,
+        eps: f64,
+        _panel_nb: usize,
+        tr: ScopeTracer<'_>,
+    ) -> Result<Box<dyn FactoredSchur<T>>> {
+        let this = *self;
+        let eps_r = T::Real::from_f64_real(eps);
+        let dirty = this.dirty;
+        // Expand the nested form into flat low-rank leaves for H-LU (the
+        // nested format is a storage format; factorization reuses the flat
+        // hierarchical LU).
+        let mut span = tr.span(SpanKind::Compress);
+        let mut flat = this.h2.into_flat(eps_r);
+        if dirty {
+            flat.recompress_leaves(eps_r);
+        }
+        span.add_bytes(flat.byte_size());
+        span.finish();
+        let mut charge = this.charge;
+        charge.resize(flat.byte_size(), "compressed Schur/A_ss")?;
+        let f = HLu::factor_traced(flat, eps_r, tr)?;
+        charge.resize(f.byte_size(), "compressed Schur factors")?;
+        Ok(Box::new(HluFactor { f, _charge: charge }))
     }
 }

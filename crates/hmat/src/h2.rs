@@ -1,0 +1,892 @@
+//! Nested-basis (H² / recursive-skeletonization) matrices.
+//!
+//! A flat H-matrix stores every admissible block `(i, j)` as an independent
+//! factorization `U_i·V_jᵀ` — `O(k·N·log N)` memory because each cluster pays
+//! for its basis once *per block* it appears in. The H² format of
+//! Hackbusch/Börm (and the recursive skeletonization of Ho & Greengard)
+//! removes that redundancy: every cluster `i` owns a single *nested* row
+//! basis, every cluster `j` a column basis, and an admissible block is
+//! reduced to a tiny coupling matrix `S_ij` between the two cluster
+//! *skeletons*. Nestedness means an internal node's basis is expressed in
+//! its children's bases through a small transfer matrix, so storage
+//! approaches `O(k·N)`.
+//!
+//! This module implements the format as a *hybrid* over the existing
+//! [`HMatrix`]:
+//!
+//! * near-field (inadmissible) blocks stay dense inside an internal flat
+//!   H-matrix, which also buffers *pending* low-rank updates from deferred
+//!   compressed AXPYs — all accumulation traffic reuses
+//!   [`HMatrix::try_axpy_dense_block_deferred`] unchanged;
+//! * the far field lives in `NestedFar`: per-node skeleton index sets,
+//!   leaf interpolation matrices, internal transfer matrices, and one
+//!   coupling matrix per admissible block.
+//!
+//! Skeletons are chosen by interpolative decomposition (row-ID via the
+//! column-pivoted QR of `csolve-lowrank`), with the classical
+//! ancestor-inheritance rule: a node's ID sees its own far blocks *and*
+//! every ancestor's, restricted to its rows, so the resulting bases are
+//! nested by construction. All passes are sequential and run at
+//! deterministic points (assembly, flush, factor), preserving the
+//! bitwise-determinism-across-threads contract of the driver.
+//!
+//! Factorization goes through the flat layer: [`H2Matrix::into_flat`]
+//! expands the nested representation back into ordinary low-rank leaves and
+//! the existing H-LU takes over. The nested format is a *storage* format
+//! here (the paper's capacity axis), not a factorization format.
+
+use std::collections::HashMap;
+
+use csolve_common::{ByteSized, RealScalar, Result, Scalar};
+use csolve_dense::{gemm, gemm_into, Mat, MatRef, Op};
+use csolve_lowrank::{col_piv_qr, qr_in_place, LowRank};
+
+use crate::cluster::{ClusterNodeId, ClusterTree};
+use crate::hmatrix::{AssembleMethod, HKind, HMatrix, HOptions};
+
+/// Assembly / recompression options for the nested-basis format.
+#[derive(Debug, Clone, Copy)]
+pub struct H2Options {
+    /// Relative compression tolerance ε (skeleton selection and flat-layer
+    /// recompression).
+    pub eps: f64,
+    /// Admissibility parameter η for the underlying block structure.
+    pub eta: f64,
+    /// Rank / skeleton-size cap.
+    pub max_rank: usize,
+}
+
+impl Default for H2Options {
+    fn default() -> Self {
+        Self {
+            eps: 1e-3,
+            eta: 2.0,
+            max_rank: 256,
+        }
+    }
+}
+
+/// Topology snapshot of the cluster tree (both sides share one tree: the
+/// Schur complement and the BEM operator are square in cluster order).
+#[derive(Debug, Clone, Copy)]
+struct H2Node {
+    begin: usize,
+    end: usize,
+    children: Option<(usize, usize)>,
+}
+
+impl H2Node {
+    fn len(&self) -> usize {
+        self.end - self.begin
+    }
+}
+
+/// One side's nested basis: per-node skeletons plus the operator expressing
+/// the node's rows (columns) in terms of them.
+struct Basis<T> {
+    /// Global (cluster-order) skeleton indices per node.
+    skel: Vec<Vec<usize>>,
+    /// Per-node basis operator.
+    op: Vec<BasisOp<T>>,
+}
+
+enum BasisOp<T> {
+    /// Node takes part in no far-field interaction.
+    None,
+    /// Leaf interpolation `P` (`len × k`, `P[skel_local, :] = I`).
+    Leaf(Mat<T>),
+    /// Internal transfer `E` (`(k_left + k_right) × k`): node-skeleton
+    /// coefficients expressed over the concatenated children skeletons.
+    Transfer(Mat<T>),
+}
+
+impl<T: Scalar> Basis<T> {
+    fn empty(n_nodes: usize) -> Self {
+        Self {
+            skel: vec![Vec::new(); n_nodes],
+            op: (0..n_nodes).map(|_| BasisOp::None).collect(),
+        }
+    }
+
+    fn byte_size(&self) -> usize {
+        let skel: usize = self
+            .skel
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<usize>())
+            .sum();
+        let ops: usize = self
+            .op
+            .iter()
+            .map(|o| match o {
+                BasisOp::None => 0,
+                BasisOp::Leaf(m) | BasisOp::Transfer(m) => m.byte_size(),
+            })
+            .sum();
+        skel + ops
+    }
+}
+
+/// A single admissible block reduced to its skeleton coupling.
+struct FarBlock<T> {
+    /// Row cluster node id.
+    rn: usize,
+    /// Column cluster node id.
+    cn: usize,
+    /// Coupling `S` (`k_row × k_col`): the block is `≈ Ũ_rn · S · Ṽ_cnᵀ`
+    /// with `Ũ`/`Ṽ` the expanded nested bases.
+    s: Mat<T>,
+}
+
+/// The far field in nested form.
+struct NestedFar<T> {
+    row: Basis<T>,
+    col: Basis<T>,
+    blocks: Vec<FarBlock<T>>,
+}
+
+impl<T: Scalar> NestedFar<T> {
+    fn empty(n_nodes: usize) -> Self {
+        Self {
+            row: Basis::empty(n_nodes),
+            col: Basis::empty(n_nodes),
+            blocks: Vec::new(),
+        }
+    }
+
+    fn byte_size(&self) -> usize {
+        self.row.byte_size()
+            + self.col.byte_size()
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.s.byte_size() + 2 * std::mem::size_of::<usize>())
+                .sum::<usize>()
+    }
+}
+
+/// Storage statistics of an [`H2Matrix`] (the fig10-style capacity studies).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct H2Stats {
+    /// Number of admissible blocks held in nested form.
+    pub far_blocks: usize,
+    /// Bytes of the nested bases (interpolation + transfer + skeletons).
+    pub basis_bytes: usize,
+    /// Bytes of the per-block coupling matrices.
+    pub coupling_bytes: usize,
+    /// Bytes of the flat layer (near-field dense blocks + any pending
+    /// low-rank updates not yet folded into the nested form).
+    pub flat_bytes: usize,
+    /// Total bytes.
+    pub bytes: usize,
+    /// Largest skeleton size over all nodes.
+    pub max_skel: usize,
+}
+
+/// A square nested-basis matrix over a cluster tree.
+///
+/// See the module docs for the structure. The public surface mirrors what
+/// the Schur accumulator needs: assembly from an entry oracle, deferred
+/// compressed AXPY, byte accounting, a full recompression (flush), and
+/// conversion to a flat [`HMatrix`] for H-LU factorization.
+pub struct H2Matrix<T: Scalar> {
+    /// Near field + pending far-field updates.
+    flat: HMatrix<T>,
+    /// Skeletonized far field.
+    far: NestedFar<T>,
+    nodes: Vec<H2Node>,
+    root: usize,
+    max_rank: usize,
+}
+
+impl<T: Scalar> ByteSized for H2Matrix<T> {
+    fn byte_size(&self) -> usize {
+        self.flat.byte_size() + self.far.byte_size()
+    }
+}
+
+impl<T: Scalar> H2Matrix<T> {
+    /// Assemble from an entry oracle in cluster order (ACA on admissible
+    /// blocks, then immediate sparsification into nested form).
+    pub fn assemble(
+        tree: &ClusterTree,
+        oracle: &(impl Fn(usize, usize) -> T + Sync),
+        opts: &H2Options,
+    ) -> Self {
+        let hopts = HOptions {
+            eps: opts.eps,
+            eta: opts.eta,
+            max_rank: opts.max_rank,
+            method: AssembleMethod::Aca,
+        };
+        let flat = HMatrix::assemble_root(tree, tree, oracle, &hopts);
+        Self::from_flat(tree, flat, opts)
+    }
+
+    /// Compress an already materialized dense matrix (cluster order).
+    pub fn compress_dense(tree: &ClusterTree, dense: &Mat<T>, opts: &H2Options) -> Self {
+        let hopts = HOptions {
+            eps: opts.eps,
+            eta: opts.eta,
+            max_rank: opts.max_rank,
+            method: AssembleMethod::Direct,
+        };
+        let flat = HMatrix::compress_dense(tree, tree, dense, &hopts);
+        Self::from_flat(tree, flat, opts)
+    }
+
+    /// Wrap an assembled flat H-matrix and sparsify its admissible leaves
+    /// into nested form.
+    pub fn from_flat(tree: &ClusterTree, flat: HMatrix<T>, opts: &H2Options) -> Self {
+        assert_eq!(flat.nrows(), tree.len());
+        assert_eq!(flat.ncols(), tree.len());
+        let nodes: Vec<H2Node> = (0..tree_node_count(tree))
+            .map(|id| {
+                let n = tree.node(id);
+                H2Node {
+                    begin: n.begin,
+                    end: n.end,
+                    children: n.children,
+                }
+            })
+            .collect();
+        let mut me = Self {
+            flat,
+            far: NestedFar::empty(nodes.len()),
+            nodes,
+            root: tree.root(),
+            max_rank: opts.max_rank.max(1),
+        };
+        me.sparsify(T::Real::from_f64_real(opts.eps));
+        me
+    }
+
+    /// Number of rows (= columns).
+    pub fn nrows(&self) -> usize {
+        self.flat.nrows()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.flat.ncols()
+    }
+
+    /// Deferred compressed AXPY of a dense panel at `(r0, c0)` — lands in
+    /// the flat layer as a pending update (see
+    /// [`HMatrix::try_axpy_dense_block_deferred`]); the nested form is
+    /// untouched until the next [`H2Matrix::recompress`].
+    pub fn try_axpy_dense_block_deferred(
+        &mut self,
+        alpha: T,
+        r0: usize,
+        c0: usize,
+        panel: MatRef<'_, T>,
+        eps: T::Real,
+        flush_rank: usize,
+    ) -> Result<()> {
+        self.flat
+            .try_axpy_dense_block_deferred(alpha, r0, c0, panel, eps, flush_rank)
+    }
+
+    /// Full flush: fold every pending update and the current nested form
+    /// together, then re-skeletonize. Sequential and deterministic.
+    pub fn recompress(&mut self, eps: T::Real) {
+        self.expand_all(eps);
+        self.flat.recompress_leaves(eps);
+        self.sparsify(eps);
+    }
+
+    /// Expand the nested representation into the flat layer and return the
+    /// plain H-matrix (for H-LU factorization).
+    pub fn into_flat(mut self, eps: T::Real) -> HMatrix<T> {
+        self.expand_all(eps);
+        self.flat
+    }
+
+    /// Materialize as dense (tests / small problems only).
+    pub fn to_dense(&self) -> Mat<T> {
+        let mut d = self.flat.to_dense();
+        let mut rmemo = HashMap::new();
+        let mut cmemo = HashMap::new();
+        for b in &self.far.blocks {
+            let ur = expand_basis(&self.far.row, &self.nodes, b.rn, &mut rmemo);
+            let vc = expand_basis(&self.far.col, &self.nodes, b.cn, &mut cmemo);
+            if b.s.ncols() == 0 || b.s.nrows() == 0 {
+                continue;
+            }
+            let us = gemm_into(ur.as_ref(), Op::NoTrans, b.s.as_ref(), Op::NoTrans);
+            let (rn, cn) = (&self.nodes[b.rn], &self.nodes[b.cn]);
+            let dst = d.view_mut(rn.begin..rn.end, cn.begin..cn.end);
+            gemm(
+                T::ONE,
+                us.as_ref(),
+                Op::NoTrans,
+                vc.as_ref(),
+                Op::Trans,
+                T::ONE,
+                dst,
+            );
+        }
+        d
+    }
+
+    /// Storage statistics.
+    pub fn stats(&self) -> H2Stats {
+        let max_skel = self
+            .far
+            .row
+            .skel
+            .iter()
+            .chain(self.far.col.skel.iter())
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(0);
+        let basis_bytes = self.far.row.byte_size() + self.far.col.byte_size();
+        let coupling_bytes: usize = self.far.blocks.iter().map(|b| b.s.byte_size()).sum();
+        let flat_bytes = self.flat.byte_size();
+        H2Stats {
+            far_blocks: self.far.blocks.len(),
+            basis_bytes,
+            coupling_bytes,
+            flat_bytes,
+            bytes: basis_bytes + coupling_bytes + flat_bytes,
+            max_skel,
+        }
+    }
+
+    /// Move every admissible leaf of the flat layer into nested form: choose
+    /// skeletons by interpolative decomposition with ancestor inheritance,
+    /// store leaf interpolation / internal transfer matrices and per-block
+    /// couplings, and zero the flat leaves.
+    fn sparsify(&mut self, eps: T::Real) {
+        let mut blocks: Vec<(usize, usize, LowRank<T>)> = Vec::new();
+        extract_far(
+            &mut self.flat,
+            &self.nodes,
+            self.root,
+            self.root,
+            &mut blocks,
+        );
+        let nn = self.nodes.len();
+        self.far = NestedFar::empty(nn);
+        if blocks.is_empty() {
+            return;
+        }
+
+        // Per-node weighted side panels: for the row pass of block U·Vᵀ the
+        // row space is spanned by U·R_vᵀ (V = Q_v·R_v), which has the same
+        // Gram structure as the block's rows at a fraction of the width.
+        let mut row_w: Vec<Vec<Mat<T>>> = vec![Vec::new(); nn];
+        let mut col_w: Vec<Vec<Mat<T>>> = vec![Vec::new(); nn];
+        for (rn, cn, lr) in &blocks {
+            row_w[*rn].push(weighted(&lr.u, &lr.v));
+            col_w[*cn].push(weighted(&lr.v, &lr.u));
+        }
+
+        let mut row_basis = Basis::empty(nn);
+        let mut col_basis = Basis::empty(nn);
+        let root = self.root;
+        let rootlen = self.nodes[root].len();
+        build_basis(
+            &self.nodes,
+            root,
+            Mat::zeros(rootlen, 0),
+            &row_w,
+            eps,
+            self.max_rank,
+            &mut row_basis,
+        );
+        build_basis(
+            &self.nodes,
+            root,
+            Mat::zeros(rootlen, 0),
+            &col_w,
+            eps,
+            self.max_rank,
+            &mut col_basis,
+        );
+
+        // Couplings: restrict each block's factors to the two skeletons.
+        let mut out = Vec::with_capacity(blocks.len());
+        for (rn, cn, lr) in blocks {
+            let ug = gather_rows(&lr.u, &row_basis.skel[rn], self.nodes[rn].begin);
+            let vg = gather_rows(&lr.v, &col_basis.skel[cn], self.nodes[cn].begin);
+            let s = if ug.ncols() == 0 {
+                Mat::zeros(ug.nrows(), vg.nrows())
+            } else {
+                gemm_into(ug.as_ref(), Op::NoTrans, vg.as_ref(), Op::Trans)
+            };
+            out.push(FarBlock { rn, cn, s });
+        }
+        self.far = NestedFar {
+            row: row_basis,
+            col: col_basis,
+            blocks: out,
+        };
+    }
+
+    /// Fold the nested far field back into the flat layer's admissible
+    /// leaves (compressed AXPY per block), leaving the nested form empty.
+    fn expand_all(&mut self, eps: T::Real) {
+        if self.far.blocks.is_empty() {
+            return;
+        }
+        let mut rmemo = HashMap::new();
+        let mut cmemo = HashMap::new();
+        let mut exp: HashMap<(usize, usize), LowRank<T>> = HashMap::new();
+        for b in self.far.blocks.drain(..) {
+            let ur = expand_basis(&self.far.row, &self.nodes, b.rn, &mut rmemo);
+            let vc = expand_basis(&self.far.col, &self.nodes, b.cn, &mut cmemo);
+            let lr = if b.s.ncols() == 0 || b.s.nrows() == 0 {
+                LowRank::zeros(ur.nrows(), vc.nrows())
+            } else {
+                let us = gemm_into(ur.as_ref(), Op::NoTrans, b.s.as_ref(), Op::NoTrans);
+                LowRank::new(us, vc)
+            };
+            exp.insert((b.rn, b.cn), lr);
+        }
+        apply_expansions(&mut self.flat, &self.nodes, self.root, self.root, &exp, eps);
+        let nn = self.nodes.len();
+        self.far = NestedFar::empty(nn);
+    }
+}
+
+fn tree_node_count(tree: &ClusterTree) -> usize {
+    tree.nodes.len()
+}
+
+/// Walk the flat structure in lockstep with the cluster tree, take every
+/// non-trivial low-rank leaf out (replaced by rank 0), and record it with
+/// its (row node, col node) ids.
+fn extract_far<T: Scalar>(
+    h: &mut HMatrix<T>,
+    nodes: &[H2Node],
+    rn: ClusterNodeId,
+    cn: ClusterNodeId,
+    out: &mut Vec<(usize, usize, LowRank<T>)>,
+) {
+    match &mut h.kind {
+        HKind::LowRank(lr) => {
+            if lr.rank() > 0 {
+                let (m, n) = (lr.nrows(), lr.ncols());
+                let taken = std::mem::replace(lr, LowRank::zeros(m, n));
+                out.push((rn, cn, taken));
+            }
+        }
+        HKind::Hier(ch) => {
+            let (rl, rr) = nodes[rn].children.expect("Hier block on a leaf cluster");
+            let (cl, cr) = nodes[cn].children.expect("Hier block on a leaf cluster");
+            extract_far(&mut ch[0], nodes, rl, cl, out);
+            extract_far(&mut ch[1], nodes, rr, cl, out);
+            extract_far(&mut ch[2], nodes, rl, cr, out);
+            extract_far(&mut ch[3], nodes, rr, cr, out);
+        }
+        HKind::Dense(_) | HKind::DenseLu(_) => {}
+    }
+}
+
+/// Same walk, folding an expanded low-rank term into each admissible leaf.
+fn apply_expansions<T: Scalar>(
+    h: &mut HMatrix<T>,
+    nodes: &[H2Node],
+    rn: ClusterNodeId,
+    cn: ClusterNodeId,
+    exp: &HashMap<(usize, usize), LowRank<T>>,
+    eps: T::Real,
+) {
+    match &mut h.kind {
+        HKind::LowRank(_) => {
+            if let Some(lr) = exp.get(&(rn, cn)) {
+                h.axpy_lowrank(T::ONE, lr, eps);
+            }
+        }
+        HKind::Hier(_) => {
+            let (rl, rr) = nodes[rn].children.expect("Hier block on a leaf cluster");
+            let (cl, cr) = nodes[cn].children.expect("Hier block on a leaf cluster");
+            let HKind::Hier(ch) = &mut h.kind else {
+                unreachable!()
+            };
+            apply_expansions(&mut ch[0], nodes, rl, cl, exp, eps);
+            apply_expansions(&mut ch[1], nodes, rr, cl, exp, eps);
+            apply_expansions(&mut ch[2], nodes, rl, cr, exp, eps);
+            apply_expansions(&mut ch[3], nodes, rr, cr, exp, eps);
+        }
+        HKind::Dense(_) | HKind::DenseLu(_) => {}
+    }
+}
+
+/// Row-space panel of `a·bᵀ` with the width of the rank, not of `b`:
+/// `a·R_bᵀ` where `b = Q_b·R_b` — right-multiplying by `Q_bᵀ` (orthonormal
+/// rows) preserves all row-space geometry the ID measures.
+fn weighted<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> Mat<T> {
+    let r = a.ncols();
+    if r == 0 {
+        return Mat::zeros(a.nrows(), 0);
+    }
+    let q = qr_in_place(b.clone());
+    let rb = q.r();
+    gemm_into(a.as_ref(), Op::NoTrans, rb.as_ref(), Op::Trans)
+}
+
+/// Horizontal concatenation.
+fn hcat<T: Scalar>(nrows: usize, parts: &[&Mat<T>]) -> Mat<T> {
+    let total: usize = parts.iter().map(|p| p.ncols()).sum();
+    let mut out = Mat::zeros(nrows, total);
+    let mut c = 0;
+    for p in parts {
+        debug_assert_eq!(p.nrows(), nrows);
+        for j in 0..p.ncols() {
+            out.col_mut(c).copy_from_slice(p.col(j));
+            c += 1;
+        }
+    }
+    out
+}
+
+/// Copy rows `rows[i] - offset` of `a`.
+fn gather_rows<T: Scalar>(a: &Mat<T>, rows: &[usize], offset: usize) -> Mat<T> {
+    Mat::from_fn(rows.len(), a.ncols(), |i, j| a[(rows[i] - offset, j)])
+}
+
+/// Row interpolative decomposition at absolute tolerance `tol`: returns
+/// local skeleton rows `σ` and interpolation `P` (`m × k`, `P[σ, :] = I`)
+/// with `s ≈ P·s[σ, :]`. Built on the column-pivoted QR of `sᵀ`; the
+/// interpolation coefficients are `R₁₁⁻¹·R₁₂` by back-substitution.
+fn row_id<T: Scalar>(s: &Mat<T>, tol: T::Real, max_rank: usize) -> (Vec<usize>, Mat<T>) {
+    let m = s.nrows();
+    let st = s.transpose();
+    let f = col_piv_qr(st, tol, max_rank);
+    let k = f.rank;
+    let mut p = Mat::<T>::zeros(m, k);
+    if k == 0 {
+        return (Vec::new(), p);
+    }
+    let r = f.qr.r();
+    for j in 0..k {
+        p[(f.perm[j], j)] = T::ONE;
+    }
+    for c in k..m {
+        // Solve R₁₁·x = R[:, c] (upper triangular).
+        let mut x: Vec<T> = (0..k).map(|i| r[(i, c)]).collect();
+        for i in (0..k).rev() {
+            let mut v = x[i];
+            for l in i + 1..k {
+                v -= r[(i, l)] * x[l];
+            }
+            x[i] = v * r[(i, i)].recip();
+        }
+        for i in 0..k {
+            p[(f.perm[c], i)] = x[i];
+        }
+    }
+    (f.perm[..k].to_vec(), p)
+}
+
+/// Bound the stacked panel's width before the ID: column-compress through a
+/// truncated factorization (row space preserved up to `eps`).
+fn cap_stack<T: Scalar>(stack: Mat<T>, eps: T::Real, max_rank: usize) -> Mat<T> {
+    let cap = (2 * max_rank).max(64);
+    if stack.ncols() <= cap {
+        return stack;
+    }
+    let norm = stack.norm_fro();
+    if norm == T::Real::RZERO {
+        return Mat::zeros(stack.nrows(), 0);
+    }
+    let lr = LowRank::from_dense(&stack, eps * norm, max_rank.min(stack.nrows()));
+    weighted(&lr.u, &lr.v)
+}
+
+/// Top-down nested-basis construction with ancestor inheritance. `inherited`
+/// carries (restrictions of) every ancestor's far-field row data; a node's
+/// ID therefore selects a skeleton that serves its own blocks *and* all
+/// blocks higher up — the nestedness invariant.
+fn build_basis<T: Scalar>(
+    nodes: &[H2Node],
+    n: usize,
+    inherited: Mat<T>,
+    own_w: &[Vec<Mat<T>>],
+    eps: T::Real,
+    max_rank: usize,
+    basis: &mut Basis<T>,
+) {
+    let info = nodes[n];
+    let len = info.len();
+    let mut parts: Vec<&Mat<T>> = own_w[n].iter().collect();
+    parts.push(&inherited);
+    let stack = cap_stack(hcat(len, &parts), eps, max_rank);
+    match info.children {
+        None => {
+            let tol = eps * stack.norm_fro();
+            let (skel_loc, p) = row_id(&stack, tol, max_rank.min(len));
+            basis.skel[n] = skel_loc.iter().map(|&i| info.begin + i).collect();
+            basis.op[n] = BasisOp::Leaf(p);
+        }
+        Some((l, r)) => {
+            let ll = nodes[l].len();
+            let w = stack.ncols();
+            let inh_l = stack.submatrix(0..ll, 0..w);
+            let inh_r = stack.submatrix(ll..len, 0..w);
+            build_basis(nodes, l, inh_l, own_w, eps, max_rank, basis);
+            build_basis(nodes, r, inh_r, own_w, eps, max_rank, basis);
+            // Restrict the node's stack to the children skeletons and ID
+            // again: the survivors become this node's skeleton, the
+            // interpolation becomes the transfer matrix.
+            let joined: Vec<usize> = basis.skel[l]
+                .iter()
+                .chain(basis.skel[r].iter())
+                .copied()
+                .collect();
+            let restricted = gather_rows(&stack, &joined, info.begin);
+            let tol = eps * restricted.norm_fro();
+            let (sel, e) = row_id(&restricted, tol, max_rank);
+            basis.skel[n] = sel.iter().map(|&i| joined[i]).collect();
+            basis.op[n] = BasisOp::Transfer(e);
+        }
+    }
+}
+
+/// Expand a node's nested basis to an explicit `len × k` matrix
+/// (memoized per pass).
+fn expand_basis<T: Scalar>(
+    basis: &Basis<T>,
+    nodes: &[H2Node],
+    n: usize,
+    memo: &mut HashMap<usize, Mat<T>>,
+) -> Mat<T> {
+    if let Some(m) = memo.get(&n) {
+        return m.clone();
+    }
+    let info = nodes[n];
+    let len = info.len();
+    let out = match &basis.op[n] {
+        BasisOp::None => Mat::zeros(len, 0),
+        BasisOp::Leaf(p) => p.clone(),
+        BasisOp::Transfer(e) => {
+            let (l, r) = info.children.expect("transfer on a leaf");
+            let pl = expand_basis(basis, nodes, l, memo);
+            let pr = expand_basis(basis, nodes, r, memo);
+            let (kl, k) = (pl.ncols(), e.ncols());
+            let mut out = Mat::zeros(len, k);
+            if k > 0 {
+                let ll = pl.nrows();
+                if kl > 0 {
+                    let etop = e.submatrix(0..kl, 0..k);
+                    gemm(
+                        T::ONE,
+                        pl.as_ref(),
+                        Op::NoTrans,
+                        etop.as_ref(),
+                        Op::NoTrans,
+                        T::ZERO,
+                        out.view_mut(0..ll, 0..k),
+                    );
+                }
+                if e.nrows() > kl {
+                    let ebot = e.submatrix(kl..e.nrows(), 0..k);
+                    gemm(
+                        T::ONE,
+                        pr.as_ref(),
+                        Op::NoTrans,
+                        ebot.as_ref(),
+                        Op::NoTrans,
+                        T::ZERO,
+                        out.view_mut(ll..len, 0..k),
+                    );
+                }
+            }
+            out
+        }
+    };
+    memo.insert(n, out.clone());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point3;
+
+    fn circle_points(n: usize) -> Vec<Point3> {
+        (0..n)
+            .map(|i| {
+                let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                Point3::new(t.cos(), t.sin(), 0.0)
+            })
+            .collect()
+    }
+
+    fn kernel(points: &[Point3]) -> impl Fn(usize, usize) -> f64 + Sync + '_ {
+        move |i: usize, j: usize| {
+            if i == j {
+                4.0
+            } else {
+                let d = points[i].dist(&points[j]);
+                1.0 / (1.0 + d)
+            }
+        }
+    }
+
+    fn opts(eps: f64) -> H2Options {
+        H2Options {
+            eps,
+            eta: 2.0,
+            max_rank: 64,
+        }
+    }
+
+    #[test]
+    fn assemble_matches_dense_oracle() {
+        let n = 256;
+        let points = circle_points(n);
+        let tree = ClusterTree::build(&points, 16);
+        let oracle = kernel(&points);
+        let perm = tree.perm.clone();
+        let clustered = move |i: usize, j: usize| oracle(perm[i], perm[j]);
+        let eps = 1e-6;
+        let h2 = H2Matrix::assemble(&tree, &clustered, &opts(eps));
+        let want = Mat::from_fn(n, n, &clustered);
+        let mut d = h2.to_dense();
+        d.axpy(-1.0, &want);
+        assert!(
+            d.norm_fro() <= 50.0 * eps * want.norm_fro(),
+            "rel err {:.3e}",
+            d.norm_fro() / want.norm_fro()
+        );
+        assert!(h2.stats().far_blocks > 0, "no far field sparsified");
+    }
+
+    #[test]
+    fn into_flat_preserves_the_matrix() {
+        let n = 192;
+        let points = circle_points(n);
+        let tree = ClusterTree::build(&points, 16);
+        let oracle = kernel(&points);
+        let perm = tree.perm.clone();
+        let clustered = move |i: usize, j: usize| oracle(perm[i], perm[j]);
+        let eps = 1e-8;
+        let h2 = H2Matrix::assemble(&tree, &clustered, &opts(eps));
+        let before = h2.to_dense();
+        let flat = h2.into_flat(eps);
+        let mut d = flat.to_dense();
+        d.axpy(-1.0, &before);
+        assert!(
+            d.norm_fro() <= 10.0 * eps * before.norm_fro(),
+            "rel err {:.3e}",
+            d.norm_fro() / before.norm_fro()
+        );
+    }
+
+    #[test]
+    fn deferred_axpy_and_recompress_roundtrip() {
+        let n = 160;
+        let points = circle_points(n);
+        let tree = ClusterTree::build(&points, 16);
+        let oracle = kernel(&points);
+        let perm = tree.perm.clone();
+        let clustered = move |i: usize, j: usize| oracle(perm[i], perm[j]);
+        let eps = 1e-7;
+        let mut h2 = H2Matrix::assemble(&tree, &clustered, &opts(eps));
+        let mut want = h2.to_dense();
+        // Fold a few panels in, mirrored on the dense oracle.
+        let mut rng_state = 1234567u64;
+        for k in 0..6 {
+            let (r0, c0, pm, pn) = (k * 17 % 96, k * 29 % 96, 48, 40);
+            let panel = Mat::from_fn(pm, pn, |i, j| {
+                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((rng_state >> 33) as f64 / 2.0_f64.powi(31) - 1.0) * 0.01 * ((i + j) as f64 + 1.0)
+            });
+            h2.try_axpy_dense_block_deferred(1.0, r0, c0, panel.as_ref(), eps, 8)
+                .unwrap();
+            let mut dst = want.view_mut(r0..r0 + pm, c0..c0 + pn);
+            dst.axpy(1.0, panel.as_ref());
+        }
+        h2.recompress(eps);
+        let mut d = h2.to_dense();
+        d.axpy(-1.0, &want);
+        assert!(
+            d.norm_fro() <= 100.0 * eps * want.norm_fro(),
+            "rel err {:.3e}",
+            d.norm_fro() / want.norm_fro()
+        );
+    }
+
+    #[test]
+    fn nested_storage_beats_flat_at_scale() {
+        // At a loose tolerance and enough points the nested far field must
+        // undercut the flat low-rank leaves it replaces.
+        let n = 1024;
+        let points = circle_points(n);
+        let tree = ClusterTree::build(&points, 32);
+        let oracle = kernel(&points);
+        let perm = tree.perm.clone();
+        let clustered = move |i: usize, j: usize| oracle(perm[i], perm[j]);
+        let o = H2Options {
+            eps: 1e-4,
+            eta: 6.0,
+            max_rank: 64,
+        };
+        let hopts = HOptions {
+            eps: o.eps,
+            eta: o.eta,
+            max_rank: o.max_rank,
+            method: AssembleMethod::Aca,
+        };
+        let flat = HMatrix::assemble_root(&tree, &tree, &clustered, &hopts);
+        let flat_bytes = flat.byte_size();
+        let h2 = H2Matrix::from_flat(&tree, flat, &o);
+        let s = h2.stats();
+        assert!(s.far_blocks > 0);
+        assert!(
+            s.bytes <= flat_bytes,
+            "nested {} > flat {}",
+            s.bytes,
+            flat_bytes
+        );
+    }
+
+    #[test]
+    fn row_id_reconstructs_within_tolerance() {
+        let mut state = 42u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / 2.0_f64.powi(31) - 1.0
+        };
+        // Rank-4 matrix plus small noise.
+        let (m, k) = (30, 12);
+        let a = Mat::from_fn(m, 4, |_, _| rnd());
+        let b = Mat::from_fn(k, 4, |_, _| rnd());
+        let mut s = gemm_into(a.as_ref(), Op::NoTrans, b.as_ref(), Op::Trans);
+        let noise = Mat::from_fn(m, k, |_, _| rnd() * 1e-9);
+        s.axpy(1.0, &noise);
+        let tol = 1e-6 * s.norm_fro();
+        let (skel, p) = row_id(&s, tol, m);
+        assert!(skel.len() <= 6, "skeleton {} too large", skel.len());
+        let srows = gather_rows(&s, &skel, 0);
+        let rec = gemm_into(p.as_ref(), Op::NoTrans, srows.as_ref(), Op::NoTrans);
+        let mut d = rec;
+        d.axpy(-1.0, &s);
+        assert!(
+            d.norm_fro() <= 20.0 * tol,
+            "ID err {:.3e} vs tol {tol:.3e}",
+            d.norm_fro()
+        );
+    }
+
+    #[test]
+    fn empty_far_field_is_handled() {
+        // Few points at a tight leaf size: nothing admissible, everything
+        // dense — the nested layer must stay empty and inert.
+        let points = circle_points(16);
+        let tree = ClusterTree::build(&points, 16);
+        let oracle = kernel(&points);
+        let perm = tree.perm.clone();
+        let clustered = move |i: usize, j: usize| oracle(perm[i], perm[j]);
+        let mut h2 = H2Matrix::assemble(&tree, &clustered, &opts(1e-6));
+        assert_eq!(h2.stats().far_blocks, 0);
+        h2.recompress(1e-6);
+        let want = Mat::from_fn(16, 16, &clustered);
+        let mut d = h2.to_dense();
+        d.axpy(-1.0, &want);
+        assert!(d.norm_fro() <= 1e-12);
+    }
+}

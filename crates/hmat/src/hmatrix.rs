@@ -517,7 +517,14 @@ impl<T: Scalar> HMatrix<T> {
             }),
             HKind::LowRank(lr) => {
                 let d = panel.to_owned();
-                let tol = eps * d.norm_fro();
+                let dnorm = d.norm_fro();
+                if dnorm == T::Real::RZERO {
+                    // An exactly-zero panel contributes nothing; compressing
+                    // it at tol = ε·0 would pivot-scan every column just to
+                    // conclude rank 0.
+                    return Ok(());
+                }
+                let tol = eps * dnorm;
                 #[allow(unused_mut)]
                 let mut max_rank = pm.min(pn);
                 #[cfg(feature = "fault-inject")]
@@ -534,8 +541,16 @@ impl<T: Scalar> HMatrix<T> {
                 let padded = LowRank::new(u, v);
                 *lr = lr.add(alpha, &padded);
                 if lr.rank() > flush_rank {
-                    let tol2 = eps * lr.norm_fro();
-                    lr.recompress(tol2);
+                    let norm = lr.norm_fro();
+                    if norm == T::Real::RZERO {
+                        // Formal rank with no Frobenius mass (exact
+                        // cancellation of accumulated updates): normalize to
+                        // rank 0 instead of recompressing at tolerance 0,
+                        // which would keep the cancelled factors alive.
+                        *lr = LowRank::zeros(self.nrows, self.ncols);
+                    } else {
+                        lr.recompress(eps * norm);
+                    }
                 }
                 Ok(())
             }
@@ -607,8 +622,15 @@ impl<T: Scalar> HMatrix<T> {
             HKind::Dense(_) | HKind::DenseLu(_) => {}
             HKind::LowRank(lr) => {
                 if lr.rank() > 0 {
-                    let tol = eps * lr.norm_fro();
-                    lr.recompress(tol);
+                    let norm = lr.norm_fro();
+                    if norm == T::Real::RZERO {
+                        // A positive formal rank carrying no mass (cancelled
+                        // sums) normalizes straight to rank 0 — recompressing
+                        // at tolerance ε·0 = 0 would retain the factors.
+                        *lr = LowRank::zeros(lr.nrows(), lr.ncols());
+                    } else {
+                        lr.recompress(eps * norm);
+                    }
                 }
             }
             HKind::Hier(ch) => {
@@ -632,10 +654,12 @@ impl<T: Scalar> HMatrix<T> {
             HKind::DenseLu(_) => panic!("axpy on a factored leaf"),
             HKind::LowRank(mine) => {
                 let total = mine.add(alpha, lr_in);
-                let tol = eps * total.norm_fro();
-                *mine = {
+                let norm = total.norm_fro();
+                *mine = if norm == T::Real::RZERO {
+                    LowRank::zeros(total.nrows(), total.ncols())
+                } else {
                     let mut t = total;
-                    t.recompress(tol);
+                    t.recompress(eps * norm);
                     t
                 };
             }

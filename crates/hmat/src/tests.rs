@@ -344,3 +344,146 @@ fn compress_dense_roundtrip() {
         st.dense_bytes
     );
 }
+
+#[test]
+fn deferred_axpy_of_zero_panel_is_inert() {
+    // An exactly-zero panel must leave the accumulator bit-for-bit
+    // untouched — in particular it must not trigger a tol = ε·0
+    // compression or inflate any leaf's formal rank.
+    let (_, mut h, dense) = build_test_h(10, 1e-8, AssembleMethod::Aca);
+    let n = dense.nrows();
+    let before_bytes = h.byte_size();
+    let before = h.to_dense();
+    let zero = Mat::<f64>::zeros(40, 40);
+    for &(r0, c0) in &[(0usize, 0usize), (n - 40, 3), (n / 2, n / 2)] {
+        h.try_axpy_dense_block_deferred(1.0, r0, c0, zero.as_ref(), 1e-8, 8)
+            .unwrap();
+    }
+    assert_eq!(h.byte_size(), before_bytes, "zero panel changed storage");
+    assert!(rel_err(&h.to_dense(), &before) < 1e-15);
+}
+
+#[test]
+fn deferred_axpy_exact_cancellation_normalizes_to_rank_zero() {
+    // +P then −P with a flush threshold small enough to force a
+    // recompression of the cancelled sum: the accumulated leaf must
+    // normalize to its pre-update state (no zero-norm factors kept alive
+    // by a tolerance of ε·0).
+    let (_, mut h, _) = build_test_h(10, 1e-8, AssembleMethod::Aca);
+    let before = h.to_dense();
+    let before_bytes = h.byte_size();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let n = before.nrows();
+    let panel = Mat::<f64>::random(64, 48, &mut rng);
+    // flush_rank = 0: every deferred AXPY recompresses immediately, so the
+    // second (cancelling) update drives touched leaves through the
+    // zero-norm branch.
+    h.try_axpy_dense_block_deferred(1.0, n - 64, 0, panel.as_ref(), 1e-8, 0)
+        .unwrap();
+    h.try_axpy_dense_block_deferred(-1.0, n - 64, 0, panel.as_ref(), 1e-8, 0)
+        .unwrap();
+    h.recompress_leaves(1e-8);
+    assert!(rel_err(&h.to_dense(), &before) < 1e-9);
+    assert!(
+        h.byte_size() <= before_bytes,
+        "cancelled updates left residual factors: {} > {}",
+        h.byte_size(),
+        before_bytes
+    );
+}
+
+#[test]
+fn recompress_leaves_collapses_zero_norm_formal_rank() {
+    // A leaf carrying positive formal rank but zero Frobenius mass (e.g.
+    // cancelled contributions accumulated under a high flush threshold)
+    // must come out of recompress_leaves at rank 0.
+    let (_, mut h, _) = build_test_h(10, 1e-8, AssembleMethod::Aca);
+    let before = h.to_dense();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+    let n = before.nrows();
+    let panel = Mat::<f64>::random(64, 48, &mut rng);
+    // Huge flush_rank: both updates stay formal until the explicit flush.
+    h.try_axpy_dense_block_deferred(1.0, n - 64, 0, panel.as_ref(), 1e-8, usize::MAX)
+        .unwrap();
+    h.try_axpy_dense_block_deferred(-1.0, n - 64, 0, panel.as_ref(), 1e-8, usize::MAX)
+        .unwrap();
+    let formal_bytes = h.byte_size();
+    h.recompress_leaves(1e-8);
+    assert!(h.byte_size() <= formal_bytes);
+    assert!(rel_err(&h.to_dense(), &before) < 1e-9);
+}
+
+mod h2_vs_flat {
+    //! Property: the nested-basis H² representation and the flat H-matrix
+    //! agree to the configured tolerance on the same kernel problem — at
+    //! assembly, and after an arbitrary sequence of deferred dense-block
+    //! AXPY updates driven through both representations identically.
+
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::h2::{H2Matrix, H2Options};
+
+    fn flat_and_h2(n_side: usize, eps: f64) -> (HMatrix<f64>, H2Matrix<f64>, Mat<f64>) {
+        // Assembly is deterministic, so two builds from the same inputs give
+        // the same flat H-matrix: one stays flat, one becomes the H².
+        let (_, flat, dense) = build_test_h(n_side, eps, AssembleMethod::Aca);
+        let (tree, for_h2, _) = build_test_h(n_side, eps, AssembleMethod::Aca);
+        let opts = H2Options {
+            eps,
+            eta: 6.0,
+            max_rank: 64,
+        };
+        let h2 = H2Matrix::from_flat(&tree, for_h2, &opts);
+        (flat, h2, dense)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn h2_agrees_with_flat_h_under_deferred_updates(
+            n_side in 10usize..15,
+            eps_exp in 4u32..9,
+            n_updates in 0usize..5,
+            seed in 0u64..1_000,
+        ) {
+            let eps = 10f64.powi(-(eps_exp as i32));
+            let (mut flat, mut h2, dense) = flat_and_h2(n_side, eps);
+            let n = dense.nrows();
+
+            // Both representations start within eps of the same kernel, so
+            // they agree with each other to a small multiple of eps.
+            let d0 = rel_err(&h2.to_dense(), &flat.to_dense());
+            prop_assert!(
+                d0 < 100.0 * eps,
+                "assembly: |H2 - H| = {d0:.3e} at eps {eps:.0e}"
+            );
+
+            // Identical deferred update streams through both.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let flush_rank = 8;
+            for k in 0..n_updates {
+                let rows = 16 + 8 * (k % 3);
+                let cols = 12 + 4 * (k % 4);
+                let panel = Mat::<f64>::random(rows, cols, &mut rng);
+                let r0 = (seed as usize + 37 * k) % (n - rows);
+                let c0 = (seed as usize / 7 + 53 * k) % (n - cols);
+                let alpha = if k % 2 == 0 { 1.0 } else { -0.5 };
+                flat.try_axpy_dense_block_deferred(
+                    alpha, r0, c0, panel.as_ref(), eps, flush_rank,
+                ).unwrap();
+                h2.try_axpy_dense_block_deferred(
+                    alpha, r0, c0, panel.as_ref(), eps, flush_rank,
+                ).unwrap();
+            }
+            flat.recompress_leaves(eps);
+            h2.recompress(eps);
+
+            let d = rel_err(&h2.to_dense(), &flat.to_dense());
+            prop_assert!(
+                d < 100.0 * eps,
+                "after {n_updates} updates: |H2 - H| = {d:.3e} at eps {eps:.0e}"
+            );
+        }
+    }
+}

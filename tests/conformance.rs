@@ -2,7 +2,7 @@
 //! count agrees with the dense reference oracle on seeded generated problems,
 //! and results are bitwise-identical across thread counts.
 //!
-//! The sweep covers {MultiSolve, MultiFactorization} × {Spido, Hmat} ×
+//! The sweep covers {MultiSolve, MultiFactorization} × {Spido, Hmat, H2} ×
 //! {1, 2, 4 threads} × {symmetric f64, unsymmetric C64} × {well-conditioned,
 //! ill-conditioned}. Every assertion message carries the cell's generator
 //! seed: to reproduce a failure in isolation, build the same `ProblemSpec`
@@ -48,11 +48,13 @@ fn config(backend: DenseBackend, threads: usize) -> SolverConfig {
     }
 }
 
-const GRID: [(Algorithm, DenseBackend); 4] = [
+const GRID: [(Algorithm, DenseBackend); 6] = [
     (Algorithm::MultiSolve, DenseBackend::Spido),
     (Algorithm::MultiSolve, DenseBackend::Hmat),
+    (Algorithm::MultiSolve, DenseBackend::H2),
     (Algorithm::MultiFactorization, DenseBackend::Spido),
     (Algorithm::MultiFactorization, DenseBackend::Hmat),
+    (Algorithm::MultiFactorization, DenseBackend::H2),
 ];
 
 /// Run the full {algorithm × backend × threads} grid on one generated
@@ -168,7 +170,7 @@ fn baselines_agree_with_the_oracle() {
     let reference = oracle_solve(&p).unwrap();
     let tol = problem_tol(spec.cond, EPS);
     for algo in [Algorithm::BaselineCoupling, Algorithm::AdvancedCoupling] {
-        for backend in [DenseBackend::Spido, DenseBackend::Hmat] {
+        for backend in [DenseBackend::Spido, DenseBackend::Hmat, DenseBackend::H2] {
             let out = solve(&p, algo, &config(backend, 2)).unwrap_or_else(|e| {
                 panic!(
                     "[seed {}] {} / {}: solve failed: {e}",
